@@ -1,0 +1,34 @@
+"""In-tree PEP 517 build backend for offline environments.
+
+This execution environment has no network access, so pip's build
+isolation cannot download `setuptools`/`wheel`.  This shim re-exposes the
+interpreter's globally installed setuptools backend inside the isolated
+build environment by appending the global site-packages to sys.path.
+It changes nothing else about the build.
+"""
+
+import site
+import sys
+
+for _path in site.getsitepackages():
+    if _path not in sys.path:
+        sys.path.append(_path)
+
+from setuptools.build_meta import *  # noqa: F401,F403
+from setuptools.build_meta import (  # noqa: F401
+    build_editable,
+    get_requires_for_build_editable,
+    prepare_metadata_for_build_editable,
+)
+
+
+def get_requires_for_build_wheel(config_settings=None):  # noqa: D103
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):  # noqa: D103
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):  # noqa: D103
+    return []

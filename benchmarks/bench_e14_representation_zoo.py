@@ -1,0 +1,92 @@
+"""E14 — the representation zoo: every size for ``L_n`` side by side.
+
+A synthesis table beyond the paper's three representations: for each
+small ``n``, the exact sizes of the CFG (Appendix A), the promise NFA,
+the exact NFA, the minimal DFA (exact and variable-length), the actual
+disambiguated uCFG, the Example 4 construction, the d-representation,
+and the certified lower bound.  The orderings the theory predicts —
+``CFG ≪ NFA ≪ DFA ≈ uCFG`` — are all visible and asserted.
+"""
+
+from __future__ import annotations
+
+from repro.factorized.convert import cfg_to_drep
+from repro.core.lower_bound import ucfg_size_lower_bound
+from repro.grammars.disambiguate import disambiguate
+from repro.languages.dfa_ln import ln_match_minimal_dfa, ln_minimal_dfa
+from repro.languages.ln import count_ln
+from repro.languages.nfa_ln import ln_match_nfa, ln_nfa_exact
+from repro.languages.small_grammar import small_ln_grammar
+from repro.languages.unambiguous_grammar import example4_size
+from repro.util.tables import Table
+
+
+def _sweep() -> Table:
+    table = Table(
+        [
+            "n",
+            "|L_n|",
+            "CFG",
+            "d-rep",
+            "NFA",
+            "exact NFA",
+            "DFA(match)",
+            "DFA(exact)",
+            "uCFG (min DFA)",
+            "Ex.4 uCFG",
+        ],
+        title="E14: every representation of L_n, exact sizes",
+    )
+    for n in (2, 3, 4, 5):
+        grammar = small_ln_grammar(n)
+        drep = cfg_to_drep(grammar)
+        ucfg, _report = disambiguate(grammar, verify=False)
+        table.add_row(
+            [
+                n,
+                count_ln(n),
+                grammar.size,
+                drep.size,
+                ln_match_nfa(n).n_states,
+                ln_nfa_exact(n).n_states,
+                ln_match_minimal_dfa(n).n_states,
+                ln_minimal_dfa(n).n_states,
+                ucfg.size,
+                example4_size(n),
+            ]
+        )
+    return table
+
+
+def test_e14_zoo_table(benchmark, report):
+    table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    note = (
+        "Already at n = 5 the deterministic/unambiguous representations\n"
+        "(DFA, uCFG) have left the nondeterministic/ambiguous ones (CFG,\n"
+        "NFA) behind — the theory's hierarchy CFG Θ(log n) < NFA Θ(n) <\n"
+        "exact-NFA Θ(n²) < DFA/uCFG 2^Θ(n), with exact counts."
+    )
+    report(table, note)
+    # Spot-check the orderings at n = 5.
+    n = 5
+    assert small_ln_grammar(n).size < ln_nfa_exact(n).n_states
+    assert ln_match_nfa(n).n_states < ln_minimal_dfa(n).n_states
+    ucfg, _ = disambiguate(small_ln_grammar(n), verify=False)
+    assert ucfg.size > small_ln_grammar(n).size
+
+
+def test_e14_lower_bound_consistency(benchmark):
+    def check() -> bool:
+        # The certified bound never exceeds any actual uCFG we can build.
+        for n in (2, 3, 4, 5):
+            ucfg, _ = disambiguate(small_ln_grammar(n), verify=False)
+            assert ucfg_size_lower_bound(n) <= ucfg.size
+            assert ucfg_size_lower_bound(n) <= example4_size(n)
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_e14_dfa_build_speed(benchmark):
+    dfa = benchmark(ln_match_minimal_dfa, 8)
+    assert dfa.n_states > 100

@@ -1,0 +1,54 @@
+"""E1 — Theorem 1(1): the Appendix A CFG for ``L_n`` has size ``Θ(log n)``.
+
+Rows: ``n``, exact grammar size, ``size / log2(n)`` (bounded ⇔ the claim),
+and exhaustive language verification for every ``n ≤ 9``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.grammars.language import language
+from repro.languages.ln import ln_words
+from repro.languages.small_grammar import small_ln_grammar
+from repro.util.tables import Table
+
+
+def _sweep() -> Table:
+    table = Table(
+        ["n", "CFG size", "size/log2(n)", "language verified"],
+        title="E1 (Theorem 1(1)): Appendix A grammar size is Θ(log n)",
+    )
+    for exponent in range(1, 21, 2):
+        n = 2**exponent
+        grammar = small_ln_grammar(n)
+        verified = "exhaustive" if n <= 9 else "-"
+        if n <= 9:
+            assert language(grammar) == ln_words(n)
+        table.add_row([n, grammar.size, f"{grammar.size / math.log2(n):.1f}", verified])
+    # A few non-powers of two: the binary decomposition is what varies.
+    for n in (5, 9, 100, 1000, 999_999):
+        grammar = small_ln_grammar(n)
+        verified = "exhaustive" if n <= 9 else "-"
+        if n <= 9:
+            assert language(grammar) == ln_words(n)
+        table.add_row([n, grammar.size, f"{grammar.size / math.log2(n):.1f}", verified])
+    return table
+
+
+def test_e1_cfg_size_table(benchmark, report):
+    table = benchmark(_sweep)
+    ratios = [
+        small_ln_grammar(2**e).size / e for e in range(4, 21, 4)
+    ]
+    note = (
+        f"size/log2(n) stays within [{min(ratios):.1f}, {max(ratios):.1f}] across "
+        "four decades -> Θ(log n), matching Theorem 1(1)."
+    )
+    report(table, note)
+    assert max(ratios) < 20
+
+
+def test_e1_construction_speed_n_million(benchmark):
+    grammar = benchmark(small_ln_grammar, 10**6)
+    assert grammar.size < 500

@@ -1,0 +1,88 @@
+"""E2 — Theorem 1(2): ``L_n`` and nondeterministic finite automata.
+
+Rows: the ``Θ(n)`` guess-and-verify NFA (states/transitions, exactness on
+length-``2n`` inputs verified exhaustively for small ``n``), the exact
+automaton (``O(n²)``), and the ``n²`` fooling-set lower bound that this
+reproduction adds as a correction to the informal ``Θ(n)`` remark (see
+EXPERIMENTS.md, finding F2).
+"""
+
+from __future__ import annotations
+
+from repro.languages.ln import is_in_ln
+from repro.languages.nfa_ln import exact_ln_fooling_set, ln_match_nfa, ln_nfa_exact
+from repro.util.tables import Table
+from repro.words.alphabet import AB
+from repro.words.ops import all_words
+
+
+def _verify_promise(n: int) -> bool:
+    nfa = ln_match_nfa(n)
+    return all(nfa.accepts(w) == is_in_ln(w, n) for w in all_words(AB, 2 * n))
+
+
+def _sweep() -> Table:
+    table = Table(
+        [
+            "n",
+            "match-NFA states",
+            "transitions",
+            "exact-NFA states",
+            "fooling bound n^2",
+            "verified",
+        ],
+        title="E2 (Theorem 1(2)): NFA sizes for L_n",
+    )
+    for n in (1, 2, 3, 4, 6, 8, 16, 32, 64, 128):
+        match_nfa = ln_match_nfa(n)
+        exact_states = ln_nfa_exact(n).n_states if n <= 32 else None
+        verified = "exhaustive" if n <= 6 else "-"
+        if n <= 6:
+            assert _verify_promise(n)
+        table.add_row(
+            [
+                n,
+                match_nfa.n_states,
+                match_nfa.n_transitions,
+                exact_states if exact_states is not None else "-",
+                n * n,
+                verified,
+            ]
+        )
+    return table
+
+
+def test_e2_nfa_size_table(benchmark, report):
+    table = benchmark(_sweep)
+    note = (
+        "The guess-and-verify automaton is exactly n + 2 states (Θ(n)); the\n"
+        "length-exact automaton needs Θ(n²) states, and the fooling set of\n"
+        "size n² proves that is optimal — the Θ(n) remark in the paper holds\n"
+        "for the promise/variable-length reading.  Either way the NFA stays\n"
+        "exponentially below the 2^Ω(n) uCFG bound of Theorem 1(3)."
+    )
+    report(table, note)
+
+
+def test_e2_fooling_set_verified(benchmark):
+    def check(n: int = 6) -> int:
+        pairs = exact_ln_fooling_set(n)
+        for u, v in pairs:
+            assert is_in_ln(u + v, n)
+        for i, (u, _) in enumerate(pairs):
+            for j, (_, v) in enumerate(pairs):
+                if i != j:
+                    assert not is_in_ln(u + v, n)
+        return len(pairs)
+
+    assert benchmark(check) == 36
+
+
+def test_e2_membership_throughput(benchmark):
+    nfa = ln_match_nfa(32)
+    words = ["ab" * 32, "a" + "b" * 62 + "a", "b" * 64]
+
+    def run() -> list[bool]:
+        return [nfa.accepts(w) for w in words]
+
+    assert benchmark(run) == [True, False, False]

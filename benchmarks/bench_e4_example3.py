@@ -1,0 +1,85 @@
+"""E4 — Example 3: the ``Θ(k)`` grammar ``G_k`` for ``L_{2^k+1}``.
+
+Rows: ``k``, exact size (formula ``6k + 10`` vs constructed), the language
+parameter ``n = 2^k + 1``, exhaustive language verification for ``k ≤ 2``,
+and the ambiguity statistics (Figure 1's two parse trees of ``aaaaaa``
+regenerated programmatically).
+"""
+
+from __future__ import annotations
+
+from repro.grammars.ambiguity import ambiguity_witness, max_ambiguity
+from repro.grammars.generic import GenericParser
+from repro.grammars.language import count_derivations, language
+from repro.languages.example3 import (
+    example3_grammar,
+    example3_language_parameter,
+    example3_size,
+)
+from repro.languages.ln import count_ln, ln_words
+from repro.util.tables import Table, format_int
+
+
+def _sweep() -> Table:
+    table = Table(
+        ["k", "size", "formula 6k+10", "n = 2^k+1", "|L_n|", "derivations", "verified"],
+        title="E4 (Example 3): linear grammars for exponentially long L_n",
+    )
+    for k in range(1, 11):
+        grammar = example3_grammar(k)
+        n = example3_language_parameter(k)
+        verified = "-"
+        if k <= 2:
+            assert language(grammar) == ln_words(n)
+            verified = "exhaustive"
+        derivations = count_derivations(grammar) if k <= 6 else None
+        table.add_row(
+            [
+                k,
+                grammar.size,
+                example3_size(k),
+                n,
+                format_int(count_ln(n)),
+                format_int(derivations) if derivations is not None else "-",
+                verified,
+            ]
+        )
+    return table
+
+
+def test_e4_example3_table(benchmark, report):
+    table = benchmark(_sweep)
+    note = (
+        "Size grows as 6k + 10 = Θ(k) = Θ(log n) while |L_n| = 4^n - 3^n is\n"
+        "doubly exponential in k.  The derivation count exceeding |L_n| is\n"
+        "the ambiguity the paper's Figure 1 illustrates."
+    )
+    report(table, note)
+
+
+def test_e4_figure1_witness(benchmark, report):
+    def witness():
+        return ambiguity_witness(example3_grammar(1))
+
+    result = benchmark.pedantic(witness, rounds=1, iterations=1)
+    assert result is not None
+    word, tree1, tree2 = result
+    assert word == "aaaaaa" or len(word) == 6
+    assert tree1 != tree2
+    parser = GenericParser(example3_grammar(1))
+    assert parser.count("aaaaaa") >= 2
+
+
+def test_e4_max_ambiguity(benchmark):
+    value = benchmark.pedantic(
+        max_ambiguity, args=(example3_grammar(1),), rounds=1, iterations=1
+    )
+    assert value >= 2
+
+
+def test_e4_parse_count_speed(benchmark):
+    grammar = example3_grammar(4)  # words of length 2 * 17 = 34
+    word = "a" * 34
+    parser = GenericParser(grammar)
+    count = benchmark(parser.count, word)
+    assert count >= 1

@@ -1,0 +1,75 @@
+"""E6 — Lemma 18: the exact cardinalities of ``𝓛``, ``A``, ``B``.
+
+Rows: for each ``m``, the four Lemma 18 quantities — exhaustively
+enumerated for ``m ≤ 5`` and by closed formula beyond — plus the
+``margin > 2^{7m/2}`` threshold check, which pins the paper's
+"sufficiently big n" to ``m ≥ 4`` (n ≥ 16).
+"""
+
+from __future__ import annotations
+
+from repro.core.discrepancy import (
+    lemma18_margin,
+    size_a,
+    size_b,
+    size_b_minus_ln,
+    size_script_l,
+    verify_lemma18,
+)
+from repro.util.tables import Table, format_int
+
+
+def _threshold(m: int) -> bool:
+    margin = lemma18_margin(m)
+    return margin > 0 and margin**2 > 2 ** (7 * m)
+
+
+def _sweep() -> Table:
+    table = Table(
+        ["m", "|L|=2^{4m}", "|A|", "|B|", "|B\\L_n|=12^m", "margin", ">2^{7m/2}", "mode"],
+        title="E6 (Lemma 18): exact set cardinalities",
+    )
+    for m in (1, 2, 3, 4, 5):
+        verify_lemma18(m)  # raises on any mismatch
+        table.add_row(
+            [
+                m,
+                size_script_l(m),
+                size_a(m),
+                size_b(m),
+                size_b_minus_ln(m),
+                lemma18_margin(m),
+                _threshold(m),
+                "enumerated",
+            ]
+        )
+    for m in (8, 16, 64, 256):
+        table.add_row(
+            [
+                m,
+                format_int(size_script_l(m)),
+                format_int(size_a(m)),
+                format_int(size_b(m)),
+                format_int(size_b_minus_ln(m)),
+                format_int(lemma18_margin(m)),
+                _threshold(m),
+                "formula",
+            ]
+        )
+    return table
+
+
+def test_e6_lemma18_table(benchmark, report):
+    table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    note = (
+        "Every enumerated row matches the closed formulas |A| = (16^m-8^m)/2,\n"
+        "|B| = (16^m+8^m)/2, |B \\ L_n| = 12^m, margin = 12^m - 2^{3m}; the\n"
+        "paper's 'n sufficiently big' threshold is exactly m >= 4."
+    )
+    report(table, note)
+    assert not _threshold(3) and _threshold(4)
+
+
+def test_e6_exhaustive_verification_speed(benchmark):
+    results = benchmark(verify_lemma18, 4)  # 65,536 members of 𝓛
+    assert results["|L|"] == (65536, 65536)

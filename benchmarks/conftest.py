@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every experiment module regenerates one of the paper's quantitative
+claims as a table; the rows printed here are the ones recorded in
+EXPERIMENTS.md.  Run the whole harness with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module benchmarks its computational core via the ``benchmark``
+fixture and prints its table through :func:`report` (bypassing pytest's
+capture so the rows always reach the terminal).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.tables import Table
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an experiment table regardless of pytest capture settings."""
+
+    def _print(table: Table, note: str | None = None) -> None:
+        with capsys.disabled():
+            print()
+            table.print()
+            if note:
+                print(note)
+                print()
+
+    return _print

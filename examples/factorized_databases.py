@@ -1,0 +1,87 @@
+"""Factorised query results: the database side of the paper.
+
+Run with::
+
+    python examples/factorized_databases.py
+
+Builds a small star-join result, factorises it as a d-representation,
+and exercises the operations that make *deterministic* (unambiguous)
+factorised representations valuable: exact counting, direct access by
+rank, and uniform sampling — all without materialising the result.
+Then converts the d-rep to a CFG and back ([20]'s isomorphism) and shows
+the sizes agree.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.factorized import (
+    cfg_to_drep,
+    drep_to_cfg,
+    factorise_relation,
+    language_to_tuples,
+    product_drep,
+    tuples_to_language,
+)
+from repro.grammars import RankedLanguage, is_unambiguous, language
+
+
+def main() -> None:
+    print("=== A product relation factorises exponentially well ===")
+    columns = [["aa", "ab", "ba"], ["aa", "bb"], ["ab", "ba"], ["aa", "ab", "bb"]]
+    drep = product_drep(columns)
+    materialised = len(drep.language())
+    print(f"R = A1 x A2 x A3 x A4 with |Ai| = {[len(c) for c in columns]}")
+    print(f"materialised tuples: {materialised}")
+    print(f"d-representation size: {drep.size} (deterministic: {drep.is_unambiguous()})")
+    print()
+
+    print("=== An arbitrary relation through the minimal-DFA factoriser ===")
+    rows = {
+        ("aa", "ab"),
+        ("aa", "bb"),
+        ("ab", "ab"),
+        ("ab", "bb"),
+        ("ba", "aa"),
+    }
+    fact = factorise_relation(rows, 2, "ab")
+    print(f"{len(rows)} tuples -> d-rep of size {fact.size}, "
+          f"deterministic: {fact.is_unambiguous()}")
+    decoded = language_to_tuples(fact.language(), 2)
+    print(f"round-trips exactly: {decoded == rows}")
+    print()
+
+    print("=== Counting / direct access / sampling on the factorised form ===")
+    cfg = drep_to_cfg(fact, "ab")
+    ranked = RankedLanguage(cfg)
+    print(f"count (no materialisation): {ranked.count}")
+    print(f"answer #3 in derivation order: {ranked.unrank(3)!r}")
+    from repro.grammars import LexRankedLanguage
+
+    lex = LexRankedLanguage(cfg, check_unambiguous=False)
+    print(f"answer #3 in length-lex order:  {lex.unrank(3)!r} (rank back: {lex.rank(lex.unrank(3))})")
+    rng = random.Random(2025)
+    sample = [ranked.sample(rng) for _ in range(5)]
+    print(f"five uniform samples: {sample}")
+    print()
+
+    print("=== The CFG <-> d-rep isomorphism in both directions ===")
+    words = tuples_to_language(rows, 2)
+    assert language(cfg) == words
+    back = cfg_to_drep(cfg)
+    print(f"CFG size {cfg.size} <-> d-rep size {back.size}")
+    print(f"language preserved: {back.language() == words}")
+    print(f"unambiguity preserved: {is_unambiguous(cfg)} / {back.is_unambiguous()}")
+    print()
+
+    print(
+        "Moral: as long as the representation is unambiguous, everything\n"
+        "above is polynomial in its size.  The paper proves that forcing\n"
+        "unambiguity can cost a double exponential in size — so these\n"
+        "operations are cheap only relative to a possibly huge object."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""A guided tour of the Section 3-4 lower-bound machinery on a real grammar.
+
+Run with::
+
+    python examples/lower_bound_walkthrough.py
+
+Takes the (corrected) Example 4 uCFG for ``L_4``, walks it through every
+stage of the proof — CNF, Lemma 10 indexing, Proposition 7 rectangle
+extraction, the set perspective, the sets ``A``/``B`` and Lemma 18, and
+the per-rectangle discrepancy of Lemma 19 — and shows that the abstract
+inequalities hold with exact numbers on this concrete instance.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    balanced_rectangle_cover,
+    discrepancy,
+    lemma18_margin,
+    lemma19_bound,
+    rectangle_to_set_rectangle,
+    verify_lemma18,
+)
+from repro.grammars import index_by_position, is_unambiguous, to_cnf
+from repro.languages import count_ln, example4_ucfg
+from repro.util import Table
+
+
+def main() -> None:
+    n, m = 4, 1
+    grammar = example4_ucfg(n)
+    print(f"Start: the corrected Example 4 uCFG for L_{n}")
+    print(f"  size {grammar.size}, unambiguous: {is_unambiguous(grammar)}, "
+          f"|L_{n}| = {count_ln(n)}")
+    print()
+
+    cnf = to_cnf(grammar)
+    print(f"Step 1 — Chomsky normal form: size {cnf.size} "
+          f"(quadratic bound {grammar.size}^2 = {grammar.size ** 2})")
+    indexed = index_by_position(cnf)
+    print(f"Step 2 — Lemma 10 indexing: size {indexed.grammar.size} "
+          f"(bound n·|G| = {indexed.word_length * cnf.size})")
+    print()
+
+    print("Step 3 — Proposition 7 extraction:")
+    cover = balanced_rectangle_cover(grammar)
+    print(f"  {cover.n_rectangles} balanced rectangles, disjoint: {cover.disjoint}")
+    table = Table(["step", "nonterminal", "n1/n2/n3", "|L1|", "|L2|", "|R|"])
+    for i, step in enumerate(cover.steps[:8]):
+        rect = step.rectangle
+        table.add_row(
+            [
+                i,
+                str(step.nonterminal),
+                f"{rect.n1}/{rect.n2}/{rect.n3}",
+                len(rect.outer),
+                len(rect.inner),
+                rect.n_words,
+            ]
+        )
+    table.print()
+    if cover.n_rectangles > 8:
+        print(f"  ... and {cover.n_rectangles - 8} more")
+    print()
+
+    print(f"Step 4 — the set perspective and Lemma 18 (m = {m}):")
+    for name, (enumerated, formula) in verify_lemma18(m).items():
+        print(f"  {name:12s} enumerated {enumerated:6d} == formula {formula}")
+    print()
+
+    print("Step 5 — discrepancy of every extracted rectangle (Lemma 19/23):")
+    bound = lemma19_bound(m)
+    total = 0
+    for step in cover.steps:
+        set_rect = rectangle_to_set_rectangle(step.rectangle)
+        value = discrepancy(set_rect, m)
+        total += value
+        marker = "ok" if abs(value) <= bound else "VIOLATION"
+        print(f"  {str(step.nonterminal):24s} disc = {value:5d}  (|disc| <= {bound}: {marker})")
+    print()
+
+    margin = lemma18_margin(m)
+    print("Step 6 — the telescoping identity behind the bound:")
+    print(f"  sum of discrepancies over the disjoint cover = {total}")
+    print(f"  |A ∩ L_n| - |B ∩ L_n| (Lemma 18 margin)      = {margin}")
+    print(f"  equal: {total == margin}")
+    print()
+    print(
+        "Conclusion: any disjoint cover needs at least margin / max-disc\n"
+        f"rectangles; with Prop. 7's ℓ <= 2n·|G| this forces every uCFG for\n"
+        f"L_n to be 2^Ω(n) — the content of Theorem 12."
+    )
+
+
+if __name__ == "__main__":
+    main()

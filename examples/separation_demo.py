@@ -1,0 +1,66 @@
+"""Theorem 1 as a table: CFG vs NFA vs uCFG sizes for ``L_n``.
+
+Run with::
+
+    python examples/separation_demo.py
+
+Sweeps ``n`` and prints, side by side: the Appendix A CFG size
+(``Θ(log n)``), the guess-and-verify NFA state count (``Θ(n)``), the
+exact size of the corrected Example 4 uCFG (``2^Θ(n)``), and the
+Theorem 12 certified lower bound on *any* uCFG.  Every number is exact.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import certificate
+from repro.languages import example4_size, ln_match_nfa, small_ln_grammar
+from repro.util import Table, approx_log2, format_int
+
+
+def main() -> None:
+    table = Table(
+        [
+            "n",
+            "CFG size",
+            "CFG/log2(n)",
+            "NFA states",
+            "uCFG constr.",
+            "log2(uCFG)/n",
+            "uCFG lower bd",
+        ],
+        title="Theorem 1: representation sizes for L_n",
+    )
+    for exponent in range(2, 13):
+        n = 2**exponent
+        cfg_size = small_ln_grammar(n).size
+        nfa_states = ln_match_nfa(n).n_states
+        ucfg_size = example4_size(n)
+        cert = certificate(n)
+        table.add_row(
+            [
+                n,
+                cfg_size,
+                f"{cfg_size / math.log2(n):.1f}",
+                nfa_states,
+                format_int(ucfg_size),
+                f"{approx_log2(ucfg_size) / n:.3f}",
+                format_int(cert.ucfg_bound),
+            ]
+        )
+    table.print()
+
+    print(
+        "Reading the table: the CFG column grows like log n (the ratio "
+        "column is bounded),\nthe NFA is exactly n + 2 states, the uCFG "
+        "construction grows like 2^{1.585 n}\n(log2(3) ≈ 1.585 per the "
+        "corrected 3^{i-1} rule count), and the certified lower\nbound "
+        "grows like 2^{0.063 n} — exponential, hence the Theorem 1 "
+        "separation; the\nconstant is what the Lemma 21/23 route pays "
+        "for handling arbitrary partitions."
+    )
+
+
+if __name__ == "__main__":
+    main()

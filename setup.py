@@ -1,0 +1,19 @@
+"""Legacy setup shim: the execution environment is offline and lacks the
+`wheel` package, so PEP 660 editable installs fail; `setup.py develop`
+(which `pip install -e .` falls back to without a [build-system] table)
+works everywhere."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Executable reproduction of 'A Lower Bound on Unambiguous Context "
+        "Free Grammars via Communication Complexity' (PODS 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.11",
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -1,0 +1,65 @@
+"""Finite automata substrate (Theorem 1(2) and the UFA context).
+
+NFAs and DFAs with determinisation, minimisation, boolean operations,
+language equivalence, the unambiguity (UFA) test, and conversions to
+right-linear CFGs and from finite languages.
+"""
+
+from repro.automata.counting import (
+    count_dfa_words_of_length,
+    count_dfa_words_up_to,
+    count_nfa_runs_of_length,
+)
+from repro.automata.dfa import DFA, determinise, minimise
+from repro.automata.nfa import NFA, State
+from repro.automata.regex import (
+    Regex,
+    any_symbol,
+    compile_regex,
+    concat,
+    epsilon,
+    repeat,
+    star,
+    sym,
+    union as regex_union,
+)
+from repro.automata.ops import (
+    dfa_from_finite_language,
+    equivalent,
+    intersect,
+    is_unambiguous_nfa,
+    minimal_dfa_of_finite_language,
+    nfa_to_right_linear_cfg,
+    product_dfa,
+    trim_nfa,
+    union,
+)
+
+__all__ = [
+    "NFA",
+    "DFA",
+    "State",
+    "determinise",
+    "count_dfa_words_of_length",
+    "count_dfa_words_up_to",
+    "count_nfa_runs_of_length",
+    "minimise",
+    "product_dfa",
+    "intersect",
+    "union",
+    "equivalent",
+    "trim_nfa",
+    "is_unambiguous_nfa",
+    "nfa_to_right_linear_cfg",
+    "dfa_from_finite_language",
+    "minimal_dfa_of_finite_language",
+    "Regex",
+    "sym",
+    "epsilon",
+    "regex_union",
+    "concat",
+    "star",
+    "repeat",
+    "any_symbol",
+    "compile_regex",
+]

@@ -1,0 +1,85 @@
+"""Counting accepted words with automata (transfer-matrix method).
+
+A complete DFA counts its accepted words of each length by a linear
+dynamic program over states — exactly the factorised-counting idea, one
+level down: determinism plays the role unambiguity plays for grammars.
+For NFAs the same recurrence counts accepting *runs*, which matches the
+word count precisely when the NFA is unambiguous — the UFA story again.
+"""
+
+from __future__ import annotations
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA, State
+
+__all__ = [
+    "count_dfa_words_of_length",
+    "count_dfa_words_up_to",
+    "count_nfa_runs_of_length",
+]
+
+
+def count_dfa_words_of_length(dfa: DFA, length: int) -> int:
+    """The exact number of accepted words of the given length.
+
+    Linear in ``length × |δ|``; works on partial DFAs (undefined
+    transitions contribute nothing).
+
+    >>> from repro.automata.ops import dfa_from_finite_language
+    >>> from repro.words.alphabet import AB
+    >>> d = dfa_from_finite_language({"ab", "ba", "b"}, AB)
+    >>> count_dfa_words_of_length(d, 2), count_dfa_words_of_length(d, 1)
+    (2, 1)
+    """
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    weights: dict[State, int] = {dfa.initial: 1}
+    for _ in range(length):
+        nxt: dict[State, int] = {}
+        for state, weight in weights.items():
+            for symbol in dfa.alphabet:
+                succ = dfa.successor(state, symbol)
+                if succ is not None:
+                    nxt[succ] = nxt.get(succ, 0) + weight
+        weights = nxt
+    return sum(weight for state, weight in weights.items() if state in dfa.accepting)
+
+
+def count_dfa_words_up_to(dfa: DFA, max_length: int) -> dict[int, int]:
+    """``{length: #accepted words}`` for every length up to the bound."""
+    if max_length < 0:
+        raise ValueError(f"max_length must be non-negative, got {max_length}")
+    counts: dict[int, int] = {}
+    weights: dict[State, int] = {dfa.initial: 1}
+    counts[0] = sum(w for q, w in weights.items() if q in dfa.accepting)
+    for length in range(1, max_length + 1):
+        nxt: dict[State, int] = {}
+        for state, weight in weights.items():
+            for symbol in dfa.alphabet:
+                succ = dfa.successor(state, symbol)
+                if succ is not None:
+                    nxt[succ] = nxt.get(succ, 0) + weight
+        weights = nxt
+        counts[length] = sum(w for q, w in weights.items() if q in dfa.accepting)
+    return counts
+
+
+def count_nfa_runs_of_length(nfa: NFA, length: int) -> int:
+    """The number of accepting *runs* over all words of the given length.
+
+    Equals the number of accepted words iff the NFA is unambiguous
+    (checkable with :func:`repro.automata.ops.is_unambiguous_nfa`); in
+    general it over-counts by run multiplicity — the automaton analogue
+    of parse-tree counting for ambiguous CFGs.
+    """
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    weights: dict[State, int] = {q: 1 for q in nfa.initial}
+    for _ in range(length):
+        nxt: dict[State, int] = {}
+        for state, weight in weights.items():
+            for symbol in nfa.alphabet:
+                for succ in nfa.successors(state, symbol):
+                    nxt[succ] = nxt.get(succ, 0) + weight
+        weights = nxt
+    return sum(weight for state, weight in weights.items() if state in nfa.accepting)

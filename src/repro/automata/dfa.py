@@ -1,0 +1,239 @@
+"""Deterministic finite automata, determinisation and minimisation.
+
+The DFA side of the automata substrate: subset construction from
+:class:`~repro.automata.nfa.NFA`, Hopcroft-style minimisation (implemented
+as Moore's partition refinement — simpler, and entirely adequate at the
+sizes this repository handles), completion, complement, and products.
+The minimal acyclic DFA of a finite language doubles as the canonical
+small *unambiguous* representation that the disambiguation pipeline
+(benchmark E12) converts into a right-linear uCFG.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.automata.nfa import NFA, State
+from repro.errors import AutomatonError
+from repro.words.alphabet import Alphabet
+
+__all__ = ["DFA", "determinise", "minimise"]
+
+_SINK = "__sink__"
+
+
+class DFA:
+    """A complete or partial DFA: at most one successor per (state, symbol).
+
+    >>> from repro.words import AB
+    >>> dfa = DFA(AB, states={0, 1}, transitions={(0, "a"): 1},
+    ...           initial=0, accepting={1})
+    >>> dfa.accepts("a"), dfa.accepts("aa")
+    (True, False)
+    """
+
+    __slots__ = ("_alphabet", "_states", "_delta", "_initial", "_accepting")
+
+    def __init__(
+        self,
+        alphabet: Alphabet | Iterable[str],
+        states: Iterable[State],
+        transitions: Mapping[tuple[State, str], State],
+        initial: State,
+        accepting: Iterable[State],
+    ) -> None:
+        sigma = alphabet if isinstance(alphabet, Alphabet) else Alphabet(alphabet)
+        state_set = frozenset(states)
+        if initial not in state_set:
+            raise AutomatonError(f"initial state {initial!r} undeclared")
+        accepting_set = frozenset(accepting)
+        if not accepting_set <= state_set:
+            raise AutomatonError(f"accepting states {accepting_set - state_set!r} undeclared")
+        delta: dict[tuple[State, str], State] = {}
+        for (src, sym), dst in transitions.items():
+            if src not in state_set or dst not in state_set:
+                raise AutomatonError(f"transition ({src!r},{sym!r})->{dst!r} uses undeclared state")
+            if sym not in sigma:
+                raise AutomatonError(f"transition on undeclared symbol {sym!r}")
+            delta[(src, sym)] = dst
+        self._alphabet = sigma
+        self._states = state_set
+        self._delta = delta
+        self._initial = initial
+        self._accepting = accepting_set
+
+    @property
+    def alphabet(self) -> Alphabet:
+        return self._alphabet
+
+    @property
+    def states(self) -> frozenset[State]:
+        return self._states
+
+    @property
+    def initial(self) -> State:
+        return self._initial
+
+    @property
+    def accepting(self) -> frozenset[State]:
+        return self._accepting
+
+    @property
+    def n_states(self) -> int:
+        return len(self._states)
+
+    @property
+    def n_transitions(self) -> int:
+        return len(self._delta)
+
+    def successor(self, state: State, symbol: str) -> State | None:
+        """``δ(state, symbol)``, or ``None`` where undefined (partial DFA)."""
+        return self._delta.get((state, symbol))
+
+    def transitions(self) -> dict[tuple[State, str], State]:
+        """A copy of the transition map."""
+        return dict(self._delta)
+
+    def accepts(self, word: str) -> bool:
+        """Run the word; reject on any undefined transition."""
+        current = self._initial
+        for symbol in word:
+            nxt = self._delta.get((current, symbol))
+            if nxt is None:
+                return False
+            current = nxt
+        return current in self._accepting
+
+    def is_complete(self) -> bool:
+        """Whether every (state, symbol) pair has a successor."""
+        return all(
+            (q, s) in self._delta for q in self._states for s in self._alphabet
+        )
+
+    def completed(self) -> "DFA":
+        """Return an equivalent complete DFA (adds a sink if needed)."""
+        if self.is_complete():
+            return self
+        states = set(self._states) | {_SINK}
+        delta = dict(self._delta)
+        for q in states:
+            for s in self._alphabet:
+                delta.setdefault((q, s), _SINK)
+        return DFA(self._alphabet, states, delta, self._initial, self._accepting)
+
+    def complement(self) -> "DFA":
+        """Return a DFA for the complement language (over ``Σ*``)."""
+        complete = self.completed()
+        return DFA(
+            complete._alphabet,
+            complete._states,
+            complete._delta,
+            complete._initial,
+            complete._states - complete._accepting,
+        )
+
+    def to_nfa(self) -> NFA:
+        """View this DFA as an NFA."""
+        transitions = {
+            (src, sym): {dst} for (src, sym), dst in self._delta.items()
+        }
+        return NFA(self._alphabet, self._states, transitions, {self._initial}, self._accepting)
+
+    def reachable(self) -> "DFA":
+        """Restrict to the states reachable from the initial state."""
+        seen: set[State] = {self._initial}
+        frontier = [self._initial]
+        while frontier:
+            q = frontier.pop()
+            for s in self._alphabet:
+                nxt = self._delta.get((q, s))
+                if nxt is not None and nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        delta = {k: v for k, v in self._delta.items() if k[0] in seen}
+        return DFA(self._alphabet, seen, delta, self._initial, self._accepting & seen)
+
+    def __repr__(self) -> str:
+        return f"DFA(|Q|={self.n_states}, |δ|={self.n_transitions}, |F|={len(self._accepting)})"
+
+
+def determinise(nfa: NFA) -> DFA:
+    """Subset construction: an equivalent DFA over reachable macro-states."""
+    initial = nfa.initial
+    macro_states: dict[frozenset[State], int] = {initial: 0}
+    order: list[frozenset[State]] = [initial]
+    delta: dict[tuple[State, str], State] = {}
+    index = 0
+    while index < len(order):
+        current = order[index]
+        current_id = macro_states[current]
+        for symbol in nfa.alphabet:
+            nxt = nfa.step(current, symbol)
+            if nxt not in macro_states:
+                macro_states[nxt] = len(order)
+                order.append(nxt)
+            delta[(current_id, symbol)] = macro_states[nxt]
+        index += 1
+    accepting = {
+        macro_states[macro] for macro in order if macro & nfa.accepting
+    }
+    return DFA(nfa.alphabet, set(macro_states.values()), delta, 0, accepting)
+
+
+def minimise(dfa: DFA) -> DFA:
+    """Return the minimal complete DFA of the same language.
+
+    Moore partition refinement on the reachable, completed automaton.
+    States of the result are integers ``0..k-1`` with ``0`` initial.
+    """
+    complete = dfa.completed().reachable()
+    states = sorted(complete.states, key=str)
+    # Initial partition: accepting vs non-accepting.
+    block_of: dict[State, int] = {
+        q: (1 if q in complete.accepting else 0) for q in states
+    }
+    symbols = complete.alphabet.symbols
+    n_blocks = len(set(block_of.values()))
+    while True:
+        signatures: dict[State, tuple] = {}
+        for q in states:
+            signatures[q] = (
+                block_of[q],
+                tuple(block_of[complete.successor(q, s)] for s in symbols),
+            )
+        distinct = sorted(set(signatures.values()), key=str)
+        renumber = {sig: i for i, sig in enumerate(distinct)}
+        block_of = {q: renumber[signatures[q]] for q in states}
+        # Moore refinement only splits blocks, so the partition is stable
+        # exactly when the block count stops growing.
+        if len(distinct) == n_blocks:
+            break
+        n_blocks = len(distinct)
+    # Canonical numbering: BFS from the initial block for determinism.
+    initial_block = block_of[complete.initial]
+    relabel: dict[int, int] = {initial_block: 0}
+    queue = [initial_block]
+    block_successor: dict[tuple[int, str], int] = {}
+    representative: dict[int, State] = {}
+    for q in states:
+        representative.setdefault(block_of[q], q)
+    while queue:
+        blk = queue.pop(0)
+        rep = representative[blk]
+        for s in symbols:
+            succ_blk = block_of[complete.successor(rep, s)]
+            block_successor[(blk, s)] = succ_blk
+            if succ_blk not in relabel:
+                relabel[succ_blk] = len(relabel)
+                queue.append(succ_blk)
+    delta = {
+        (relabel[blk], s): relabel[succ]
+        for (blk, s), succ in block_successor.items()
+        if blk in relabel
+    }
+    accepting = {
+        relabel[block_of[q]]
+        for q in states
+        if q in complete.accepting and block_of[q] in relabel
+    }
+    return DFA(complete.alphabet, set(relabel.values()), delta, 0, accepting)

@@ -1,0 +1,167 @@
+"""Nondeterministic finite automata (Theorem 1(2) substrate).
+
+The paper compares uCFG sizes against NFAs: ``L_n`` has an NFA of size
+``Θ(n)`` but no uCFG below ``2^Ω(n)``.  States are arbitrary hashable
+objects; the size measure reported for Theorem 1 is the number of states,
+and :attr:`NFA.n_transitions` is provided alongside because both measures
+are linear for the paper's automaton.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+
+from repro.errors import AutomatonError
+from repro.words.alphabet import Alphabet
+
+__all__ = ["NFA", "State"]
+
+#: An automaton state: any hashable object.
+State = Hashable
+
+
+class NFA:
+    """An NFA ``(Q, Σ, δ, I, F)`` without epsilon transitions.
+
+    ``transitions`` maps ``(state, symbol)`` to a set of successor states.
+    Multiple initial states are allowed (the usual convention in the
+    unambiguous-automata literature, e.g. [16] cited by the paper).
+
+    >>> from repro.words import AB
+    >>> nfa = NFA(AB, states={0, 1}, transitions={(0, "a"): {1}},
+    ...           initial={0}, accepting={1})
+    >>> nfa.accepts("a"), nfa.accepts("b")
+    (True, False)
+    """
+
+    __slots__ = ("_alphabet", "_states", "_delta", "_initial", "_accepting")
+
+    def __init__(
+        self,
+        alphabet: Alphabet | Iterable[str],
+        states: Iterable[State],
+        transitions: Mapping[tuple[State, str], Iterable[State]],
+        initial: Iterable[State],
+        accepting: Iterable[State],
+    ) -> None:
+        sigma = alphabet if isinstance(alphabet, Alphabet) else Alphabet(alphabet)
+        state_set = frozenset(states)
+        if not state_set:
+            raise AutomatonError("an automaton needs at least one state")
+        initial_set = frozenset(initial)
+        accepting_set = frozenset(accepting)
+        if not initial_set <= state_set:
+            raise AutomatonError(f"initial states {initial_set - state_set!r} undeclared")
+        if not accepting_set <= state_set:
+            raise AutomatonError(f"accepting states {accepting_set - state_set!r} undeclared")
+        delta: dict[tuple[State, str], frozenset[State]] = {}
+        for (src, sym), targets in transitions.items():
+            if src not in state_set:
+                raise AutomatonError(f"transition from undeclared state {src!r}")
+            if sym not in sigma:
+                raise AutomatonError(f"transition on undeclared symbol {sym!r}")
+            target_set = frozenset(targets)
+            if not target_set <= state_set:
+                raise AutomatonError(
+                    f"transition ({src!r}, {sym!r}) targets undeclared states "
+                    f"{target_set - state_set!r}"
+                )
+            if target_set:
+                delta[(src, sym)] = target_set
+        self._alphabet = sigma
+        self._states = state_set
+        self._delta = delta
+        self._initial = initial_set
+        self._accepting = accepting_set
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def alphabet(self) -> Alphabet:
+        return self._alphabet
+
+    @property
+    def states(self) -> frozenset[State]:
+        return self._states
+
+    @property
+    def initial(self) -> frozenset[State]:
+        return self._initial
+
+    @property
+    def accepting(self) -> frozenset[State]:
+        return self._accepting
+
+    @property
+    def n_states(self) -> int:
+        """The state count — the size measure used in Theorem 1(2)."""
+        return len(self._states)
+
+    @property
+    def n_transitions(self) -> int:
+        """The number of ``(state, symbol, state)`` transition triples."""
+        return sum(len(targets) for targets in self._delta.values())
+
+    def successors(self, state: State, symbol: str) -> frozenset[State]:
+        """``δ(state, symbol)`` (empty when undefined)."""
+        return self._delta.get((state, symbol), frozenset())
+
+    def transitions(self) -> Iterable[tuple[State, str, State]]:
+        """Yield all transition triples deterministically."""
+        for (src, sym), targets in sorted(self._delta.items(), key=lambda kv: (str(kv[0][0]), kv[0][1])):
+            for dst in sorted(targets, key=str):
+                yield src, sym, dst
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def step(self, states: frozenset[State], symbol: str) -> frozenset[State]:
+        """The successor macro-state of a set of states on one symbol."""
+        out: set[State] = set()
+        for state in states:
+            out |= self._delta.get((state, symbol), frozenset())
+        return frozenset(out)
+
+    def accepts(self, word: str) -> bool:
+        """Whether some run on ``word`` from an initial to an accepting state exists."""
+        current = self._initial
+        for symbol in word:
+            if symbol not in self._alphabet:
+                return False
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return bool(current & self._accepting)
+
+    def count_accepting_runs(self, word: str) -> int:
+        """The number of accepting runs on ``word`` — ≤ 1 iff unambiguous on it."""
+        weights: dict[State, int] = {q: 1 for q in self._initial}
+        for symbol in word:
+            if symbol not in self._alphabet:
+                return 0
+            nxt: dict[State, int] = {}
+            for state, weight in weights.items():
+                for succ in self._delta.get((state, symbol), frozenset()):
+                    nxt[succ] = nxt.get(succ, 0) + weight
+            weights = nxt
+        return sum(w for q, w in weights.items() if q in self._accepting)
+
+    def language_up_to(self, max_length: int) -> frozenset[str]:
+        """All accepted words of length ≤ ``max_length`` (breadth-first)."""
+        from repro.words.ops import all_words
+
+        accepted: set[str] = set()
+        for length in range(max_length + 1):
+            for word in all_words(self._alphabet, length):
+                if self.accepts(word):
+                    accepted.add(word)
+        return frozenset(accepted)
+
+    def __repr__(self) -> str:
+        return (
+            f"NFA(|Q|={self.n_states}, |δ|={self.n_transitions}, "
+            f"|I|={len(self._initial)}, |F|={len(self._accepting)})"
+        )

@@ -1,0 +1,210 @@
+"""Automata operations: products, equivalence, unambiguity, conversions.
+
+Includes the unambiguous-finite-automaton (UFA) test via the classical
+self-product criterion — the paper's introduction situates uCFG lower
+bounds next to the recent UFA lower-bound literature [16, 32], and the
+test lets the repository's examples contrast "the ``Θ(n)`` NFA for
+``L_n`` is ambiguous" with the uCFG statements.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.automata.dfa import DFA, determinise, minimise
+from repro.automata.nfa import NFA, State
+from repro.errors import AutomatonError
+from repro.grammars.cfg import CFG, NonTerminal, Rule
+from repro.words.alphabet import Alphabet
+
+__all__ = [
+    "product_dfa",
+    "intersect",
+    "union",
+    "equivalent",
+    "trim_nfa",
+    "is_unambiguous_nfa",
+    "nfa_to_right_linear_cfg",
+    "dfa_from_finite_language",
+    "minimal_dfa_of_finite_language",
+]
+
+
+def product_dfa(left: DFA, right: DFA, accept_both: bool) -> DFA:
+    """The synchronous product; accepting = AND (intersection) or OR (union)."""
+    if left.alphabet != right.alphabet:
+        raise AutomatonError("product requires identical alphabets")
+    a = left.completed()
+    b = right.completed()
+    initial = (a.initial, b.initial)
+    states: set[State] = {initial}
+    frontier = [initial]
+    delta: dict[tuple[State, str], State] = {}
+    while frontier:
+        p, q = frontier.pop()
+        for s in a.alphabet:
+            succ = (a.successor(p, s), b.successor(q, s))
+            delta[((p, q), s)] = succ
+            if succ not in states:
+                states.add(succ)
+                frontier.append(succ)
+    if accept_both:
+        accepting = {(p, q) for (p, q) in states if p in a.accepting and q in b.accepting}
+    else:
+        accepting = {(p, q) for (p, q) in states if p in a.accepting or q in b.accepting}
+    return DFA(a.alphabet, states, delta, initial, accepting)
+
+
+def intersect(left: DFA, right: DFA) -> DFA:
+    """DFA for ``L(left) ∩ L(right)``."""
+    return product_dfa(left, right, accept_both=True)
+
+
+def union(left: DFA, right: DFA) -> DFA:
+    """DFA for ``L(left) ∪ L(right)``."""
+    return product_dfa(left, right, accept_both=False)
+
+
+def equivalent(left: DFA, right: DFA) -> bool:
+    """Decide ``L(left) = L(right)`` via minimisation up to isomorphism.
+
+    Both minimal DFAs use the canonical BFS numbering of
+    :func:`~repro.automata.dfa.minimise`, so equality of languages reduces
+    to equality of the (state count, transitions, accepting set) triples.
+    """
+    ma, mb = minimise(left), minimise(right)
+    return (
+        ma.n_states == mb.n_states
+        and ma.transitions() == mb.transitions()
+        and ma.accepting == mb.accepting
+    )
+
+
+def trim_nfa(nfa: NFA) -> NFA:
+    """Restrict to states that are both accessible and co-accessible."""
+    accessible: set[State] = set(nfa.initial)
+    frontier = list(nfa.initial)
+    while frontier:
+        q = frontier.pop()
+        for s in nfa.alphabet:
+            for succ in nfa.successors(q, s):
+                if succ not in accessible:
+                    accessible.add(succ)
+                    frontier.append(succ)
+    predecessors: dict[State, set[State]] = {q: set() for q in nfa.states}
+    for src, _sym, dst in nfa.transitions():
+        predecessors[dst].add(src)
+    coaccessible: set[State] = set(nfa.accepting)
+    frontier = list(nfa.accepting)
+    while frontier:
+        q = frontier.pop()
+        for pred in predecessors[q]:
+            if pred not in coaccessible:
+                coaccessible.add(pred)
+                frontier.append(pred)
+    keep = accessible & coaccessible
+    if not keep:
+        # Empty language: a single dead state keeps the structure valid.
+        dead = next(iter(nfa.states))
+        return NFA(nfa.alphabet, {dead}, {}, {dead}, set())
+    transitions: dict[tuple[State, str], set[State]] = {}
+    for src, sym, dst in nfa.transitions():
+        if src in keep and dst in keep:
+            transitions.setdefault((src, sym), set()).add(dst)
+    return NFA(nfa.alphabet, keep, transitions, nfa.initial & keep, nfa.accepting & keep)
+
+
+def is_unambiguous_nfa(nfa: NFA) -> bool:
+    """Decide whether the NFA has at most one accepting run per word.
+
+    Classical criterion: trim the automaton, build its self-product
+    restricted to pairs reachable *by the same word* from (possibly
+    distinct) initial states and co-reachable to accepting pairs; the NFA
+    is ambiguous iff some off-diagonal pair survives.
+    """
+    trimmed = trim_nfa(nfa)
+    starts = {(p, q) for p in trimmed.initial for q in trimmed.initial}
+    reached: set[tuple[State, State]] = set(starts)
+    frontier = list(starts)
+    edges: dict[tuple[State, State], set[tuple[State, State]]] = {}
+    while frontier:
+        p, q = frontier.pop()
+        for s in trimmed.alphabet:
+            for ps in trimmed.successors(p, s):
+                for qs in trimmed.successors(q, s):
+                    pair = (ps, qs)
+                    edges.setdefault((p, q), set()).add(pair)
+                    if pair not in reached:
+                        reached.add(pair)
+                        frontier.append(pair)
+    # Co-accessibility in the pair graph to accepting×accepting.
+    reverse: dict[tuple[State, State], set[tuple[State, State]]] = {}
+    for src, dsts in edges.items():
+        for dst in dsts:
+            reverse.setdefault(dst, set()).add(src)
+    goal = {
+        (p, q)
+        for (p, q) in reached
+        if p in trimmed.accepting and q in trimmed.accepting
+    }
+    coaccessible: set[tuple[State, State]] = set(goal)
+    frontier = list(goal)
+    while frontier:
+        pair = frontier.pop()
+        for pred in reverse.get(pair, ()):
+            if pred not in coaccessible:
+                coaccessible.add(pred)
+                frontier.append(pred)
+    return all(p == q for (p, q) in reached & coaccessible)
+
+
+def nfa_to_right_linear_cfg(nfa: NFA) -> CFG:
+    """Convert an NFA into an equivalent right-linear CFG.
+
+    Non-terminals are ``("q", state)`` tuples plus a fresh start; rules
+    follow transitions (``q → σ q'``) and acceptance (``q → ε`` is avoided
+    by emitting ``q → σ`` for transitions into accepting states, plus a
+    start ε-rule only when the NFA accepts the empty word).  The CFG size
+    is linear in the transition count — the conversion behind the remark
+    that NFAs embed into CFGs without blow-up.
+    """
+    start: NonTerminal = ("q0",)
+    nts: list[NonTerminal] = [start]
+    rules: list[Rule] = []
+    for q in sorted(nfa.states, key=str):
+        nts.append(("q", q))
+    for src, sym, dst in nfa.transitions():
+        rules.append(Rule(("q", src), (sym, ("q", dst))))
+        if dst in nfa.accepting:
+            rules.append(Rule(("q", src), (sym,)))
+    for q in sorted(nfa.initial, key=str):
+        for rule in list(rules):
+            if rule.lhs == ("q", q):
+                rules.append(Rule(start, rule.rhs))
+    if nfa.initial & nfa.accepting:
+        rules.append(Rule(start, ()))
+    return CFG(nfa.alphabet, nts, rules, start)
+
+
+def dfa_from_finite_language(words: Iterable[str], alphabet: Alphabet) -> DFA:
+    """Build the trie-shaped (partial) DFA accepting exactly ``words``."""
+    word_list = sorted(set(words))
+    for word in word_list:
+        for ch in word:
+            if ch not in alphabet:
+                raise AutomatonError(f"word {word!r} uses symbol {ch!r} outside the alphabet")
+    states: set[State] = {""}
+    delta: dict[tuple[State, str], State] = {}
+    accepting: set[State] = set()
+    for word in word_list:
+        for i in range(len(word)):
+            prefix, longer = word[:i], word[: i + 1]
+            states.add(longer)
+            delta[(prefix, word[i])] = longer
+        accepting.add(word)
+    return DFA(alphabet, states, delta, "", accepting)
+
+
+def minimal_dfa_of_finite_language(words: Iterable[str], alphabet: Alphabet) -> DFA:
+    """The minimal complete DFA of a finite language (trie + minimise)."""
+    return minimise(dfa_from_finite_language(words, alphabet))

@@ -1,0 +1,181 @@
+"""Regular expressions with Thompson's construction.
+
+The paper writes languages in regex notation — ``L_n = (a+b)^k a
+(a+b)^{n-1} a (a+b)^{n-1-k}`` — and this module makes that notation a
+first-class object: a small AST (symbol, ε, union, concatenation, star,
+bounded repetition) compiled into an ε-free NFA by Thompson's
+construction followed by ε-closure elimination.  The match language of
+Theorem 1(2) is literally ``any() + sym('a') + any()**(n-1) + sym('a') +
+any()`` here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.nfa import NFA
+from repro.errors import AutomatonError
+from repro.words.alphabet import Alphabet
+
+__all__ = ["Regex", "sym", "epsilon", "union", "concat", "star", "repeat", "any_symbol", "compile_regex"]
+
+
+@dataclass(frozen=True, slots=True)
+class Regex:
+    """A regular-expression AST node.
+
+    ``kind`` ∈ {"sym", "eps", "union", "concat", "star"};
+    ``payload`` is the symbol for "sym", the child tuple otherwise.
+    Operators: ``|`` for union, ``+`` for concatenation, ``**k`` for
+    k-fold repetition, ``.star()`` for Kleene star.
+    """
+
+    kind: str
+    payload: tuple["Regex", ...] | str
+
+    def __or__(self, other: "Regex") -> "Regex":
+        return union(self, other)
+
+    def __add__(self, other: "Regex") -> "Regex":
+        return concat(self, other)
+
+    def __pow__(self, times: int) -> "Regex":
+        return repeat(self, times)
+
+    def star(self) -> "Regex":
+        return Regex("star", (self,))
+
+
+def sym(symbol: str) -> Regex:
+    """A single-symbol expression."""
+    if len(symbol) != 1:
+        raise AutomatonError(f"sym needs a single character, got {symbol!r}")
+    return Regex("sym", symbol)
+
+
+def epsilon() -> Regex:
+    """The empty-word expression."""
+    return Regex("eps", ())
+
+
+def union(*parts: Regex) -> Regex:
+    """The union of one or more expressions."""
+    if not parts:
+        raise AutomatonError("union needs at least one operand")
+    if len(parts) == 1:
+        return parts[0]
+    return Regex("union", tuple(parts))
+
+
+def concat(*parts: Regex) -> Regex:
+    """The concatenation of one or more expressions."""
+    if not parts:
+        return epsilon()
+    if len(parts) == 1:
+        return parts[0]
+    return Regex("concat", tuple(parts))
+
+
+def star(expression: Regex) -> Regex:
+    """The Kleene star."""
+    return Regex("star", (expression,))
+
+
+def repeat(expression: Regex, times: int) -> Regex:
+    """``expression`` concatenated ``times`` times (0 ⇒ ε)."""
+    if times < 0:
+        raise AutomatonError(f"repeat needs times >= 0, got {times}")
+    if times == 0:
+        return epsilon()
+    return concat(*([expression] * times))
+
+
+def any_symbol(alphabet: Alphabet | str) -> Regex:
+    """``Σ`` as a union over the alphabet — the paper's ``(a+b)``."""
+    sigma = alphabet if isinstance(alphabet, Alphabet) else Alphabet(alphabet)
+    return union(*(sym(s) for s in sigma))
+
+
+def compile_regex(expression: Regex, alphabet: Alphabet | str) -> NFA:
+    """Compile to an ε-free NFA (Thompson construction + ε-elimination).
+
+    >>> from repro.words.alphabet import AB
+    >>> nfa = compile_regex((sym("a") | sym("b")) + sym("a").star(), AB)
+    >>> nfa.accepts("baaa"), nfa.accepts(""), nfa.accepts("ab")
+    (True, False, False)
+    """
+    sigma = alphabet if isinstance(alphabet, Alphabet) else Alphabet(alphabet)
+
+    # Thompson fragments over ε-NFA: states are integers; transitions are
+    # (src, symbol-or-None, dst) triples with a single start/accept each.
+    counter = 0
+    triples: list[tuple[int, str | None, int]] = []
+
+    def fresh() -> int:
+        nonlocal counter
+        counter += 1
+        return counter - 1
+
+    def build(node: Regex) -> tuple[int, int]:
+        start, accept = fresh(), fresh()
+        if node.kind == "sym":
+            assert isinstance(node.payload, str)
+            if node.payload not in sigma:
+                raise AutomatonError(f"symbol {node.payload!r} outside the alphabet")
+            triples.append((start, node.payload, accept))
+        elif node.kind == "eps":
+            triples.append((start, None, accept))
+        elif node.kind == "union":
+            assert isinstance(node.payload, tuple)
+            for child in node.payload:
+                c_start, c_accept = build(child)
+                triples.append((start, None, c_start))
+                triples.append((c_accept, None, accept))
+        elif node.kind == "concat":
+            assert isinstance(node.payload, tuple)
+            previous = start
+            for child in node.payload:
+                c_start, c_accept = build(child)
+                triples.append((previous, None, c_start))
+                previous = c_accept
+            triples.append((previous, None, accept))
+        elif node.kind == "star":
+            assert isinstance(node.payload, tuple)
+            (child,) = node.payload
+            c_start, c_accept = build(child)
+            triples.append((start, None, accept))
+            triples.append((start, None, c_start))
+            triples.append((c_accept, None, c_start))
+            triples.append((c_accept, None, accept))
+        else:  # pragma: no cover - the constructors exhaust the kinds
+            raise AutomatonError(f"unknown regex kind {node.kind!r}")
+        return start, accept
+
+    root_start, root_accept = build(expression)
+
+    # ε-closure elimination.
+    eps_successors: dict[int, set[int]] = {}
+    for src, symbol, dst in triples:
+        if symbol is None:
+            eps_successors.setdefault(src, set()).add(dst)
+
+    def closure(state: int) -> frozenset[int]:
+        seen = {state}
+        frontier = [state]
+        while frontier:
+            current = frontier.pop()
+            for nxt in eps_successors.get(current, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return frozenset(seen)
+
+    states = set(range(counter))
+    transitions: dict[tuple[int, str], set[int]] = {}
+    for state in states:
+        for member in closure(state):
+            for src, symbol, dst in triples:
+                if src == member and symbol is not None:
+                    transitions.setdefault((state, symbol), set()).add(dst)
+    accepting = {state for state in states if root_accept in closure(state)}
+    return NFA(sigma, states, transitions, {root_start}, accepting)

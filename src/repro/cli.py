@@ -1,0 +1,214 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A thin front end over the library for quick exploration::
+
+    python -m repro sizes --max-exp 10       # the Theorem 1 size table
+    python -m repro certificate 1024         # the Theorem 12 certificate
+    python -m repro grammar 12               # print the Θ(log n) grammar
+    python -m repro cover 3                  # Proposition 7 on the uCFG
+    python -m repro lemma18 3                # exhaustive Lemma 18 check
+    python -m repro member babaab 3          # membership in L_n
+    python -m repro zoo --max-n 4            # the representation zoo
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from collections.abc import Sequence
+
+from repro.core.cover import balanced_rectangle_cover
+from repro.core.discrepancy import verify_lemma18
+from repro.core.lower_bound import certificate
+from repro.languages.ln import is_in_ln, match_positions
+from repro.languages.nfa_ln import ln_match_nfa
+from repro.languages.small_grammar import small_ln_grammar
+from repro.languages.unambiguous_grammar import example4_size, example4_ucfg
+from repro.util.tables import Table, format_int
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_sizes(args: argparse.Namespace) -> int:
+    table = Table(
+        ["n", "CFG size", "CFG/log2(n)", "NFA states", "uCFG constr.", "uCFG lower bd"],
+        title="Theorem 1: representation sizes for L_n",
+    )
+    for exponent in range(2, args.max_exp + 1):
+        n = 2**exponent
+        cfg_size = small_ln_grammar(n).size
+        cert = certificate(n)
+        table.add_row(
+            [
+                n,
+                cfg_size,
+                f"{cfg_size / math.log2(n):.1f}",
+                ln_match_nfa(n).n_states,
+                format_int(example4_size(n)),
+                format_int(cert.ucfg_bound),
+            ]
+        )
+    table.print()
+    return 0
+
+
+def _cmd_certificate(args: argparse.Namespace) -> int:
+    cert = certificate(args.n)
+    cert.verify()
+    if args.json:
+        import json
+
+        print(json.dumps(cert.to_dict(), indent=2, default=str))
+        return 0
+    print(f"Lower-bound certificate for L_{args.n} (m = {cert.m}):")
+    print(f"  |𝓛|            = {format_int(cert.size_script_l)}")
+    print(f"  |A|            = {format_int(cert.size_a)}")
+    print(f"  |B|            = {format_int(cert.size_b)}")
+    print(f"  |B \\ L_n|      = {format_int(cert.size_b_minus_ln)}")
+    print(f"  margin         = {format_int(cert.margin)}")
+    print(f"  margin > 2^(7m/2): {cert.lemma18_threshold_holds}")
+    print(f"  fixed-partition cover bound : {format_int(cert.fixed_partition_bound)}")
+    print(f"  multipartition cover bound  : {format_int(cert.cover_bound)}")
+    print(f"  uCFG size bound (CNF)       : {format_int(cert.ucfg_cnf_bound)}")
+    print(f"  uCFG size bound (any form)  : {format_int(cert.ucfg_bound)}")
+    return 0
+
+
+def _cmd_grammar(args: argparse.Namespace) -> int:
+    grammar = small_ln_grammar(args.n)
+    print(f"# Appendix A grammar for L_{args.n}  (size {grammar.size})")
+    print(grammar.pretty())
+    return 0
+
+
+def _cmd_cover(args: argparse.Namespace) -> int:
+    if args.n > 4:
+        print("cover: n > 4 is infeasible (the uCFG explodes); use n <= 4", file=sys.stderr)
+        return 2
+    grammar = example4_ucfg(args.n)
+    cover = balanced_rectangle_cover(grammar)
+    print(
+        f"Proposition 7 on the Example 4 uCFG for L_{args.n}: "
+        f"{cover.n_rectangles} rectangles (bound {cover.proposition7_bound}), "
+        f"disjoint: {cover.disjoint}"
+    )
+    table = Table(["nonterminal", "n1/n2/n3", "|L1|", "|L2|", "words"])
+    for step in cover.steps:
+        rect = step.rectangle
+        table.add_row(
+            [
+                str(step.nonterminal),
+                f"{rect.n1}/{rect.n2}/{rect.n3}",
+                len(rect.outer),
+                len(rect.inner),
+                rect.n_words,
+            ]
+        )
+    table.print()
+    return 0
+
+
+def _cmd_lemma18(args: argparse.Namespace) -> int:
+    if args.m > 5:
+        print("lemma18: m > 5 enumerates over 16^m members; use m <= 5", file=sys.stderr)
+        return 2
+    results = verify_lemma18(args.m)
+    print(f"Lemma 18 for m = {args.m} (n = {4 * args.m}), all exhaustively verified:")
+    for name, (enumerated, formula) in results.items():
+        print(f"  {name:12s} = {enumerated} (formula {formula})")
+    return 0
+
+
+def _cmd_zoo(args: argparse.Namespace) -> int:
+    from repro.grammars.disambiguate import disambiguate
+    from repro.languages.dfa_ln import ln_minimal_dfa
+    from repro.languages.ln import count_ln
+    from repro.languages.nfa_ln import ln_nfa_exact
+
+    table = Table(
+        ["n", "|L_n|", "CFG", "NFA", "exact NFA", "min DFA", "uCFG"],
+        title="Exact sizes of every representation of L_n",
+    )
+    top = min(max(args.max_n, 2), 5)
+    for n in range(2, top + 1):
+        grammar = small_ln_grammar(n)
+        ucfg, _ = disambiguate(grammar, verify=False)
+        table.add_row(
+            [
+                n,
+                count_ln(n),
+                grammar.size,
+                ln_match_nfa(n).n_states,
+                ln_nfa_exact(n).n_states,
+                ln_minimal_dfa(n).n_states,
+                ucfg.size,
+            ]
+        )
+    table.print()
+    return 0
+
+
+def _cmd_member(args: argparse.Namespace) -> int:
+    word, n = args.word, args.n
+    if len(word) != 2 * n:
+        print(f"member: word has length {len(word)}, L_{n} needs {2 * n}", file=sys.stderr)
+        return 2
+    member = is_in_ln(word, n)
+    print(f"{word!r} ∈ L_{n}: {member}")
+    if member:
+        positions = match_positions(word, n)
+        print(f"matching positions (0-based k with w[k] = w[k+n] = 'a'): {positions}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Explore the uCFG lower-bound reproduction from the command line.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sizes = sub.add_parser("sizes", help="the Theorem 1 size table")
+    sizes.add_argument("--max-exp", type=int, default=10, help="largest n = 2^k (default 10)")
+    sizes.set_defaults(func=_cmd_sizes)
+
+    cert = sub.add_parser("certificate", help="the Theorem 12 certificate for one n")
+    cert.add_argument("n", type=int)
+    cert.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    cert.set_defaults(func=_cmd_certificate)
+
+    grammar = sub.add_parser("grammar", help="print the Θ(log n) CFG for L_n")
+    grammar.add_argument("n", type=int)
+    grammar.set_defaults(func=_cmd_grammar)
+
+    cover = sub.add_parser("cover", help="run Proposition 7 on the Example 4 uCFG")
+    cover.add_argument("n", type=int)
+    cover.set_defaults(func=_cmd_cover)
+
+    lemma = sub.add_parser("lemma18", help="exhaustively verify Lemma 18 for one m")
+    lemma.add_argument("m", type=int)
+    lemma.set_defaults(func=_cmd_lemma18)
+
+    zoo = sub.add_parser("zoo", help="every representation of L_n, exact sizes")
+    zoo.add_argument("--max-n", type=int, default=4, help="largest n (2..5)")
+    zoo.set_defaults(func=_cmd_zoo)
+
+    member = sub.add_parser("member", help="test membership of a word in L_n")
+    member.add_argument("word")
+    member.add_argument("n", type=int)
+    member.set_defaults(func=_cmd_member)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

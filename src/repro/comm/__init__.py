@@ -1,0 +1,72 @@
+"""Classical (fixed-partition) communication complexity substrate.
+
+Communication matrices, the exact rank bound over ℚ/GF(2) (the textbook
+proof route for Theorem 17), fooling sets, and exact/greedy disjoint
+rectangle covers for tiny instances.  The multi-partition setting the
+paper actually needs (per-rectangle partitions) lives in
+:mod:`repro.core`; this package is the baseline it generalises.
+"""
+
+from repro.comm.covers import (
+    Rect,
+    greedy_disjoint_cover,
+    maximal_rectangles_at,
+    minimum_disjoint_cover,
+    rect_cells,
+    verify_disjoint_cover,
+)
+from repro.comm.fooling import fooling_set_bound, greedy_fooling_set, is_fooling_set
+from repro.comm.matrix import (
+    CommMatrix,
+    disjointness_matrix,
+    equality_matrix,
+    intersection_matrix,
+    matrix_from_function,
+)
+from repro.comm.nondeterministic import (
+    element_cover_for_intersection,
+    greedy_overlapping_cover,
+    nondeterministic_cc,
+    verify_overlapping_cover,
+)
+from repro.comm.protocols import (
+    Leaf,
+    Node,
+    Protocol,
+    balanced_partition_protocol,
+    protocol_for_equality,
+)
+from repro.comm.rank import (
+    rank_lower_bound_for_disjoint_cover,
+    rank_over_gf2,
+    rank_over_q,
+)
+
+__all__ = [
+    "CommMatrix",
+    "matrix_from_function",
+    "intersection_matrix",
+    "disjointness_matrix",
+    "equality_matrix",
+    "rank_over_q",
+    "rank_over_gf2",
+    "rank_lower_bound_for_disjoint_cover",
+    "is_fooling_set",
+    "greedy_fooling_set",
+    "fooling_set_bound",
+    "Rect",
+    "rect_cells",
+    "maximal_rectangles_at",
+    "greedy_disjoint_cover",
+    "minimum_disjoint_cover",
+    "verify_disjoint_cover",
+    "Protocol",
+    "Node",
+    "Leaf",
+    "protocol_for_equality",
+    "balanced_partition_protocol",
+    "element_cover_for_intersection",
+    "greedy_overlapping_cover",
+    "verify_overlapping_cover",
+    "nondeterministic_cc",
+]

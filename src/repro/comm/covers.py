@@ -1,0 +1,175 @@
+"""Exact and greedy rectangle covers of the 1-entries of a matrix.
+
+The *partition number* (minimum number of pairwise disjoint all-ones
+rectangles covering all 1-entries) is the fixed-partition analogue of the
+quantity Proposition 16 bounds for ``L_n``.  Exact computation is
+NP-hard, so :func:`minimum_disjoint_cover` is a branch-and-bound search
+for genuinely tiny matrices (used in benchmark E8 for ``p ≤ 2``); the
+greedy variant scales further and upper-bounds the truth.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.comm.matrix import CommMatrix
+from repro.comm.rank import rank_over_q
+
+__all__ = [
+    "Rect",
+    "rect_cells",
+    "maximal_rectangles_at",
+    "greedy_disjoint_cover",
+    "minimum_disjoint_cover",
+    "verify_disjoint_cover",
+]
+
+#: A rectangle as (row-index frozenset, column-index frozenset).
+Rect = tuple[frozenset[int], frozenset[int]]
+
+
+def rect_cells(rect: Rect) -> frozenset[tuple[int, int]]:
+    """All cells of a rectangle."""
+    rows, cols = rect
+    return frozenset((i, j) for i in rows for j in cols)
+
+
+def _grow_rectangle(matrix: CommMatrix, seed: tuple[int, int], allowed: frozenset[tuple[int, int]], column_first: bool) -> Rect:
+    """Grow a maximal all-ones rectangle around ``seed`` within ``allowed``."""
+    i0, j0 = seed
+    n_rows, n_cols = matrix.shape
+
+    def row_ok(i: int, cols: Iterable[int]) -> bool:
+        return all(matrix[i, j] == 1 and (i, j) in allowed for j in cols)
+
+    def col_ok(j: int, rows: Iterable[int]) -> bool:
+        return all(matrix[i, j] == 1 and (i, j) in allowed for i in rows)
+
+    rows = {i0}
+    cols = {j0}
+    if column_first:
+        cols |= {j for j in range(n_cols) if j != j0 and col_ok(j, rows)}
+        rows |= {i for i in range(n_rows) if i != i0 and row_ok(i, cols)}
+    else:
+        rows |= {i for i in range(n_rows) if i != i0 and row_ok(i, cols)}
+        cols |= {j for j in range(n_cols) if j != j0 and col_ok(j, rows)}
+    return frozenset(rows), frozenset(cols)
+
+
+def maximal_rectangles_at(
+    matrix: CommMatrix,
+    seed: tuple[int, int],
+    allowed: frozenset[tuple[int, int]],
+) -> list[Rect]:
+    """All inclusion-maximal all-ones rectangles through ``seed``.
+
+    Enumerated by choosing each subset of compatible columns' closure —
+    exponential in the worst case, so callers cap the matrix size.  The
+    enumeration works column-set-first: every maximal rectangle is the
+    closure of its column set, and its column set is a subset of the
+    columns compatible with the seed row.
+    """
+    i0, j0 = seed
+    n_rows, n_cols = matrix.shape
+    candidate_cols = [
+        j
+        for j in range(n_cols)
+        if matrix[i0, j] == 1 and (i0, j) in allowed
+    ]
+    seen: set[Rect] = set()
+    results: list[Rect] = []
+    for mask in range(1 << len(candidate_cols)):
+        cols = {j0} | {
+            candidate_cols[b] for b in range(len(candidate_cols)) if mask >> b & 1
+        }
+        rows = frozenset(
+            i
+            for i in range(n_rows)
+            if all(matrix[i, j] == 1 and (i, j) in allowed for j in cols)
+        )
+        if not rows:
+            continue
+        # Close the columns against the rows for maximality.
+        closed_cols = frozenset(
+            j
+            for j in range(n_cols)
+            if all(matrix[i, j] == 1 and (i, j) in allowed for i in rows)
+        )
+        rect = (rows, closed_cols)
+        if rect not in seen:
+            seen.add(rect)
+            results.append(rect)
+    return results
+
+
+def greedy_disjoint_cover(matrix: CommMatrix) -> list[Rect]:
+    """A disjoint cover of the 1s by repeatedly growing maximal rectangles.
+
+    Upper-bounds the partition number; exactness is not claimed.
+    """
+    uncovered = set(matrix.ones())
+    cover: list[Rect] = []
+    while uncovered:
+        seed = min(uncovered)
+        allowed = frozenset(uncovered)
+        best = max(
+            (
+                _grow_rectangle(matrix, seed, allowed, column_first)
+                for column_first in (False, True)
+            ),
+            key=lambda r: len(r[0]) * len(r[1]),
+        )
+        cover.append(best)
+        uncovered -= rect_cells(best)
+    return cover
+
+
+def minimum_disjoint_cover(matrix: CommMatrix, node_budget: int = 2_000_000) -> list[Rect]:
+    """Exact minimum disjoint rectangle cover of the 1-entries.
+
+    Branch and bound: branch on the smallest uncovered 1-entry over all
+    maximal rectangles containing it (restricted to uncovered cells —
+    disjointness makes this restriction sound), pruned by the greedy
+    upper bound and the depth.  ``node_budget`` caps the search; the
+    budget is generous for the ``p ≤ 2`` matrices the benchmarks use and
+    a ``RuntimeError`` signals exhaustion rather than a wrong answer.
+    """
+    ones = frozenset(matrix.ones())
+    if not ones:
+        return []
+    best_cover = greedy_disjoint_cover(matrix)
+    nodes = 0
+
+    def search(uncovered: frozenset[tuple[int, int]], chosen: list[Rect]) -> None:
+        nonlocal best_cover, nodes
+        nodes += 1
+        if nodes > node_budget:
+            raise RuntimeError("minimum_disjoint_cover: node budget exhausted")
+        if not uncovered:
+            if len(chosen) < len(best_cover):
+                best_cover = list(chosen)
+            return
+        if len(chosen) + 1 >= len(best_cover):
+            return
+        seed = min(uncovered)
+        for rect in maximal_rectangles_at(matrix, seed, uncovered):
+            chosen.append(rect)
+            search(uncovered - rect_cells(rect), chosen)
+            chosen.pop()
+
+    search(ones, [])
+    return best_cover
+
+
+def verify_disjoint_cover(matrix: CommMatrix, cover: Iterable[Rect]) -> bool:
+    """Check a claimed disjoint cover: all-ones blocks, disjoint, exhaustive."""
+    remaining = set(matrix.ones())
+    for rect in cover:
+        cells = rect_cells(rect)
+        for i, j in cells:
+            if matrix[i, j] != 1:
+                return False
+        if not cells <= remaining:
+            return False  # overlap or stray cell
+        remaining -= cells
+    return not remaining

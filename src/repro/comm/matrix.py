@@ -1,0 +1,136 @@
+"""Communication matrices (the classical, fixed-partition setting).
+
+Section 3 of the paper situates its rectangle bound next to standard
+communication complexity: Theorem 17 "is an immediate consequence of the
+so-called rank bound pioneered in [Mehlhorn & Schmidt 1982]".  This module
+provides the classical objects — the 0/1 matrix of a two-party function,
+combinatorial rectangles as row-set × column-set blocks, and the concrete
+set-(non)disjointness matrices the paper's ``L_n`` corresponds to.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable, Sequence
+
+from repro.util.combinatorics import iter_subsets
+
+__all__ = [
+    "CommMatrix",
+    "matrix_from_function",
+    "intersection_matrix",
+    "disjointness_matrix",
+    "equality_matrix",
+]
+
+
+class CommMatrix:
+    """The 0/1 matrix of a function ``f : X × Y → {0, 1}``.
+
+    Rows and columns carry explicit labels so rectangles and fooling sets
+    can be reported in terms of the original inputs.
+    """
+
+    __slots__ = ("row_labels", "col_labels", "entries")
+
+    def __init__(
+        self,
+        row_labels: Sequence[Hashable],
+        col_labels: Sequence[Hashable],
+        entries: Sequence[Sequence[int]],
+    ) -> None:
+        rows = [list(r) for r in entries]
+        if len(rows) != len(row_labels):
+            raise ValueError(f"{len(rows)} entry rows but {len(row_labels)} row labels")
+        for r in rows:
+            if len(r) != len(col_labels):
+                raise ValueError("ragged entry rows")
+            for v in r:
+                if v not in (0, 1):
+                    raise ValueError(f"entries must be 0/1, got {v!r}")
+        self.row_labels = list(row_labels)
+        self.col_labels = list(col_labels)
+        self.entries = rows
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return len(self.row_labels), len(self.col_labels)
+
+    def __getitem__(self, index: tuple[int, int]) -> int:
+        i, j = index
+        return self.entries[i][j]
+
+    def ones(self) -> list[tuple[int, int]]:
+        """Index pairs of all 1-entries."""
+        return [
+            (i, j)
+            for i, row in enumerate(self.entries)
+            for j, v in enumerate(row)
+            if v
+        ]
+
+    def count_ones(self) -> int:
+        return sum(sum(row) for row in self.entries)
+
+    def is_monochromatic_rectangle(self, rows: Iterable[int], cols: Iterable[int]) -> bool:
+        """Whether the block ``rows × cols`` is constant."""
+        row_list, col_list = list(rows), list(cols)
+        if not row_list or not col_list:
+            return True
+        first = self.entries[row_list[0]][col_list[0]]
+        return all(self.entries[i][j] == first for i in row_list for j in col_list)
+
+    def transpose(self) -> "CommMatrix":
+        rows, cols = self.shape
+        return CommMatrix(
+            self.col_labels,
+            self.row_labels,
+            [[self.entries[i][j] for i in range(rows)] for j in range(cols)],
+        )
+
+    def __repr__(self) -> str:
+        rows, cols = self.shape
+        return f"CommMatrix({rows}x{cols}, ones={self.count_ones()})"
+
+
+def matrix_from_function(
+    xs: Sequence[Hashable],
+    ys: Sequence[Hashable],
+    f: Callable[[Hashable, Hashable], bool],
+) -> CommMatrix:
+    """Materialise the communication matrix of ``f`` on ``xs × ys``.
+
+    >>> m = matrix_from_function([0, 1], [0, 1], lambda x, y: x == y)
+    >>> m.entries
+    [[1, 0], [0, 1]]
+    """
+    entries = [[1 if f(x, y) else 0 for y in ys] for x in xs]
+    return CommMatrix(xs, ys, entries)
+
+
+def _subsets(p: int) -> list[frozenset[int]]:
+    return sorted(iter_subsets(range(1, p + 1)), key=lambda s: (len(s), sorted(s)))
+
+
+def intersection_matrix(p: int) -> CommMatrix:
+    """The matrix of INTERSECT ``(X, Y) ↦ [X ∩ Y ≠ ∅]`` over ``𝒫([p])²``.
+
+    This is the set-theoretic heart of ``L_n`` (Section 4.1): "``L_n``
+    consists of intersecting pairs of sets, so ``L_n`` is essentially the
+    complement of the famous set disjointness problem".  Its rank over ℚ
+    is ``2^p - 1``, which the rank bound turns into a ``2^Ω(p)`` bound on
+    disjoint covers.
+    """
+    subs = _subsets(p)
+    return matrix_from_function(subs, subs, lambda x, y: bool(x & y))
+
+
+def disjointness_matrix(p: int) -> CommMatrix:
+    """The matrix of DISJ ``(X, Y) ↦ [X ∩ Y = ∅]`` over ``𝒫([p])²``."""
+    subs = _subsets(p)
+    return matrix_from_function(subs, subs, lambda x, y: not (x & y))
+
+
+def equality_matrix(p: int) -> CommMatrix:
+    """The matrix of EQ over ``𝒫([p])²`` — the identity, rank ``2^p``."""
+    subs = _subsets(p)
+    return matrix_from_function(subs, subs, lambda x, y: x == y)

@@ -1,0 +1,206 @@
+"""Deterministic communication protocols as trees.
+
+The textbook object behind Section 3's rectangles: a deterministic
+protocol for ``f : X × Y → {0,1}`` is a binary tree whose inner nodes are
+owned by Alice (split on a subset of ``X``) or Bob (split on a subset of
+``Y``); every leaf induces a combinatorial rectangle on which the
+protocol's output is constant, so a ``c``-bit protocol yields a partition
+of the matrix into at most ``2^c`` monochromatic rectangles — the
+classical source of the "rectangles ⇒ lower bounds" method the paper
+adapts to grammars.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Sequence
+from dataclasses import dataclass
+
+from repro.comm.matrix import CommMatrix
+
+__all__ = ["Leaf", "Node", "Protocol", "balanced_partition_protocol", "protocol_for_equality"]
+
+
+@dataclass(frozen=True, slots=True)
+class Leaf:
+    """A protocol leaf announcing the output bit."""
+
+    output: int
+
+
+@dataclass(frozen=True, slots=True)
+class Node:
+    """An inner node: ``owner`` ∈ {"alice", "bob"} sends one bit.
+
+    ``predicate`` maps the owner's input to the bit sent; 0 descends into
+    ``zero``, 1 into ``one``.
+    """
+
+    owner: str
+    predicate: Callable[[Hashable], int]
+    zero: "Node | Leaf"
+    one: "Node | Leaf"
+
+    def __post_init__(self) -> None:
+        if self.owner not in ("alice", "bob"):
+            raise ValueError(f"owner must be 'alice' or 'bob', got {self.owner!r}")
+
+
+class Protocol:
+    """A deterministic protocol over explicit input universes.
+
+    >>> root = Node("alice", lambda x: x % 2, Leaf(0), Leaf(1))
+    >>> p = Protocol(root, xs=[0, 1], ys=[0])
+    >>> p.evaluate(1, 0)
+    1
+    """
+
+    def __init__(self, root: Node | Leaf, xs: Sequence[Hashable], ys: Sequence[Hashable]) -> None:
+        self.root = root
+        self.xs = list(xs)
+        self.ys = list(ys)
+
+    def evaluate(self, x: Hashable, y: Hashable) -> int:
+        """Run the protocol on one input pair."""
+        node: Node | Leaf = self.root
+        while isinstance(node, Node):
+            bit = node.predicate(x if node.owner == "alice" else y)
+            if bit not in (0, 1):
+                raise ValueError(f"predicate returned {bit!r}, expected a bit")
+            node = node.one if bit else node.zero
+        return node.output
+
+    @property
+    def depth(self) -> int:
+        """The communication cost: the longest root-leaf path in bits."""
+
+        def rec(node: Node | Leaf) -> int:
+            if isinstance(node, Leaf):
+                return 0
+            return 1 + max(rec(node.zero), rec(node.one))
+
+        return rec(self.root)
+
+    @property
+    def n_leaves(self) -> int:
+        def rec(node: Node | Leaf) -> int:
+            if isinstance(node, Leaf):
+                return 1
+            return rec(node.zero) + rec(node.one)
+
+        return rec(self.root)
+
+    def computes(self, f: Callable[[Hashable, Hashable], bool]) -> bool:
+        """Exhaustively check correctness against ``f``."""
+        return all(
+            self.evaluate(x, y) == (1 if f(x, y) else 0)
+            for x in self.xs
+            for y in self.ys
+        )
+
+    def leaf_rectangles(self) -> list[tuple[frozenset, frozenset, int]]:
+        """The rectangle partition induced by the leaves.
+
+        Returns ``(X-part, Y-part, output)`` triples; the parts over all
+        leaves partition ``X × Y`` (checked by tests), and each part is
+        monochromatic whenever the protocol is correct.
+        """
+        results: list[tuple[frozenset, frozenset, int]] = []
+
+        def rec(node: Node | Leaf, xs: frozenset, ys: frozenset) -> None:
+            if isinstance(node, Leaf):
+                results.append((xs, ys, node.output))
+                return
+            if node.owner == "alice":
+                ones = frozenset(x for x in xs if node.predicate(x))
+                rec(node.zero, xs - ones, ys)
+                rec(node.one, ones, ys)
+            else:
+                ones = frozenset(y for y in ys if node.predicate(y))
+                rec(node.zero, xs, ys - ones)
+                rec(node.one, xs, ones)
+
+        rec(self.root, frozenset(self.xs), frozenset(self.ys))
+        return results
+
+    def induced_partition_is_valid(self, matrix: CommMatrix) -> bool:
+        """Check the leaf rectangles partition the matrix monochromatically."""
+        x_index = {x: i for i, x in enumerate(matrix.row_labels)}
+        y_index = {y: j for j, y in enumerate(matrix.col_labels)}
+        covered: set[tuple[int, int]] = set()
+        for xs, ys, output in self.leaf_rectangles():
+            for x in xs:
+                for y in ys:
+                    cell = (x_index[x], y_index[y])
+                    if cell in covered:
+                        return False
+                    covered.add(cell)
+                    if matrix[cell] != output:
+                        return False
+        total = len(matrix.row_labels) * len(matrix.col_labels)
+        return len(covered) == total
+
+
+def protocol_for_equality(bits: int) -> Protocol:
+    """The trivial ``2·bits``-bit protocol for EQ on ``bits``-bit strings.
+
+    Alice announces her input bit by bit; Bob announces the verdict.
+    Cost ``bits + 1`` — and the fooling-set bound shows ``bits`` is
+    necessary, so this is optimal up to one bit.
+    """
+    if bits < 1:
+        raise ValueError(f"need bits >= 1, got {bits}")
+    universe = list(range(1 << bits))
+
+    def build(prefix_fixed: int, position: int) -> Node | Leaf:
+        if position == bits:
+            # Bob announces whether his input equals Alice's announced one.
+            return Node(
+                "bob",
+                lambda y, fixed=prefix_fixed: 1 if y == fixed else 0,
+                Leaf(0),
+                Leaf(1),
+            )
+        return Node(
+            "alice",
+            lambda x, pos=position: (x >> pos) & 1,
+            build(prefix_fixed, position + 1),
+            build(prefix_fixed | (1 << position), position + 1),
+        )
+
+    return Protocol(build(0, 0), universe, universe)
+
+
+def balanced_partition_protocol(
+    xs: Sequence[Hashable],
+    ys: Sequence[Hashable],
+    f: Callable[[Hashable, Hashable], bool],
+) -> Protocol:
+    """The trivial protocol: Alice sends her whole input (``⌈log|X|⌉`` bits).
+
+    Always correct; its leaf count ``2^⌈log|X|⌉ · 2`` upper-bounds the
+    partition number of the matrix — the baseline every lower bound is
+    measured against.
+    """
+    indexed = list(xs)
+    bits = max(1, (len(indexed) - 1).bit_length())
+    x_rank = {x: i for i, x in enumerate(indexed)}
+
+    def build(prefix_fixed: int, position: int) -> Node | Leaf:
+        if position == bits:
+            if prefix_fixed >= len(indexed):
+                return Leaf(0)
+            x_value = indexed[prefix_fixed]
+            return Node(
+                "bob",
+                lambda y, xv=x_value: 1 if f(xv, y) else 0,
+                Leaf(0),
+                Leaf(1),
+            )
+        return Node(
+            "alice",
+            lambda x, pos=position: (x_rank[x] >> pos) & 1,
+            build(prefix_fixed, position + 1),
+            build(prefix_fixed | (1 << position), position + 1),
+        )
+
+    return Protocol(build(0, 0), indexed, list(ys))

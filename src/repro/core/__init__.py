@@ -1,0 +1,151 @@
+"""The paper's primary contribution (Sections 3–4).
+
+* :mod:`~repro.core.rectangles` — word-view rectangles (Definition 5);
+* :mod:`~repro.core.setview` — the set perspective, ordered partitions
+  and set rectangles (Definitions 13–14, Lemma 15);
+* :mod:`~repro.core.cover` — the Proposition 7 extraction of a balanced
+  rectangle cover from a CFG (disjoint for uCFGs);
+* :mod:`~repro.core.discrepancy` — the sets ``𝓛``, ``A``, ``B``, the
+  Lemma 18 identities and the Lemma 19/23 discrepancy bounds;
+* :mod:`~repro.core.partitions` — neat partitions (Lemmas 21–22);
+* :mod:`~repro.core.lower_bound` — the assembled Theorem 12/17 bounds and
+  the exact-integer certificate.
+"""
+
+from repro.core.cover import (
+    ExtractionStep,
+    RectangleCover,
+    balanced_rectangle_cover,
+    context_pairs,
+)
+from repro.core.discrepancy import (
+    Blocks,
+    choice_to_zset,
+    discrepancy,
+    in_a,
+    iter_script_l,
+    lemma18_margin,
+    lemma19_bound,
+    lemma23_bound,
+    max_bilinear_form,
+    max_discrepancy_any_partition,
+    max_discrepancy_over_partition,
+    n_matches,
+    projection_matrix_for_partition,
+    random_set_rectangle,
+    sign_matrix_for_partition,
+    size_a,
+    size_b,
+    size_b_cap_ln,
+    size_b_minus_ln,
+    size_script_l,
+    split_partition,
+    verify_lemma18,
+    zset_to_choice,
+)
+from repro.core.lower_bound import (
+    LowerBoundCertificate,
+    certificate,
+    fixed_partition_cover_lower_bound,
+    multipartition_cover_lower_bound,
+    ucfg_cnf_size_lower_bound,
+    ucfg_size_lower_bound,
+)
+from repro.core.matrix_bridge import (
+    ln_cover_to_matrix_cover,
+    matrix_rectangle_to_set_rectangle,
+    rank_bound_for_split_covers,
+    set_rectangle_to_matrix_rectangle,
+)
+from repro.core.multipartition import (
+    all_rectangles_within,
+    exhaustive_minimum_balanced_cover,
+    maximal_rectangles_within,
+    minimum_balanced_cover,
+    minimum_balanced_cover_of_ln,
+    verify_balanced_cover,
+)
+from repro.core.partitions import (
+    iter_neat_balanced_partitions,
+    iter_ordered_balanced_partitions,
+    lemma21_neat_split,
+    lemma22_properties,
+)
+from repro.core.rectangles import Rectangle, is_rectangle_decomposition, singleton_rectangle
+from repro.core.setview import (
+    OrderedPartition,
+    SetRectangle,
+    rectangle_to_set_rectangle,
+    set_rectangle_to_rectangle,
+    word_to_zset,
+    zset_in_ln,
+    zset_to_word,
+)
+
+__all__ = [
+    # rectangles
+    "Rectangle",
+    "singleton_rectangle",
+    "is_rectangle_decomposition",
+    # set view
+    "word_to_zset",
+    "zset_to_word",
+    "zset_in_ln",
+    "OrderedPartition",
+    "SetRectangle",
+    "rectangle_to_set_rectangle",
+    "set_rectangle_to_rectangle",
+    # cover extraction
+    "balanced_rectangle_cover",
+    "RectangleCover",
+    "ExtractionStep",
+    "context_pairs",
+    # discrepancy
+    "Blocks",
+    "iter_script_l",
+    "choice_to_zset",
+    "zset_to_choice",
+    "n_matches",
+    "in_a",
+    "size_script_l",
+    "size_a",
+    "size_b",
+    "size_b_minus_ln",
+    "size_b_cap_ln",
+    "lemma18_margin",
+    "verify_lemma18",
+    "discrepancy",
+    "lemma19_bound",
+    "lemma23_bound",
+    "sign_matrix_for_partition",
+    "max_bilinear_form",
+    "max_discrepancy_over_partition",
+    "max_discrepancy_any_partition",
+    "projection_matrix_for_partition",
+    "random_set_rectangle",
+    "split_partition",
+    # partitions
+    "iter_ordered_balanced_partitions",
+    "iter_neat_balanced_partitions",
+    "lemma21_neat_split",
+    "lemma22_properties",
+    # multipartition covers
+    "all_rectangles_within",
+    "exhaustive_minimum_balanced_cover",
+    "maximal_rectangles_within",
+    "minimum_balanced_cover",
+    "minimum_balanced_cover_of_ln",
+    "verify_balanced_cover",
+    # matrix bridge (Theorem 17 <-> rank)
+    "set_rectangle_to_matrix_rectangle",
+    "matrix_rectangle_to_set_rectangle",
+    "ln_cover_to_matrix_cover",
+    "rank_bound_for_split_covers",
+    # lower bounds
+    "LowerBoundCertificate",
+    "certificate",
+    "fixed_partition_cover_lower_bound",
+    "multipartition_cover_lower_bound",
+    "ucfg_cnf_size_lower_bound",
+    "ucfg_size_lower_bound",
+]

@@ -1,0 +1,461 @@
+"""The discrepancy machinery of Section 4.2: the sets ``𝓛``, ``A``, ``B``.
+
+For ``n = 4m`` the ground set ``Z = [1, 2n]`` is split into ``2m``
+*intervals* (blocks) of four consecutive elements; ``𝓛`` consists of the
+sets picking exactly one element from every block.  A member of ``𝓛`` is
+represented canonically as a *choice vector* ``c ∈ {0,1,2,3}^{2m}``
+(``c_j`` = offset chosen in block ``j``; blocks ``1..m`` live on the
+``X`` side, blocks ``m+1..2m`` on the ``Y`` side).  The number of
+*matches* of ``c`` is ``#{j ≤ m : c_j = c_{j+m}}`` — exactly the number
+of ``i`` with ``x_i ∈ U`` and ``y_i ∈ V`` — and
+
+* ``A`` = members with an odd number of matches (``A ⊆ L_n``),
+* ``B`` = the rest.
+
+Lemma 18 computes ``|𝓛| = 2^{4m}``, ``|B \\ L_n| = 12^m`` and
+``|B| - |A| = 2^{3m}``; Lemmas 19 and 23 bound the discrepancy
+``||R∩A| - |R∩B||`` of every balanced ordered rectangle.  All of this is
+verified exhaustively here for machine-sized ``m``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterable, Iterator
+
+from repro.core.setview import OrderedPartition, SetRectangle, ZSet
+from repro.errors import PartitionError
+
+__all__ = [
+    "Blocks",
+    "choice_to_zset",
+    "zset_to_choice",
+    "iter_script_l",
+    "n_matches",
+    "in_a",
+    "size_script_l",
+    "size_a",
+    "size_b",
+    "size_b_minus_ln",
+    "size_b_cap_ln",
+    "lemma18_margin",
+    "verify_lemma18",
+    "discrepancy",
+    "sign_matrix_for_partition",
+    "max_bilinear_form",
+    "max_discrepancy_over_partition",
+    "max_discrepancy_any_partition",
+    "projection_matrix_for_partition",
+    "random_set_rectangle",
+    "lemma19_bound",
+    "lemma23_bound",
+]
+
+
+class Blocks:
+    """The interval structure of Section 4.2 for ``n = 4m``.
+
+    Block ``j`` (1-based, ``j ∈ [2m]``) covers z-indices
+    ``[4(j-1)+1, 4j]``; blocks ``1..m`` are the ``I_i^X``, blocks
+    ``m+1..2m`` the ``I_i^Y``.
+    """
+
+    __slots__ = ("m", "n")
+
+    def __init__(self, m: int) -> None:
+        if m < 1:
+            raise ValueError(f"Blocks needs m >= 1, got {m}")
+        self.m = m
+        self.n = 4 * m
+
+    @property
+    def n_blocks(self) -> int:
+        return 2 * self.m
+
+    def block_elements(self, j: int) -> frozenset[int]:
+        """Z-indices of block ``j`` (1-based)."""
+        if not 1 <= j <= 2 * self.m:
+            raise ValueError(f"block index {j} out of range [1, {2 * self.m}]")
+        return frozenset(range(4 * (j - 1) + 1, 4 * j + 1))
+
+    def block_of(self, element: int) -> int:
+        """The block containing z-index ``element``."""
+        if not 1 <= element <= 2 * self.n:
+            raise ValueError(f"element {element} out of range [1, {2 * self.n}]")
+        return (element - 1) // 4 + 1
+
+    def is_neat(self, partition: OrderedPartition) -> bool:
+        """Whether every block lies wholly inside one part (Section 4.3)."""
+        if partition.n != self.n:
+            raise PartitionError(
+                f"partition over n={partition.n} does not match blocks with n={self.n}"
+            )
+        pi0, _ = partition.parts
+        for j in range(1, 2 * self.m + 1):
+            block = self.block_elements(j)
+            inside = len(block & pi0)
+            if inside not in (0, 4):
+                return False
+        return True
+
+    def sides_of_blocks(self, partition: OrderedPartition) -> list[int]:
+        """For a neat partition: the part (0/1) of each block, 1-indexed list."""
+        if not self.is_neat(partition):
+            raise PartitionError("sides_of_blocks requires a neat partition")
+        sides = [0] * (2 * self.m + 1)
+        for j in range(1, 2 * self.m + 1):
+            first = 4 * (j - 1) + 1
+            sides[j] = partition.side_of(first)
+        return sides
+
+
+def choice_to_zset(choice: tuple[int, ...], m: int) -> ZSet:
+    """Convert a choice vector ``c ∈ {0..3}^{2m}`` to its z-set."""
+    if len(choice) != 2 * m:
+        raise ValueError(f"choice vector has length {len(choice)}, expected {2 * m}")
+    if any(not 0 <= c <= 3 for c in choice):
+        raise ValueError("choice entries must lie in {0, 1, 2, 3}")
+    return frozenset(4 * j + c + 1 for j, c in enumerate(choice))
+
+
+def zset_to_choice(zset: ZSet, m: int) -> tuple[int, ...]:
+    """Inverse of :func:`choice_to_zset`; raises if ``zset ∉ 𝓛``."""
+    choice = [-1] * (2 * m)
+    for element in zset:
+        block = (element - 1) // 4
+        if not 0 <= block < 2 * m:
+            raise ValueError(f"element {element} outside Z = [1, {8 * m}]")
+        if choice[block] != -1:
+            raise ValueError("zset picks two elements from one block; not in 𝓛")
+        choice[block] = (element - 1) % 4
+    if -1 in choice:
+        raise ValueError("zset misses a block; not in 𝓛")
+    return tuple(choice)
+
+
+def iter_script_l(m: int) -> Iterator[tuple[int, ...]]:
+    """Yield every member of ``𝓛`` as a choice vector (``16^m`` of them)."""
+    yield from itertools.product(range(4), repeat=2 * m)
+
+
+def n_matches(choice: tuple[int, ...], m: int) -> int:
+    """``#{j ≤ m : c_j = c_{j+m}}`` — the intersection count of Section 4.2."""
+    return sum(1 for j in range(m) if choice[j] == choice[j + m])
+
+
+def in_a(choice: tuple[int, ...], m: int) -> bool:
+    """Membership in ``A``: an odd number of matches."""
+    return n_matches(choice, m) % 2 == 1
+
+
+# ----------------------------------------------------------------------
+# Lemma 18: exact cardinalities
+# ----------------------------------------------------------------------
+
+
+def size_script_l(m: int) -> int:
+    """``|𝓛| = 2^{4m}`` (Lemma 18(1))."""
+    return 2 ** (4 * m)
+
+
+def size_a(m: int) -> int:
+    """``|A| = (16^m - 8^m) / 2``.
+
+    Derivation: the match indicator per block pair is 1 with probability
+    1/4, so ``Σ (-1)^{matches} = ((3) + (-1))^m·...``; concretely
+    ``|B| - |A| = (12 - 4)^m = 8^m`` (the paper's binomial identity) and
+    ``|A| + |B| = 16^m``.
+    """
+    return (16**m - 8**m) // 2
+
+
+def size_b(m: int) -> int:
+    """``|B| = (16^m + 8^m) / 2``."""
+    return (16**m + 8**m) // 2
+
+
+def size_b_minus_ln(m: int) -> int:
+    """``|B \\ L_n| = 12^m`` (Lemma 18: per block pair, 12 of 16 choices
+    avoid a match, and zero matches is even)."""
+    return 12**m
+
+
+def size_b_cap_ln(m: int) -> int:
+    """``|B ∩ L_n| = |B| - 12^m``."""
+    return size_b(m) - size_b_minus_ln(m)
+
+
+def lemma18_margin(m: int) -> int:
+    """``|A ∩ L_n| - |B ∩ L_n| = |A| - |B ∩ L_n| = 12^m - 2^{3m}``.
+
+    Lemma 18(2) states this exceeds ``2^{7m/2}`` for sufficiently big
+    ``m``; exact computation shows the threshold is ``m ≥ 4``.
+    """
+    return 12**m - 8**m
+
+
+def verify_lemma18(m: int) -> dict[str, tuple[int, int]]:
+    """Exhaustively verify every Lemma 18 quantity for a small ``m``.
+
+    Returns ``{name: (enumerated, formula)}``; every pair is equal (the
+    function raises ``AssertionError`` otherwise, making it usable
+    directly in tests and benchmarks).
+    """
+    count_a = count_b = count_b_out = 0
+    for choice in iter_script_l(m):
+        matches = n_matches(choice, m)
+        if matches % 2 == 1:
+            count_a += 1
+        else:
+            count_b += 1
+            if matches == 0:
+                count_b_out += 1
+    results = {
+        "|L|": (count_a + count_b, size_script_l(m)),
+        "|A|": (count_a, size_a(m)),
+        "|B|": (count_b, size_b(m)),
+        "|B \\ L_n|": (count_b_out, size_b_minus_ln(m)),
+        "|B|-|A|": (count_b - count_a, 2 ** (3 * m)),
+        "margin": (count_a - (count_b - count_b_out), lemma18_margin(m)),
+    }
+    for name, (enumerated, formula) in results.items():
+        if enumerated != formula:
+            raise AssertionError(f"Lemma 18 mismatch for {name}: {enumerated} != {formula}")
+    return results
+
+
+# ----------------------------------------------------------------------
+# Rectangle discrepancy
+# ----------------------------------------------------------------------
+
+
+def discrepancy(rect: SetRectangle, m: int) -> int:
+    """``|R ∩ A| - |R ∩ B|`` for a set rectangle, by exhaustive count.
+
+    Only the members of ``𝓛`` matter (``A ∪ B = 𝓛``), so the sum runs
+    over the ``16^m`` choice vectors.
+    """
+    total = 0
+    for choice in iter_script_l(m):
+        zset = choice_to_zset(choice, m)
+        if zset in rect:
+            total += -1 if n_matches(choice, m) % 2 == 0 else 1
+    return total
+
+
+def lemma19_bound(m: int) -> int:
+    """The Lemma 19 bound ``2^{3m}`` for ``[1, n]``-rectangles."""
+    return 2 ** (3 * m)
+
+
+def lemma23_bound(m: int) -> int:
+    """An integer upper bound for the Lemma 23 value ``2^{10m/3}``.
+
+    Returned as ``2^{⌈10m/3⌉}`` so the comparison stays in exact integer
+    arithmetic (the true bound is at most this).
+    """
+    return 2 ** (-(-10 * m // 3))
+
+
+def sign_matrix_for_partition(partition: OrderedPartition, m: int) -> tuple[
+    list[list[int]], list[int], list[int]
+]:
+    """The ±1 matrix of the discrepancy bilinear form for a neat partition.
+
+    Rows are indexed by the joint choices of the blocks on side 0, columns
+    by side 1; the entry is ``(-1)^{matches}`` of the combined member.
+    Returns ``(matrix, side0_blocks, side1_blocks)`` with blocks 1-based.
+    """
+    blocks = Blocks(m)
+    sides = blocks.sides_of_blocks(partition)
+    side0 = [j for j in range(1, 2 * m + 1) if sides[j] == 0]
+    side1 = [j for j in range(1, 2 * m + 1) if sides[j] == 1]
+    rows = list(itertools.product(range(4), repeat=len(side0)))
+    cols = list(itertools.product(range(4), repeat=len(side1)))
+    matrix: list[list[int]] = []
+    for row in rows:
+        matrix_row: list[int] = []
+        for col in cols:
+            choice = [0] * (2 * m)
+            for j, value in zip(side0, row):
+                choice[j - 1] = value
+            for j, value in zip(side1, col):
+                choice[j - 1] = value
+            sign = -1 if n_matches(tuple(choice), m) % 2 == 0 else 1
+            matrix_row.append(sign)
+        matrix.append(matrix_row)
+    return matrix, side0, side1
+
+
+def _best_column_response(column_sums: list[int]) -> int:
+    """Best ``|x^T M y|`` over ``y`` given the row-selection column sums."""
+    positive = sum(s for s in column_sums if s > 0)
+    negative = sum(s for s in column_sums if s < 0)
+    return max(positive, -negative)
+
+
+def max_bilinear_form(
+    matrix: list[list[int]],
+    exact_limit: int = 16,
+    restarts: int = 64,
+    rng: random.Random | None = None,
+) -> tuple[int, bool]:
+    """Maximise ``|x^T M y|`` over 0/1 vectors ``x, y``.
+
+    Exact when the smaller dimension is at most ``exact_limit``: all row
+    subsets are enumerated in Gray-code order (each step updates the
+    column sums with one row), and the optimal column response is read
+    off.  Above the limit, a randomised alternating-maximisation
+    heuristic reports a lower bound on the maximum.  Returns
+    ``(value, exact_flag)``.
+    """
+    if not matrix or not matrix[0]:
+        return 0, True
+    n_rows, n_cols = len(matrix), len(matrix[0])
+    if min(n_rows, n_cols) <= exact_limit:
+        base = (
+            matrix
+            if n_rows <= n_cols
+            else [[matrix[i][j] for i in range(n_rows)] for j in range(n_cols)]
+        )
+        dim = len(base)
+        width = len(base[0])
+        column_sums = [0] * width
+        in_set = [False] * dim
+        best = 0  # the empty selection
+        for step in range(1, 1 << dim):
+            # Gray code: flip the row at the lowest set bit of `step`.
+            flip = (step & -step).bit_length() - 1
+            sign = -1 if in_set[flip] else 1
+            in_set[flip] = not in_set[flip]
+            row = base[flip]
+            for j in range(width):
+                column_sums[j] += sign * row[j]
+            best = max(best, _best_column_response(column_sums))
+        return best, True
+
+    rng = rng if rng is not None else random.Random(0)
+    best = 0
+    for _ in range(restarts):
+        rows = {i for i in range(n_rows) if rng.random() < 0.5}
+        for _round in range(8):
+            column_sums = [sum(matrix[i][j] for i in rows) for j in range(n_cols)]
+            improved = False
+            for sign in (1, -1):
+                cols = [j for j in range(n_cols) if sign * column_sums[j] > 0]
+                row_sums = [sum(matrix[i][j] for j in cols) for i in range(n_rows)]
+                new_rows = {i for i in range(n_rows) if sign * row_sums[i] > 0}
+                value = abs(sum(row_sums[i] for i in new_rows))
+                if value > best:
+                    best = value
+                    rows = new_rows
+                    improved = True
+            if not improved:
+                break
+    return best, False
+
+
+def max_discrepancy_over_partition(
+    partition: OrderedPartition,
+    m: int,
+    exact_limit: int = 20,
+    rng: random.Random | None = None,
+) -> tuple[int, bool]:
+    """Maximum ``||R∩A| - |R∩B||`` over all ``(Π₀, Π₁)``-rectangles.
+
+    The partition must be neat; restricting rectangles to members of
+    ``𝓛`` is lossless because ``A ∪ B = 𝓛``.  Returns
+    ``(value, exact_flag)``.
+    """
+    matrix, _side0, _side1 = sign_matrix_for_partition(partition, m)
+    return max_bilinear_form(matrix, exact_limit=exact_limit, rng=rng)
+
+
+def split_partition(m: int) -> OrderedPartition:
+    """The ``[1, n]`` partition separating the X side from the Y side."""
+    return OrderedPartition(n=4 * m, lo=1, hi=4 * m, interval_part=0)
+
+
+def random_set_rectangle(
+    partition: OrderedPartition,
+    m: int,
+    rng: random.Random,
+    density: float = 0.5,
+) -> SetRectangle:
+    """A random rectangle over the 𝓛-projections of a partition.
+
+    Each distinct projection of an 𝓛-member onto a part is kept with
+    probability ``density`` (at least one per side is always kept, so the
+    rectangle is nonempty).  The workhorse of the randomised bound checks
+    in tests and benchmarks.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    pi0, _pi1 = partition.parts
+    s_pool: set[ZSet] = set()
+    t_pool: set[ZSet] = set()
+    for choice in iter_script_l(m):
+        zset = choice_to_zset(choice, m)
+        s_pool.add(zset & pi0)
+        t_pool.add(zset - pi0)
+    s_sorted = sorted(s_pool, key=sorted)
+    t_sorted = sorted(t_pool, key=sorted)
+    s = {x for x in s_sorted if rng.random() < density}
+    t = {y for y in t_sorted if rng.random() < density}
+    if not s:
+        s = {rng.choice(s_sorted)}
+    if not t:
+        t = {rng.choice(t_sorted)}
+    return SetRectangle(partition, s, t)
+
+
+def projection_matrix_for_partition(
+    partition: OrderedPartition, m: int
+) -> tuple[list[list[int]], list[ZSet], list[ZSet]]:
+    """The discrepancy bilinear form for an *arbitrary* ordered partition.
+
+    Rows (columns) are the distinct projections of 𝓛-members onto ``Π₀``
+    (``Π₁``); the entry for a projection pair is the summed sign of the
+    members realising it (each member realises exactly one pair, so for
+    neat partitions this coincides with
+    :func:`sign_matrix_for_partition` up to indexing).  Works for
+    non-neat partitions too — the tool behind the Corollary 20 checks on
+    shifted intervals.
+    """
+    if partition.n != 4 * m:
+        raise PartitionError(
+            f"partition over n={partition.n} does not match m={m} (n must be 4m)"
+        )
+    pi0, _pi1 = partition.parts
+    row_index: dict[ZSet, int] = {}
+    col_index: dict[ZSet, int] = {}
+    entries: dict[tuple[int, int], int] = {}
+    for choice in iter_script_l(m):
+        zset = choice_to_zset(choice, m)
+        row_key, col_key = zset & pi0, zset - pi0
+        i = row_index.setdefault(row_key, len(row_index))
+        j = col_index.setdefault(col_key, len(col_index))
+        sign = 1 if n_matches(choice, m) % 2 else -1
+        entries[(i, j)] = entries.get((i, j), 0) + sign
+    matrix = [[0] * len(col_index) for _ in range(len(row_index))]
+    for (i, j), value in entries.items():
+        matrix[i][j] = value
+    rows = sorted(row_index, key=lambda k: row_index[k])
+    cols = sorted(col_index, key=lambda k: col_index[k])
+    return matrix, rows, cols
+
+
+def max_discrepancy_any_partition(
+    partition: OrderedPartition,
+    m: int,
+    exact_limit: int = 16,
+    rng: random.Random | None = None,
+) -> tuple[int, bool]:
+    """Maximum ``||R∩A| - |R∩B||`` over rectangles of *any* ordered partition.
+
+    Generalises :func:`max_discrepancy_over_partition` beyond neat
+    partitions via the projection matrix.
+    """
+    matrix, _rows, _cols = projection_matrix_for_partition(partition, m)
+    return max_bilinear_form(matrix, exact_limit=exact_limit, rng=rng)

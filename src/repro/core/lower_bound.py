@@ -1,0 +1,222 @@
+"""The assembled lower bounds: Theorem 17, Proposition 16, Theorem 12.
+
+Everything is exact integer arithmetic.  The certificate for a given
+``n`` carries every quantity the proof chain touches:
+
+* ``margin = |A ∩ L_n| - |B ∩ L_n| = 12^m - 2^{3m}`` (Lemma 18),
+* per-rectangle discrepancy caps ``2^{3m}`` (Lemma 19, fixed ``[1, n]``
+  partition) and ``2^{10m/3}`` (Lemma 23, any neat balanced partition),
+* the Lemma 21 neat-split factor ``2^8`` and the spare-element factor
+  ``2^6`` for ``n`` not divisible by four (proof of Proposition 16),
+* the cover-size lower bound ``ℓ ≥ margin / (256 · 2^{10m/3})``,
+* the resulting uCFG size bounds via Proposition 7
+  (``ℓ ≤ 2n · |G_CNF|``) and the CNF conversion (``|G_CNF| ≤ |G|²``).
+
+Comparisons involving the irrational ``2^{10m/3}`` are done by cubing,
+never by floating point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.discrepancy import lemma18_margin, lemma19_bound
+from repro.errors import CertificateError
+
+__all__ = [
+    "LowerBoundCertificate",
+    "fixed_partition_cover_lower_bound",
+    "multipartition_cover_lower_bound",
+    "ucfg_cnf_size_lower_bound",
+    "ucfg_size_lower_bound",
+    "certificate",
+]
+
+#: Lemma 21: each balanced ordered rectangle splits into at most 2^8 neat ones.
+NEAT_SPLIT_FACTOR = 256
+#: Proposition 16's reduction for n not divisible by 4 costs a factor 2^6.
+SPARE_ELEMENT_FACTOR = 64
+
+
+def _ceil_div(numerator: int, denominator: int) -> int:
+    """Exact ceiling division for non-negative integers."""
+    if denominator <= 0:
+        raise ValueError("denominator must be positive")
+    return -(-numerator // denominator)
+
+
+def _min_ell_against_cube_bound(margin: int, factor: int, m: int) -> int:
+    """The least ``ℓ ≥ 0`` with ``factor · ℓ · 2^{10m/3} ≥ margin``.
+
+    Obtained by cubing: ``(factor · ℓ)³ · 2^{10m} ≥ margin³``.
+    """
+    if margin <= 0:
+        return 0
+    target = margin**3
+    power = 2 ** (10 * m)
+    low, high = 0, 1
+    while (factor * high) ** 3 * power < target:
+        high *= 2
+    while low < high:
+        mid = (low + high) // 2
+        if (factor * mid) ** 3 * power >= target:
+            high = mid
+        else:
+            low = mid + 1
+    return low
+
+
+def fixed_partition_cover_lower_bound(n: int) -> int:
+    """Theorem 17: every disjoint cover of ``L_n`` by ``[1, n]``-rectangles
+    has at least this many rectangles (``n`` divisible by 4 required).
+
+    The bound is ``⌈(12^m - 2^{3m}) / 2^{3m}⌉`` with ``m = n/4``, i.e.
+    ``⌈1.5^m⌉ - 1``-ish — exponential in ``n``.
+    """
+    if n % 4:
+        raise ValueError("Theorem 17 as computed here needs n divisible by 4")
+    m = n // 4
+    margin = lemma18_margin(m)
+    if margin <= 0:
+        return 1  # a cover always needs at least one rectangle
+    return max(1, _ceil_div(margin, lemma19_bound(m)))
+
+
+def multipartition_cover_lower_bound(n: int) -> int:
+    """Proposition 16: every disjoint cover of ``L_n`` by balanced ordered
+    rectangles (arbitrary, per-rectangle partitions) has at least this size.
+
+    For ``n = 4m``: ``ℓ ≥ (12^m - 2^{3m}) / (2^8 · 2^{10m/3})``.
+    For other ``n``: the spare-element reduction to ``L_{4⌊n/4⌋}`` costs a
+    further factor ``2^6``.  Always returns at least 1 (a nonempty language
+    needs a rectangle); the bound becomes non-trivial once the exponential
+    ``2^{m(log₂12 - 10/3)} ≈ 2^{0.252m}`` overtakes the constant ``2^8``.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    t, remainder = divmod(n, 4)
+    if t == 0:
+        return 1
+    margin = lemma18_margin(t)
+    ell = _min_ell_against_cube_bound(margin, NEAT_SPLIT_FACTOR, t)
+    if remainder:
+        ell = _ceil_div(ell, SPARE_ELEMENT_FACTOR)
+    return max(1, ell)
+
+
+def ucfg_cnf_size_lower_bound(n: int) -> int:
+    """Theorem 12 for CNF grammars: ``|G| ≥ ℓ_min / (2n)`` via Prop. 7."""
+    ell = multipartition_cover_lower_bound(n)
+    return max(1, _ceil_div(ell, 2 * n))
+
+
+def _lemma18_threshold(margin: int, m: int) -> bool:
+    """Exact check of ``margin > 2^{7m/2}`` (squared when ``7m`` is odd)."""
+    if margin <= 0:
+        return False
+    if (7 * m) % 2 == 0:
+        return margin > 2 ** (7 * m // 2)
+    return margin**2 > 2 ** (7 * m)
+
+
+def ucfg_size_lower_bound(n: int) -> int:
+    """Theorem 12 for arbitrary uCFGs.
+
+    An arbitrary grammar first passes through CNF conversion with
+    ``|G_CNF| ≤ |G|²`` (Section 2), so the final bound is the ceiling of
+    the square root of :func:`ucfg_cnf_size_lower_bound`.
+    """
+    cnf_bound = ucfg_cnf_size_lower_bound(n)
+    root = math.isqrt(cnf_bound)
+    return root if root * root == cnf_bound else root + 1
+
+
+@dataclass(frozen=True, slots=True)
+class LowerBoundCertificate:
+    """Every exact quantity in the Theorem 12 proof chain for one ``n``."""
+
+    n: int
+    m: int
+    remainder: int
+    size_script_l: int
+    size_a: int
+    size_b: int
+    size_b_minus_ln: int
+    margin: int
+    lemma18_threshold_holds: bool
+    fixed_partition_bound: int
+    cover_bound: int
+    ucfg_cnf_bound: int
+    ucfg_bound: int
+
+    def to_dict(self) -> dict[str, int | bool | str]:
+        """A JSON-ready view; huge integers become exact decimal strings."""
+        from dataclasses import asdict
+
+        def encode(value):
+            if isinstance(value, bool) or not isinstance(value, int):
+                return value
+            if value.bit_length() > 64:
+                import sys
+
+                digits = sys.get_int_max_str_digits()
+                if value.bit_length() > 3.3 * digits:
+                    from repro.util.tables import approx_log2
+
+                    return f"~2^{approx_log2(value):.1f}"
+            return value
+
+        return {key: encode(value) for key, value in asdict(self).items()}
+
+    def verify(self) -> None:
+        """Re-check the internal identities; raise CertificateError if broken."""
+        if self.size_a + self.size_b != self.size_script_l:
+            raise CertificateError("|A| + |B| != |L|")
+        if self.size_b - self.size_a != 2 ** (3 * self.m):
+            raise CertificateError("|B| - |A| != 2^{3m}")
+        if self.margin != self.size_a - (self.size_b - self.size_b_minus_ln):
+            raise CertificateError("margin != |A| - |B ∩ L_n|")
+        if self.lemma18_threshold_holds != _lemma18_threshold(self.margin, self.m):
+            raise CertificateError("Lemma 18 threshold flag inconsistent")
+
+
+def certificate(n: int) -> LowerBoundCertificate:
+    """Assemble and verify the full lower-bound certificate for ``L_n``.
+
+    >>> cert = certificate(16)
+    >>> cert.m, cert.margin
+    (4, 16640)
+    >>> cert.lemma18_threshold_holds
+    True
+    """
+    from repro.core.discrepancy import size_a, size_b, size_b_minus_ln, size_script_l
+
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    m, remainder = divmod(n, 4)
+    if m == 0:
+        m_eff = 1  # degenerate; quantities reported for m = 1
+    else:
+        m_eff = m
+    margin = lemma18_margin(m_eff)
+    threshold = _lemma18_threshold(margin, m_eff)
+    cert = LowerBoundCertificate(
+        n=n,
+        m=m_eff,
+        remainder=remainder,
+        size_script_l=size_script_l(m_eff),
+        size_a=size_a(m_eff),
+        size_b=size_b(m_eff),
+        size_b_minus_ln=size_b_minus_ln(m_eff),
+        margin=margin,
+        lemma18_threshold_holds=threshold,
+        fixed_partition_bound=(
+            fixed_partition_cover_lower_bound(4 * m_eff) if n >= 4 else 1
+        ),
+        cover_bound=multipartition_cover_lower_bound(n),
+        ucfg_cnf_bound=ucfg_cnf_size_lower_bound(n),
+        ucfg_bound=ucfg_size_lower_bound(n),
+    )
+    cert.verify()
+    return cert

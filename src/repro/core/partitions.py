@@ -1,0 +1,195 @@
+"""Balanced, ordered and *neat* partitions — Lemmas 21 and 22.
+
+A partition is *neat* when every size-four interval ``I_ℓ`` of the
+Section 4.2 block structure lies wholly inside one part.  Lemma 21 shows
+every ordered balanced rectangle splits into at most ``2^8 = 256``
+disjoint rectangles over a neat ordered balanced partition; Lemma 22
+pins down the geometry of neat partitions: the smaller part is entirely
+made of *split pairs* (``x_ℓ`` and ``y_ℓ`` on different sides) and its
+size equals ``|G|``, the number of split pairs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.discrepancy import Blocks
+from repro.core.setview import OrderedPartition, SetRectangle, ZSet
+from repro.errors import PartitionError, RectangleError
+
+__all__ = [
+    "iter_ordered_balanced_partitions",
+    "iter_neat_balanced_partitions",
+    "lemma21_neat_split",
+    "lemma22_properties",
+    "lemma22_balance_counterexample",
+]
+
+
+def iter_ordered_balanced_partitions(n: int) -> Iterator[OrderedPartition]:
+    """Yield every ordered balanced partition of ``Z = [1, 2n]``.
+
+    Partitions are yielded once each (``interval_part = 0``); the swap of
+    part labels does not change which rectangles exist.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    for lo in range(1, 2 * n + 1):
+        for hi in range(lo, 2 * n + 1):
+            partition = OrderedPartition(n=n, lo=lo, hi=hi, interval_part=0)
+            if partition.is_balanced:
+                yield partition
+
+
+def iter_neat_balanced_partitions(m: int) -> Iterator[OrderedPartition]:
+    """Yield the *neat* ordered balanced partitions for ``n = 4m``.
+
+    Neatness forces the interval endpoints onto block boundaries, so the
+    enumeration ranges over block-aligned intervals only.
+    """
+    blocks = Blocks(m)
+    n = blocks.n
+    for first_block in range(1, 2 * m + 1):
+        for last_block in range(first_block, 2 * m + 1):
+            lo = 4 * (first_block - 1) + 1
+            hi = 4 * last_block
+            partition = OrderedPartition(n=n, lo=lo, hi=hi, interval_part=0)
+            if partition.is_balanced:
+                yield partition
+
+
+def lemma21_neat_split(
+    rect: SetRectangle, m: int
+) -> tuple[OrderedPartition, list[SetRectangle]]:
+    """Split an ordered balanced rectangle over a neat partition (Lemma 21).
+
+    Returns ``(neat_partition, pieces)`` where the pieces are pairwise
+    disjoint rectangles over the neat partition whose union is ``rect``;
+    ``len(pieces) ≤ 256``.  A rectangle whose partition is already neat is
+    returned unchanged.  Pieces are verified to be genuine rectangles of
+    the neat partition (enumeratively — this module is exact, not fast).
+    """
+    blocks = Blocks(m)
+    partition = rect.partition
+    if partition.n != blocks.n:
+        raise PartitionError(f"rectangle is over n={partition.n}, blocks over n={blocks.n}")
+    if not partition.is_balanced:
+        raise PartitionError("Lemma 21 applies to balanced partitions only")
+    if blocks.is_neat(partition):
+        return partition, [rect]
+
+    pi0, pi1 = partition.parts
+    # The (at most two) violating blocks contain the interval endpoints.
+    violating = [
+        j
+        for j in range(1, 2 * m + 1)
+        if len(blocks.block_elements(j) & pi0) not in (0, 4)
+    ]
+    region: ZSet = frozenset().union(*(blocks.block_elements(j) for j in violating))
+
+    # Move the violating blocks wholly into the smaller part, keeping the
+    # interval structure (grow the interval if the smaller part is the
+    # interval, shrink it otherwise).
+    interval_is_smaller = len(partition.interval) <= 2 * partition.n - len(partition.interval)
+    if interval_is_smaller:
+        new_lo = 4 * ((partition.lo - 1) // 4) + 1
+        new_hi = 4 * (-(-partition.hi // 4))
+    else:
+        new_lo = 4 * (-(-(partition.lo - 1) // 4)) + 1
+        new_hi = 4 * (partition.hi // 4)
+        if new_lo > new_hi:
+            raise PartitionError(
+                "shrinking the interval to block boundaries emptied it; "
+                "n is too small for the Lemma 21 constant"
+            )
+    neat = OrderedPartition(
+        n=partition.n, lo=new_lo, hi=new_hi, interval_part=partition.interval_part
+    )
+    if not neat.is_balanced:
+        raise PartitionError(
+            "the neat partition is unbalanced; Lemma 21 needs n large enough "
+            "that moving 8 elements preserves balance (n >= 24)"
+        )
+
+    members = rect.member_set()
+    groups: dict[ZSet, set[ZSet]] = {}
+    for member in members:
+        groups.setdefault(member & region, set()).add(member)
+    neat_pi0, _neat_pi1 = neat.parts
+    pieces: list[SetRectangle] = []
+    for group in groups.values():
+        s = {member & neat_pi0 for member in group}
+        t = {member - neat_pi0 for member in group}
+        piece = SetRectangle(neat, s, t)
+        if piece.member_set() != frozenset(group):
+            raise RectangleError(
+                "a Lemma 21 piece is not a rectangle of the neat partition; "
+                "the input was not a genuine rectangle of its partition"
+            )
+        pieces.append(piece)
+    if len(pieces) > 256:
+        raise RectangleError(
+            f"Lemma 21 produced {len(pieces)} pieces, exceeding the 2^8 bound"
+        )
+    return neat, pieces
+
+
+def lemma22_properties(partition: OrderedPartition, m: int) -> dict[str, int | bool]:
+    """Check the two Lemma 22 properties of a neat ordered balanced partition.
+
+    With ``Π₀`` the smaller part and ``G`` the split-pair indices:
+    (1) ``Π₀ ⊆ V_G`` and (2) ``|Π₀| = |G|``.  Returns the measured
+    quantities; raises ``AssertionError`` on violation so it can be used
+    directly as a verifier.
+    """
+    blocks = Blocks(m)
+    if not blocks.is_neat(partition):
+        raise PartitionError("Lemma 22 applies to neat partitions")
+    if not partition.is_balanced:
+        raise PartitionError("Lemma 22 applies to balanced partitions")
+    pi0, pi1 = partition.parts
+    smaller = pi0 if len(pi0) <= len(pi1) else pi1
+    split = partition.split_pairs()
+    v_g = frozenset(
+        element
+        for i in split
+        for element in (i, i + partition.n)
+    )
+    if not smaller <= v_g:
+        raise AssertionError("Lemma 22(1) violated: the smaller part leaves V_G")
+    if len(smaller) != len(split):
+        raise AssertionError(
+            f"Lemma 22(2) violated: |Π₀| = {len(smaller)} but |G| = {len(split)}"
+        )
+    return {
+        "smaller_part_size": len(smaller),
+        "split_pairs": len(split),
+        "subset_of_vg": True,
+    }
+
+
+def lemma22_balance_counterexample(m: int) -> OrderedPartition:
+    """Why balancedness matters: an unbalanced partition with ``G = ∅``.
+
+    Interestingly, the two *identities* of Lemma 22 hold for every
+    ordered partition (the smaller part, having at most ``n`` elements,
+    can never contain a full pair — this is tested exhaustively).  What
+    balance actually buys is the *size* of ``G``: Lemma 23's final bound
+    ``2^{n - |G|/4}`` is only sub-trivial when ``|G| = |Π₀| ≥ 2n/3``, and
+    that inequality is exactly the balance condition.  This function
+    returns the degenerate witness — the partition whose interval is all
+    of ``Z`` — which is neat, wildly unbalanced, and has ``G = ∅``: the
+    discrepancy cap ``2^{n - |G|/4}`` collapses to the vacuous ``2^n``
+    (indeed the all-of-``𝓛`` rectangle over it has discrepancy
+    ``2^{3m}``, but nothing in the Lemma 23 route *proves* any cap here).
+    """
+    blocks = Blocks(m)
+    n = blocks.n
+    partition = OrderedPartition(n=n, lo=1, hi=2 * n, interval_part=0)
+    if not blocks.is_neat(partition):  # pragma: no cover - by construction
+        raise PartitionError("counterexample construction produced a non-neat partition")
+    if partition.is_balanced:  # pragma: no cover - sizes 2n and 0
+        raise PartitionError("the full-interval partition is unexpectedly balanced")
+    if partition.split_pairs():  # pragma: no cover - both halves inside
+        raise PartitionError("expected G = ∅ for the full-interval partition")
+    return partition

@@ -1,0 +1,185 @@
+"""Combinatorial rectangles over words — Definition 5 of the paper.
+
+A language ``L`` of words of length ``n`` is a *rectangle* with
+parameters ``(L1, L2, n1, n2, n3)`` when
+
+``L = ⋃_{w1 w3 ∈ L1} {w1} × L2 × {w3}``  (``|w1| = n1``, ``|w3| = n3``),
+
+i.e. membership factors into an "outer" part (the concatenated prefix and
+suffix, drawn from ``L1 ⊆ Σ^{n1+n3}``) and an "inner" part (the middle
+factor, drawn from ``L2 ⊆ Σ^{n2}``), chosen independently.  A rectangle
+is *balanced* iff ``n/3 ≤ n2 ≤ 2n/3`` where ``n = n1 + n2 + n3``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from fractions import Fraction
+
+from repro.errors import RectangleError
+from repro.words.alphabet import Alphabet
+
+__all__ = ["Rectangle", "is_rectangle_decomposition", "singleton_rectangle"]
+
+
+class Rectangle:
+    """A word-view rectangle with explicit parameters (Definition 5).
+
+    ``outer`` is ``L1`` (each element the concatenation ``w1 w3``) and
+    ``inner`` is ``L2``.  Construction validates the length disciplines.
+
+    >>> from repro.words import AB
+    >>> r = Rectangle(outer={"ab"}, inner={"aa", "bb"}, n1=1, n2=2, n3=1, alphabet=AB)
+    >>> sorted(r.words())
+    ['aaab', 'abbb']
+    >>> r.is_balanced
+    True
+    """
+
+    __slots__ = ("outer", "inner", "n1", "n2", "n3", "alphabet")
+
+    def __init__(
+        self,
+        outer: Iterable[str],
+        inner: Iterable[str],
+        n1: int,
+        n2: int,
+        n3: int,
+        alphabet: Alphabet,
+    ) -> None:
+        if min(n1, n2, n3) < 0:
+            raise RectangleError(f"negative part lengths: ({n1}, {n2}, {n3})")
+        outer_set = frozenset(outer)
+        inner_set = frozenset(inner)
+        for w in outer_set:
+            if len(w) != n1 + n3:
+                raise RectangleError(
+                    f"outer word {w!r} has length {len(w)}, expected n1+n3={n1 + n3}"
+                )
+        for w in inner_set:
+            if len(w) != n2:
+                raise RectangleError(f"inner word {w!r} has length {len(w)}, expected n2={n2}")
+        self.outer = outer_set
+        self.inner = inner_set
+        self.n1 = n1
+        self.n2 = n2
+        self.n3 = n3
+        self.alphabet = alphabet
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def word_length(self) -> int:
+        """``n = n1 + n2 + n3``."""
+        return self.n1 + self.n2 + self.n3
+
+    @property
+    def middle_interval(self) -> tuple[int, int]:
+        """The 1-based position interval ``[n1+1, n1+n2]`` of the inner part."""
+        return (self.n1 + 1, self.n1 + self.n2)
+
+    @property
+    def is_balanced(self) -> bool:
+        """Whether ``n/3 ≤ n2 ≤ 2n/3`` (exact rational comparison)."""
+        n = Fraction(self.word_length)
+        return n / 3 <= self.n2 <= 2 * n / 3
+
+    @property
+    def n_words(self) -> int:
+        """``|L1| · |L2|`` — rectangles multiply sizes by construction."""
+        return len(self.outer) * len(self.inner)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def words(self) -> Iterator[str]:
+        """Yield all words of the rectangle (``|L1| · |L2|`` of them)."""
+        for outer_word in self.outer:
+            w1, w3 = outer_word[: self.n1], outer_word[self.n1 :]
+            for w2 in self.inner:
+                yield w1 + w2 + w3
+
+    def word_set(self) -> frozenset[str]:
+        """The rectangle's language as a frozenset."""
+        return frozenset(self.words())
+
+    def __contains__(self, word: object) -> bool:
+        if not isinstance(word, str) or len(word) != self.word_length:
+            return False
+        w1 = word[: self.n1]
+        w2 = word[self.n1 : self.n1 + self.n2]
+        w3 = word[self.n1 + self.n2 :]
+        return (w1 + w3) in self.outer and w2 in self.inner
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rectangle):
+            return NotImplemented
+        return (
+            (self.n1, self.n2, self.n3) == (other.n1, other.n2, other.n3)
+            and self.outer == other.outer
+            and self.inner == other.inner
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n1, self.n2, self.n3, self.outer, self.inner))
+
+    def __repr__(self) -> str:
+        return (
+            f"Rectangle(n1={self.n1}, n2={self.n2}, n3={self.n3}, "
+            f"|L1|={len(self.outer)}, |L2|={len(self.inner)}, "
+            f"balanced={self.is_balanced})"
+        )
+
+
+def singleton_rectangle(word: str, alphabet: Alphabet) -> Rectangle:
+    """The one-word balanced rectangle ``{w}``.
+
+    "Any language containing a single word is a balanced rectangle"
+    (Section 3) — split the word so the middle third lands in
+    ``[n/3, 2n/3]``.
+    """
+    n = len(word)
+    n2 = max(1, (n + 2) // 3) if n else 0
+    n1 = (n - n2) // 2
+    n3 = n - n1 - n2
+    rect = Rectangle(
+        outer={word[:n1] + word[n1 + n2 :]},
+        inner={word[n1 : n1 + n2]},
+        n1=n1,
+        n2=n2,
+        n3=n3,
+        alphabet=alphabet,
+    )
+    if n >= 2 and not rect.is_balanced:  # pragma: no cover - arithmetic guarantee
+        raise RectangleError(f"singleton split of {word!r} is unbalanced")
+    return rect
+
+
+def is_rectangle_decomposition(
+    rectangles: Iterable[Rectangle],
+    target: frozenset[str] | set[str],
+    require_disjoint: bool = False,
+    require_balanced: bool = False,
+) -> bool:
+    """Check that the rectangles cover ``target`` exactly.
+
+    With ``require_disjoint`` the rectangles must be pairwise disjoint
+    (the condition Proposition 7 guarantees for unambiguous grammars);
+    with ``require_balanced`` each rectangle must be balanced.
+    """
+    union: set[str] = set()
+    total = 0
+    for rect in rectangles:
+        if require_balanced and not rect.is_balanced:
+            return False
+        rect_words = rect.word_set()
+        total += len(rect_words)
+        union |= rect_words
+    if union != frozenset(target):
+        return False
+    if require_disjoint and total != len(union):
+        return False
+    return True

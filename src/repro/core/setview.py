@@ -1,0 +1,261 @@
+"""The set perspective of Section 4.1: words as subsets of ``Z``.
+
+A word ``w = w_1 ... w_{2n}`` over ``{a, b}`` is identified with the pair
+``(X_w, Y_w)``: ``X_w`` holds ``x_i`` for every ``w_i = a`` with
+``i ≤ n``, and ``Y_w`` holds ``y_i`` for every ``w_{i+n} = a``.  With the
+unified naming ``z_i = x_i`` (``i ≤ n``) and ``z_i = y_{i-n}``
+(``i > n``), a word is simply the subset of ``Z = {z_1, ..., z_{2n}}`` of
+its ``a`` positions — represented here as a ``frozenset`` of 1-based
+integer indices.
+
+Ordered partitions (Definition 13) and set rectangles (Definition 14) are
+defined on top, along with the two directions of Lemma 15 translating
+between word rectangles and set rectangles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core.rectangles import Rectangle
+from repro.errors import PartitionError, RectangleError
+from repro.words.alphabet import AB
+
+__all__ = [
+    "word_to_zset",
+    "zset_to_word",
+    "zset_in_ln",
+    "OrderedPartition",
+    "SetRectangle",
+    "rectangle_to_set_rectangle",
+    "set_rectangle_to_rectangle",
+]
+
+ZSet = frozenset[int]
+
+
+def word_to_zset(word: str) -> ZSet:
+    """Map a word over ``{a, b}`` to its set of 1-based ``a`` positions.
+
+    >>> sorted(word_to_zset("abba"))
+    [1, 4]
+    """
+    for ch in word:
+        if ch not in AB:
+            raise ValueError(f"word {word!r} is not over {{a, b}}")
+    return frozenset(i + 1 for i, ch in enumerate(word) if ch == "a")
+
+
+def zset_to_word(zset: Iterable[int], length: int) -> str:
+    """Inverse of :func:`word_to_zset` for a word of the given length.
+
+    >>> zset_to_word({1, 4}, 4)
+    'abba'
+    """
+    indices = set(zset)
+    if indices and (min(indices) < 1 or max(indices) > length):
+        raise ValueError(f"indices {sorted(indices)} out of range [1, {length}]")
+    return "".join("a" if i + 1 in indices else "b" for i in range(length))
+
+
+def zset_in_ln(zset: ZSet, n: int) -> bool:
+    """Membership of a z-set in ``L_n``: some ``i`` with ``z_i, z_{i+n}`` both in.
+
+    This is the "intersecting pairs of sets" reading of Section 4.1:
+    ``L_n`` is essentially the complement of set disjointness.
+    """
+    return any(i in zset and i + n in zset for i in range(1, n + 1))
+
+
+@dataclass(frozen=True, slots=True)
+class OrderedPartition:
+    """An ordered partition ``(Π₀, Π₁)`` of ``Z = {1..2n}`` (Definition 13).
+
+    The partition is *induced by the interval* ``[i, j]``: one part is
+    ``Z[i, j]``, the other its complement.  ``interval_part`` records
+    which of the two parts (0 or 1) is the interval ``Z[i, j]``.
+    """
+
+    n: int
+    lo: int
+    hi: int
+    interval_part: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise PartitionError(f"need n >= 1, got {self.n}")
+        if not (1 <= self.lo <= self.hi <= 2 * self.n):
+            raise PartitionError(
+                f"interval [{self.lo}, {self.hi}] out of range for Z = [1, {2 * self.n}]"
+            )
+        if self.interval_part not in (0, 1):
+            raise PartitionError("interval_part must be 0 or 1")
+
+    @property
+    def universe(self) -> ZSet:
+        """``Z = {1, ..., 2n}``."""
+        return frozenset(range(1, 2 * self.n + 1))
+
+    @property
+    def interval(self) -> ZSet:
+        """``Z[lo, hi]``."""
+        return frozenset(range(self.lo, self.hi + 1))
+
+    def part(self, index: int) -> ZSet:
+        """``Π_index``; part ``interval_part`` is the interval."""
+        if index not in (0, 1):
+            raise PartitionError("part index must be 0 or 1")
+        interval = self.interval
+        if index == self.interval_part:
+            return interval
+        return self.universe - interval
+
+    @property
+    def parts(self) -> tuple[ZSet, ZSet]:
+        """``(Π₀, Π₁)``."""
+        return self.part(0), self.part(1)
+
+    @property
+    def is_balanced(self) -> bool:
+        """``2n/3 ≤ |Π₀|, |Π₁| ≤ 4n/3`` (Definition 13, exact rationals)."""
+        bound_lo = Fraction(2 * self.n, 3)
+        bound_hi = Fraction(4 * self.n, 3)
+        size = self.hi - self.lo + 1
+        other = 2 * self.n - size
+        return bound_lo <= size <= bound_hi and bound_lo <= other <= bound_hi
+
+    def side_of(self, element: int) -> int:
+        """Return 0 or 1: the part containing ``z_element``."""
+        if not 1 <= element <= 2 * self.n:
+            raise PartitionError(f"element {element} outside Z = [1, {2 * self.n}]")
+        inside = self.lo <= element <= self.hi
+        return self.interval_part if inside else 1 - self.interval_part
+
+    def split_pairs(self) -> frozenset[int]:
+        """The set ``G``: indices ``i ∈ [n]`` with ``x_i``, ``y_i`` on
+        different sides of the partition (Section 4.3)."""
+        return frozenset(
+            i for i in range(1, self.n + 1) if self.side_of(i) != self.side_of(i + self.n)
+        )
+
+
+class SetRectangle:
+    """An ordered ``(Π₀, Π₁)``-set rectangle ``R = S × T`` (Definition 14).
+
+    ``S ⊆ 𝒫(Π₀)`` and ``T ⊆ 𝒫(Π₁)``; following the paper's convention,
+    ``S × T`` denotes ``{U ∪ V | U ∈ S, V ∈ T}`` (the parts are disjoint,
+    so the union is a faithful pairing).
+
+    >>> p = OrderedPartition(n=2, lo=1, hi=2)
+    >>> r = SetRectangle(p, s={frozenset(), frozenset({1})}, t={frozenset({3})})
+    >>> sorted(sorted(m) for m in r.members())
+    [[1, 3], [3]]
+    """
+
+    __slots__ = ("partition", "s", "t")
+
+    def __init__(
+        self,
+        partition: OrderedPartition,
+        s: Iterable[ZSet],
+        t: Iterable[ZSet],
+    ) -> None:
+        pi0, pi1 = partition.parts
+        s_set = frozenset(frozenset(u) for u in s)
+        t_set = frozenset(frozenset(v) for v in t)
+        for u in s_set:
+            if not u <= pi0:
+                raise RectangleError(f"S member {sorted(u)} is not a subset of Π₀")
+        for v in t_set:
+            if not v <= pi1:
+                raise RectangleError(f"T member {sorted(v)} is not a subset of Π₁")
+        self.partition = partition
+        self.s = s_set
+        self.t = t_set
+
+    @property
+    def is_balanced(self) -> bool:
+        """Whether the underlying partition is balanced."""
+        return self.partition.is_balanced
+
+    @property
+    def n_members(self) -> int:
+        """``|S| · |T|``."""
+        return len(self.s) * len(self.t)
+
+    def members(self) -> Iterator[ZSet]:
+        """Yield all members ``U ∪ V``."""
+        for u in self.s:
+            for v in self.t:
+                yield u | v
+
+    def member_set(self) -> frozenset[ZSet]:
+        """All members as a frozenset."""
+        return frozenset(self.members())
+
+    def __contains__(self, zset: object) -> bool:
+        if not isinstance(zset, frozenset):
+            return False
+        pi0, _pi1 = self.partition.parts
+        return (zset & pi0) in self.s and (zset - pi0) in self.t
+
+    def __repr__(self) -> str:
+        return (
+            f"SetRectangle(n={self.partition.n}, interval=[{self.partition.lo}, "
+            f"{self.partition.hi}], |S|={len(self.s)}, |T|={len(self.t)})"
+        )
+
+
+def rectangle_to_set_rectangle(rect: Rectangle) -> SetRectangle:
+    """Lemma 15, forward direction: a word rectangle of length ``2n`` is a
+    ``[n1+1, n1+n2]``-set rectangle.
+
+    ``S`` collects the ``a``-positions contributed by ``L1`` (prefix and
+    suffix zones), ``T`` those contributed by ``L2`` (shifted into the
+    middle zone).
+    """
+    total = rect.word_length
+    if total % 2:
+        raise RectangleError("the set view needs even word length 2n")
+    n = total // 2
+    lo, hi = rect.middle_interval
+    partition = OrderedPartition(n=n, lo=lo, hi=hi, interval_part=1)
+    s: set[ZSet] = set()
+    for outer_word in rect.outer:
+        w1, w3 = outer_word[: rect.n1], outer_word[rect.n1 :]
+        padded = w1 + "b" * rect.n2 + w3
+        s.add(word_to_zset(padded))
+    t: set[ZSet] = set()
+    for inner_word in rect.inner:
+        padded = "b" * rect.n1 + inner_word + "b" * rect.n3
+        t.add(word_to_zset(padded))
+    # Π₀ is the outer zone, Π₁ the middle interval: S ⊆ 𝒫(Π₀), T ⊆ 𝒫(Π₁).
+    return SetRectangle(partition, s, t)
+
+
+def set_rectangle_to_rectangle(set_rect: SetRectangle) -> Rectangle:
+    """Lemma 15, converse direction: an ``[i, j]``-set rectangle over
+    ``Z = [1, 2n]`` is a word rectangle with ``n1 = i-1``, ``n2 = j-i+1``,
+    ``n3 = 2n - j``.
+    """
+    partition = set_rect.partition
+    total = 2 * partition.n
+    n1 = partition.lo - 1
+    n2 = partition.hi - partition.lo + 1
+    n3 = total - partition.hi
+    # Whichever of S/T lives on the interval part supplies the inner words.
+    if partition.interval_part == 1:
+        middle_family, outer_family = set_rect.t, set_rect.s
+    else:
+        middle_family, outer_family = set_rect.s, set_rect.t
+    inner: set[str] = set()
+    for v in middle_family:
+        shifted = frozenset(e - n1 for e in v)
+        inner.add(zset_to_word(shifted, n2))
+    outer: set[str] = set()
+    for u in outer_family:
+        word = zset_to_word(u, total)
+        outer.add(word[:n1] + word[n1 + n2 :])
+    return Rectangle(outer=outer, inner=inner, n1=n1, n2=n2, n3=n3, alphabet=AB)

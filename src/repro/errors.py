@@ -1,0 +1,98 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every invariant violation inside the library raises a subclass of
+:class:`ReproError`.  Functions never signal failure through sentinel
+return values: if a grammar is malformed, a language is infinite where a
+finite one is required, or a certificate does not check out, an exception
+carrying a human-readable diagnosis is raised instead.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GrammarError",
+    "NotInLanguageError",
+    "InfiniteLanguageError",
+    "InfiniteAmbiguityError",
+    "NotUnambiguousError",
+    "NotInChomskyNormalFormError",
+    "MixedLengthLanguageError",
+    "AutomatonError",
+    "RectangleError",
+    "PartitionError",
+    "CertificateError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class GrammarError(ReproError):
+    """A context-free grammar is structurally invalid.
+
+    Raised e.g. when a rule mentions a symbol that is neither a declared
+    terminal nor a declared non-terminal, when the start symbol is not a
+    non-terminal, or when terminals and non-terminals overlap.
+    """
+
+
+class NotInLanguageError(ReproError):
+    """A word was required to belong to a language but does not."""
+
+
+class InfiniteLanguageError(ReproError):
+    """An operation that needs a finite language met an infinite one.
+
+    The paper (Section 2) only deals with finite languages; enumeration,
+    exact counting and ambiguity checking in this library insist on
+    finiteness and raise this error otherwise.
+    """
+
+
+class InfiniteAmbiguityError(ReproError):
+    """A word has infinitely many derivations (cyclic unit/epsilon chains)."""
+
+
+class NotUnambiguousError(ReproError):
+    """An operation that requires an unambiguous grammar got an ambiguous one."""
+
+
+class NotInChomskyNormalFormError(ReproError):
+    """A grammar was required to be in Chomsky normal form but is not."""
+
+
+class MixedLengthLanguageError(ReproError):
+    """A language was required to have all words of one length but does not.
+
+    Observation 9 of the paper and everything that builds on it (the
+    length-indexing transform of Lemma 10, rectangle extraction of
+    Proposition 7) only applies to uniform-length languages.
+    """
+
+
+class AutomatonError(ReproError):
+    """A finite automaton is structurally invalid."""
+
+
+class RectangleError(ReproError):
+    """A (set of) combinatorial rectangle(s) violates a required property.
+
+    Used when rectangle parameters are inconsistent (Definition 5), when a
+    claimed cover is not a cover, or when a claimed disjoint cover overlaps.
+    """
+
+
+class PartitionError(ReproError):
+    """An ordered partition (Definition 13) is malformed or not applicable."""
+
+
+class CertificateError(ReproError):
+    """A lower-bound certificate failed verification.
+
+    The discrepancy-based lower bound of Section 4 is assembled from exact
+    integer quantities; if any of the inequalities the proof relies on does
+    not hold for the given parameters, this error is raised rather than
+    reporting a wrong bound.
+    """

@@ -1,0 +1,43 @@
+"""Factorised representations (d-representations) and the CFG isomorphism.
+
+The database-theoretic frame of the paper: CFGs of finite languages *are*
+d-representations [20], so uCFG lower bounds are lower bounds on
+deterministic factorised representations.
+"""
+
+from repro.factorized.convert import cfg_to_drep, drep_to_cfg
+from repro.factorized.drep import Atom, Concat, DRep, NodeId, Union
+from repro.factorized.ops import (
+    concat_drep,
+    drep_contains,
+    enumerate_drep,
+    restrict_length,
+    union_drep,
+)
+from repro.factorized.updates import FactorisedRelation
+from repro.factorized.relations import (
+    factorise_relation,
+    language_to_tuples,
+    product_drep,
+    tuples_to_language,
+)
+
+__all__ = [
+    "DRep",
+    "Atom",
+    "Concat",
+    "Union",
+    "NodeId",
+    "cfg_to_drep",
+    "drep_to_cfg",
+    "tuples_to_language",
+    "language_to_tuples",
+    "product_drep",
+    "factorise_relation",
+    "union_drep",
+    "concat_drep",
+    "drep_contains",
+    "enumerate_drep",
+    "restrict_length",
+    "FactorisedRelation",
+]

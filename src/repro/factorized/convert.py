@@ -1,0 +1,102 @@
+"""The CFG ↔ d-representation isomorphism (for finite languages).
+
+[20] prove that CFGs accepting finite languages and d-representations in
+the unnamed perspective are the same objects up to isomorphism; this
+module implements both directions so the claim is executable:
+
+* :func:`cfg_to_drep` — non-terminal ↦ union gate over one concatenation
+  gate per rule body (singleton bodies are inlined);
+* :func:`drep_to_cfg` — union gate ↦ non-terminal, concatenation gate ↦
+  rule body.
+
+Round-tripping preserves the language exactly and the size up to the
+small constant slack the two size measures allow; the tests and benchmark
+E10 measure it on the full grammar corpus of this repository.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GrammarError
+from repro.factorized.drep import Atom, Concat, DRep, Node, NodeId, Union
+from repro.grammars.analysis import require_finite_language, trim
+from repro.grammars.cfg import CFG, NonTerminal, Rule
+from repro.words.alphabet import Alphabet
+
+__all__ = ["cfg_to_drep", "drep_to_cfg"]
+
+
+def cfg_to_drep(grammar: CFG) -> DRep:
+    """Convert a finite-language CFG into an equivalent d-representation.
+
+    The grammar is trimmed first.  Unambiguous grammars map to
+    deterministic d-representations (tested on the corpus).
+
+    >>> from repro.grammars.cfg import grammar_from_mapping
+    >>> g = grammar_from_mapping("ab", {"S": ["ab", "ba"]}, "S")
+    >>> sorted(cfg_to_drep(g).language())
+    ['ab', 'ba']
+    """
+    require_finite_language(grammar, "cfg_to_drep")
+    g = trim(grammar)
+    nodes: dict[NodeId, Node] = {}
+    # One atom per terminal, plus the empty word when needed.
+    for terminal in g.terminals:
+        nodes[("atom", terminal)] = Atom(terminal)
+
+    def symbol_node(symbol) -> NodeId:
+        if g.is_terminal(symbol):
+            return ("atom", symbol)
+        return ("nt", symbol)
+
+    for nt in g.nonterminals:
+        rules = g.rules_for(nt)
+        children: list[NodeId] = []
+        for index, rule in enumerate(rules):
+            if len(rule.rhs) == 0:
+                eps: NodeId = ("atom", "")
+                nodes.setdefault(eps, Atom(""))
+                children.append(eps)
+            elif len(rule.rhs) == 1:
+                children.append(symbol_node(rule.rhs[0]))
+            else:
+                body_id: NodeId = ("body", nt, index)
+                nodes[body_id] = Concat(tuple(symbol_node(s) for s in rule.rhs))
+                children.append(body_id)
+        nodes[("nt", nt)] = Union(tuple(children))
+    if ("nt", g.start) not in nodes:
+        nodes[("nt", g.start)] = Union(())
+    drep = DRep(nodes, root=("nt", g.start))
+    return drep
+
+
+def drep_to_cfg(drep: DRep, alphabet: Alphabet | str) -> CFG:
+    """Convert a d-representation into an equivalent CFG.
+
+    Every node becomes a non-terminal: a union gate contributes one rule
+    per child, a concatenation gate a single rule with its children as
+    the body, an atom a single rule spelling out its constant word.
+
+    >>> from repro.factorized.drep import Atom, Union, DRep
+    >>> d = DRep({"x": Atom("a"), "y": Atom("b"), "u": Union(("x", "y"))}, "u")
+    >>> from repro.grammars.language import language
+    >>> sorted(language(drep_to_cfg(d, "ab")))
+    ['a', 'b']
+    """
+    sigma = alphabet if isinstance(alphabet, Alphabet) else Alphabet(alphabet)
+    nts: list[NonTerminal] = [("n", node_id) for node_id in drep.nodes]
+    rules: list[Rule] = []
+    for node_id, node in drep.nodes.items():
+        lhs: NonTerminal = ("n", node_id)
+        if isinstance(node, Atom):
+            for ch in node.word:
+                if ch not in sigma:
+                    raise GrammarError(
+                        f"atom {node.word!r} uses symbol {ch!r} outside the alphabet"
+                    )
+            rules.append(Rule(lhs, tuple(node.word)))
+        elif isinstance(node, Union):
+            for child in node.children:
+                rules.append(Rule(lhs, (("n", child),)))
+        else:
+            rules.append(Rule(lhs, tuple(("n", child) for child in node.children)))
+    return CFG(sigma, nts, rules, ("n", drep.root))

@@ -1,0 +1,226 @@
+"""d-representations: {∪, ×}-circuits for finite languages.
+
+[Kimelfeld, Martens & Niewerth, ICDT 2025] — the paper this repository
+reproduces builds on — observe that CFGs of finite languages are
+isomorphic to *d-representations* in the unnamed perspective: DAG-shaped
+circuits whose internal gates are unions and concatenations and whose
+leaves are constant words.  This module implements those circuits
+directly: evaluation (the represented language), the size measure
+matching the grammar measure ``Σ|rhs|`` (total fan-in of union-of-
+concatenation layers), exact counting, and the determinism (unambiguity)
+notion under which counting is sound.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+__all__ = ["Atom", "Concat", "Union", "DRep", "NodeId"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A constant-word leaf (possibly the empty word)."""
+
+    word: str
+
+
+@dataclass(frozen=True, slots=True)
+class Concat:
+    """A concatenation gate: the product of its children's languages."""
+
+    children: tuple[NodeId, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Union:
+    """A union gate: the union of its children's languages."""
+
+    children: tuple[NodeId, ...]
+
+
+Node = Atom | Concat | Union
+
+
+class DRep:
+    """A d-representation: a DAG of union/concatenation/atom nodes.
+
+    The node mapping is validated eagerly: every referenced child must
+    exist and the reference graph must be acyclic (finite languages only,
+    exactly as in the paper's setting).
+
+    >>> d = DRep({"x": Atom("a"), "y": Atom("b"),
+    ...           "u": Union(("x", "y")), "c": Concat(("u", "u"))}, root="c")
+    >>> sorted(d.language())
+    ['aa', 'ab', 'ba', 'bb']
+    >>> d.size
+    4
+    """
+
+    __slots__ = ("nodes", "root", "_order")
+
+    def __init__(self, nodes: Mapping[NodeId, Node], root: NodeId) -> None:
+        if root not in nodes:
+            raise ReproError(f"root {root!r} is not a node")
+        for node_id, node in nodes.items():
+            if isinstance(node, (Concat, Union)):
+                for child in node.children:
+                    if child not in nodes:
+                        raise ReproError(f"node {node_id!r} references missing child {child!r}")
+            elif not isinstance(node, Atom):
+                raise ReproError(f"node {node_id!r} has unsupported type {type(node).__name__}")
+        self.nodes = dict(nodes)
+        self.root = root
+        self._order = self._topological_order()
+
+    def _topological_order(self) -> list[NodeId]:
+        """Children-first order; raises on cycles."""
+        order: list[NodeId] = []
+        state: dict[NodeId, int] = {}
+        for start in self.nodes:
+            if start in state:
+                continue
+            stack: list[tuple[NodeId, int]] = [(start, 0)]
+            while stack:
+                node_id, phase = stack.pop()
+                if phase == 1:
+                    state[node_id] = 2
+                    order.append(node_id)
+                    continue
+                if state.get(node_id) == 1:
+                    raise ReproError("d-representation contains a cycle")
+                if node_id in state:
+                    continue
+                state[node_id] = 1
+                stack.append((node_id, 1))
+                node = self.nodes[node_id]
+                if isinstance(node, (Concat, Union)):
+                    for child in node.children:
+                        if state.get(child) == 1:
+                            raise ReproError("d-representation contains a cycle")
+                        if child not in state:
+                            stack.append((child, 0))
+        return order
+
+    # ------------------------------------------------------------------
+    # Size measures
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """The grammar-compatible size: total fan-in of concatenation
+        gates plus, for union gates, one per *non-concatenation* child.
+
+        Under the CFG ↔ d-rep isomorphism a union gate is a non-terminal
+        and each of its children a rule body; a concatenation child of
+        fan-in ``k`` contributes ``k`` (the body length), any other child
+        contributes ``1`` (a singleton body).  A single-symbol atom is a
+        terminal (already paid for by the referencing gate, so 0); a
+        longer constant word corresponds to a spelled-out rule ``A_w → w``
+        of size ``|w|``.
+        """
+        total = 0
+        for node in self.nodes.values():
+            if isinstance(node, Concat):
+                total += len(node.children)
+            elif isinstance(node, Union):
+                total += sum(
+                    0 if isinstance(self.nodes[c], Concat) else 1 for c in node.children
+                )
+            elif len(node.word) != 1:
+                total += len(node.word)
+        return total
+
+    @property
+    def n_edges(self) -> int:
+        """Total number of child references."""
+        return sum(
+            len(node.children)
+            for node in self.nodes.values()
+            if isinstance(node, (Concat, Union))
+        )
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def languages(self) -> dict[NodeId, frozenset[str]]:
+        """The language of every node, bottom-up."""
+        langs: dict[NodeId, frozenset[str]] = {}
+        for node_id in self._order:
+            node = self.nodes[node_id]
+            if isinstance(node, Atom):
+                langs[node_id] = frozenset({node.word})
+            elif isinstance(node, Union):
+                acc: set[str] = set()
+                for child in node.children:
+                    acc |= langs[child]
+                langs[node_id] = frozenset(acc)
+            else:
+                partial: set[str] = {""}
+                for child in node.children:
+                    partial = {w + p for w in partial for p in langs[child]}
+                langs[node_id] = frozenset(partial)
+        return langs
+
+    def language(self) -> frozenset[str]:
+        """The represented language (of the root)."""
+        return self.languages()[self.root]
+
+    def count_derivations(self) -> int:
+        """The derivation count: ``Σ`` over unions, ``Π`` over concats.
+
+        Equals ``|language()|`` exactly when the representation is
+        deterministic/unambiguous (see :meth:`is_unambiguous`); in
+        general it over-counts — the same phenomenon as CFG parse trees
+        vs words.
+        """
+        counts: dict[NodeId, int] = {}
+        for node_id in self._order:
+            node = self.nodes[node_id]
+            if isinstance(node, Atom):
+                counts[node_id] = 1
+            elif isinstance(node, Union):
+                counts[node_id] = sum(counts[c] for c in node.children)
+            else:
+                value = 1
+                for child in node.children:
+                    value *= counts[child]
+                counts[node_id] = value
+        return counts[self.root]
+
+    def is_unambiguous(self) -> bool:
+        """Whether every word of every node has a unique derivation.
+
+        Checked bottom-up and exactly: union children must be pairwise
+        disjoint and concatenations must split unambiguously; equivalently
+        the derivation count equals the language size at every node.
+        """
+        langs = self.languages()
+        counts: dict[NodeId, int] = {}
+        for node_id in self._order:
+            node = self.nodes[node_id]
+            if isinstance(node, Atom):
+                counts[node_id] = 1
+            elif isinstance(node, Union):
+                counts[node_id] = sum(counts[c] for c in node.children)
+            else:
+                value = 1
+                for child in node.children:
+                    value *= counts[child]
+                counts[node_id] = value
+            if counts[node_id] != len(langs[node_id]):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"DRep(|nodes|={self.n_nodes}, size={self.size}, root={self.root!r})"

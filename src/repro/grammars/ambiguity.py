@@ -1,0 +1,100 @@
+"""Deciding (un)ambiguity of finite-language grammars.
+
+Ambiguity of general CFGs is undecidable, but the paper works exclusively
+with finite languages, where it is decidable by brute force: enumerate the
+language and count the parse trees of every word.  A grammar is
+*unambiguous* iff every word of its language has exactly one parse tree
+(Section 2).
+
+The counting runs on the original grammar (no normal-form conversion), so
+witnesses like Figure 1's two parse trees of ``aaaaaa`` under the
+Example 3 grammar come out verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NotUnambiguousError
+from repro.grammars.generic import GenericParser
+from repro.grammars.language import language
+from repro.grammars.cfg import CFG
+from repro.grammars.trees import ParseTree
+
+__all__ = [
+    "ambiguity_profile",
+    "is_unambiguous",
+    "require_unambiguous",
+    "find_ambiguous_word",
+    "ambiguity_witness",
+    "max_ambiguity",
+]
+
+
+def ambiguity_profile(grammar: CFG) -> dict[str, int]:
+    """Return ``{word: number of parse trees}`` over the whole language.
+
+    Every count is ≥ 1 by construction; a count ≥ 2 witnesses ambiguity.
+    """
+    parser = GenericParser(grammar)
+    return {word: parser.count(word) for word in language(grammar)}
+
+
+def is_unambiguous(grammar: CFG) -> bool:
+    """Decide whether the finite-language grammar is unambiguous.
+
+    >>> from repro.grammars.cfg import grammar_from_mapping
+    >>> ambiguous = grammar_from_mapping("ab", {"S": ["ab", "aX"], "X": ["b"]}, "S")
+    >>> is_unambiguous(ambiguous)
+    False
+    """
+    parser = GenericParser(grammar)
+    return all(parser.count(word) == 1 for word in language(grammar))
+
+
+def require_unambiguous(grammar: CFG, operation: str) -> None:
+    """Raise :class:`NotUnambiguousError` unless the grammar is unambiguous."""
+    witness = find_ambiguous_word(grammar)
+    if witness is not None:
+        raise NotUnambiguousError(
+            f"{operation} requires an unambiguous grammar, but {witness!r} has "
+            "more than one parse tree"
+        )
+
+
+def find_ambiguous_word(grammar: CFG) -> str | None:
+    """Return some word with ≥ 2 parse trees, or ``None`` if unambiguous.
+
+    Words are tried shortest-first, so the returned witness is one of the
+    shortest ambiguous words.
+    """
+    parser = GenericParser(grammar)
+    for word in sorted(language(grammar), key=lambda w: (len(w), w)):
+        if parser.count(word) >= 2:
+            return word
+    return None
+
+
+def ambiguity_witness(grammar: CFG) -> tuple[str, ParseTree, ParseTree] | None:
+    """Return ``(word, tree1, tree2)`` with two distinct parse trees.
+
+    This reproduces Figure 1 of the paper programmatically: applied to the
+    Example 3 grammar it yields a word together with two structurally
+    different parse trees.  Returns ``None`` for unambiguous grammars.
+    """
+    word = find_ambiguous_word(grammar)
+    if word is None:
+        return None
+    trees = GenericParser(grammar).iter_trees(word)
+    first = next(trees)
+    second = next(trees)
+    return word, first, second
+
+
+def max_ambiguity(grammar: CFG) -> int:
+    """Return the largest parse-tree count over all words of the language.
+
+    ``1`` for unambiguous grammars, ``0`` for the empty language.
+    """
+    profile = ambiguity_profile(grammar)
+    return max(profile.values(), default=0)

@@ -1,0 +1,304 @@
+"""Context-free grammars with the paper's size measure (Definition 2).
+
+A grammar is a four-tuple ``G = (Σ, N, R, S)``.  Terminals are
+single-character strings; non-terminals are arbitrary hashable objects
+(strings like ``"A"`` or tuples like ``("A", 3)`` — the latter is what the
+length-indexing transform of Lemma 10 produces).  The *size* of a grammar
+is ``|G| = Σ_{(A → W) ∈ R} |W|``, the sum of the lengths of all right-hand
+sides; this is the measure under which all of the paper's bounds are
+stated (it corresponds to the size of factorised representations).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from dataclasses import dataclass
+
+from repro.errors import GrammarError
+from repro.words.alphabet import Alphabet
+
+__all__ = ["NonTerminal", "Symbol", "Rule", "CFG"]
+
+#: A non-terminal symbol: any hashable object that is not a terminal.
+NonTerminal = Hashable
+#: A sentential symbol: either a terminal (single-char str) or a non-terminal.
+Symbol = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """A production ``lhs -> rhs`` where ``rhs`` is a tuple of symbols.
+
+    The empty tuple encodes an epsilon rule ``A -> ε``.  Rules compare and
+    hash structurally, so a rule set cannot contain duplicates — matching
+    the paper's convention that ``A -> W | W'`` denotes *two* rules.
+    """
+
+    lhs: NonTerminal
+    rhs: tuple[Symbol, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rhs, tuple):
+            raise GrammarError(
+                f"rule right-hand side must be a tuple of symbols, got {type(self.rhs).__name__}"
+            )
+
+    @property
+    def size(self) -> int:
+        """The contribution ``|W|`` of this rule to the grammar size."""
+        return len(self.rhs)
+
+    def __str__(self) -> str:
+        rhs = " ".join(_symbol_str(s) for s in self.rhs) if self.rhs else "ε"
+        return f"{_symbol_str(self.lhs)} -> {rhs}"
+
+
+def _symbol_str(symbol: Symbol) -> str:
+    """Render a symbol compactly for diagnostics."""
+    if isinstance(symbol, str):
+        return symbol
+    if isinstance(symbol, tuple):
+        return "⟨" + ",".join(_symbol_str(s) for s in symbol) + "⟩"
+    return repr(symbol)
+
+
+class CFG:
+    """A context-free grammar ``(Σ, N, R, S)`` — Definition 2 of the paper.
+
+    Instances are immutable once constructed and validate their structure
+    eagerly: every rule's left-hand side must be a declared non-terminal,
+    every right-hand-side symbol must be a declared terminal or
+    non-terminal, and the terminal and non-terminal sets must be disjoint.
+
+    >>> g = CFG(terminals="ab", nonterminals=["S"],
+    ...         rules=[("S", ("a", "S", "b")), ("S", ())], start="S")
+    >>> g.size
+    3
+    >>> len(g.rules)
+    2
+    """
+
+    __slots__ = ("_alphabet", "_nonterminals", "_rules", "_start", "_by_lhs")
+
+    def __init__(
+        self,
+        terminals: Alphabet | Iterable[str],
+        nonterminals: Iterable[NonTerminal],
+        rules: Iterable[Rule | tuple[NonTerminal, tuple[Symbol, ...]]],
+        start: NonTerminal,
+    ) -> None:
+        alphabet = terminals if isinstance(terminals, Alphabet) else Alphabet(terminals)
+        nts = list(nonterminals)
+        nt_set = set(nts)
+        if len(nt_set) != len(nts):
+            raise GrammarError("duplicate non-terminals in declaration")
+        overlap = {t for t in alphabet if t in nt_set}
+        if overlap:
+            raise GrammarError(f"symbols declared both terminal and non-terminal: {overlap!r}")
+        if start not in nt_set:
+            raise GrammarError(f"start symbol {start!r} is not a declared non-terminal")
+
+        normalised: list[Rule] = []
+        seen: set[Rule] = set()
+        for item in rules:
+            rule = item if isinstance(item, Rule) else Rule(item[0], tuple(item[1]))
+            if rule.lhs not in nt_set:
+                raise GrammarError(f"rule {rule} has undeclared left-hand side")
+            for sym in rule.rhs:
+                if sym not in nt_set and not (isinstance(sym, str) and sym in alphabet):
+                    raise GrammarError(f"rule {rule} mentions undeclared symbol {sym!r}")
+            if rule in seen:
+                continue  # rule sets are sets; silently deduplicate
+            seen.add(rule)
+            normalised.append(rule)
+
+        self._alphabet = alphabet
+        self._nonterminals: tuple[NonTerminal, ...] = tuple(nts)
+        self._rules: tuple[Rule, ...] = tuple(normalised)
+        self._start = start
+        by_lhs: dict[NonTerminal, list[Rule]] = {nt: [] for nt in nts}
+        for rule in normalised:
+            by_lhs[rule.lhs].append(rule)
+        self._by_lhs: dict[NonTerminal, tuple[Rule, ...]] = {
+            nt: tuple(rs) for nt, rs in by_lhs.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The terminal alphabet ``Σ``."""
+        return self._alphabet
+
+    @property
+    def terminals(self) -> tuple[str, ...]:
+        """The terminal symbols in alphabet order."""
+        return self._alphabet.symbols
+
+    @property
+    def nonterminals(self) -> tuple[NonTerminal, ...]:
+        """The non-terminals ``N`` in declaration order."""
+        return self._nonterminals
+
+    @property
+    def rules(self) -> tuple[Rule, ...]:
+        """The rule set ``R`` in declaration order (duplicates removed)."""
+        return self._rules
+
+    @property
+    def start(self) -> NonTerminal:
+        """The start symbol ``S``."""
+        return self._start
+
+    def rules_for(self, nonterminal: NonTerminal) -> tuple[Rule, ...]:
+        """Return the rules whose left-hand side is ``nonterminal``."""
+        try:
+            return self._by_lhs[nonterminal]
+        except KeyError:
+            raise GrammarError(f"{nonterminal!r} is not a non-terminal of this grammar") from None
+
+    def is_terminal(self, symbol: Symbol) -> bool:
+        """Return whether ``symbol`` is a terminal of this grammar."""
+        return isinstance(symbol, str) and symbol in self._alphabet
+
+    def is_nonterminal(self, symbol: Symbol) -> bool:
+        """Return whether ``symbol`` is a non-terminal of this grammar."""
+        return symbol in self._by_lhs
+
+    # ------------------------------------------------------------------
+    # The paper's size measure
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """``|G| = Σ_{(A → W) ∈ R} |W|`` — the paper's size measure.
+
+        This is *not* the rule count of [Bucher et al. 1981]; see the
+        Related Work discussion in Section 1 of the paper.
+        """
+        return sum(rule.size for rule in self._rules)
+
+    @property
+    def n_rules(self) -> int:
+        """The number of rules (the alternative measure of [7])."""
+        return len(self._rules)
+
+    # ------------------------------------------------------------------
+    # Normal-form predicates
+    # ------------------------------------------------------------------
+
+    def is_in_cnf(self) -> bool:
+        """Return whether every rule has the Chomsky-normal-form shape.
+
+        Allowed shapes are ``A -> B C`` (two non-terminals) and ``A -> a``
+        (one terminal), exactly as in Section 2 of the paper.  An epsilon
+        rule is permitted only on the start symbol, and only if the start
+        symbol never occurs on a right-hand side (the standard relaxation
+        needed when ``ε ∈ L``).
+        """
+        start_on_rhs = any(self._start in rule.rhs for rule in self._rules)
+        for rule in self._rules:
+            if len(rule.rhs) == 2:
+                if all(self.is_nonterminal(s) for s in rule.rhs):
+                    continue
+                return False
+            if len(rule.rhs) == 1:
+                if self.is_terminal(rule.rhs[0]):
+                    continue
+                return False
+            if len(rule.rhs) == 0:
+                if rule.lhs == self._start and not start_on_rhs:
+                    continue
+                return False
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Derived grammars
+    # ------------------------------------------------------------------
+
+    def restricted_to(self, keep: Iterable[NonTerminal]) -> CFG:
+        """Return the grammar using only non-terminals in ``keep``.
+
+        Rules mentioning any dropped non-terminal (on either side) are
+        removed.  The start symbol must be kept.
+        """
+        keep_set = set(keep)
+        if self._start not in keep_set:
+            raise GrammarError("restricted_to: cannot drop the start symbol")
+        unknown = keep_set - set(self._nonterminals)
+        if unknown:
+            raise GrammarError(f"restricted_to: unknown non-terminals {unknown!r}")
+        new_rules = [
+            rule
+            for rule in self._rules
+            if rule.lhs in keep_set
+            and all(self.is_terminal(s) or s in keep_set for s in rule.rhs)
+        ]
+        new_nts = [nt for nt in self._nonterminals if nt in keep_set]
+        return CFG(self._alphabet, new_nts, new_rules, self._start)
+
+    def with_start(self, start: NonTerminal) -> CFG:
+        """Return the same grammar with a different start symbol."""
+        return CFG(self._alphabet, self._nonterminals, self._rules, start)
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CFG):
+            return NotImplemented
+        return (
+            self._alphabet == other._alphabet
+            and set(self._nonterminals) == set(other._nonterminals)
+            and set(self._rules) == set(other._rules)
+            and self._start == other._start
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._alphabet, frozenset(self._nonterminals), frozenset(self._rules), self._start))
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __repr__(self) -> str:
+        return (
+            f"CFG(|Σ|={len(self._alphabet)}, |N|={len(self._nonterminals)}, "
+            f"|R|={len(self._rules)}, size={self.size}, start={_symbol_str(self._start)})"
+        )
+
+    def pretty(self) -> str:
+        """Render all rules, one per line, grouped by left-hand side."""
+        lines = []
+        for nt in self._nonterminals:
+            for rule in self._by_lhs[nt]:
+                lines.append(str(rule))
+        return "\n".join(lines)
+
+
+def grammar_from_mapping(
+    terminals: Alphabet | Iterable[str],
+    productions: Mapping[NonTerminal, Iterable[Iterable[Symbol] | str]],
+    start: NonTerminal,
+) -> CFG:
+    """Build a :class:`CFG` from a ``{lhs: [rhs, ...]}`` mapping.
+
+    Each right-hand side may be given as an iterable of symbols or, as a
+    convenience, a plain string which is split into its characters (all of
+    which must then be terminals or single-character non-terminals).
+
+    >>> g = grammar_from_mapping("ab", {"S": ["aSb", ""]}, "S")
+    >>> g.size
+    3
+    """
+    alphabet = terminals if isinstance(terminals, Alphabet) else Alphabet(terminals)
+    nts = list(productions.keys())
+    rules: list[Rule] = []
+    for lhs, bodies in productions.items():
+        for body in bodies:
+            rhs = tuple(body) if not isinstance(body, str) else tuple(body)
+            rules.append(Rule(lhs, rhs))
+    return CFG(alphabet, nts, rules, start)

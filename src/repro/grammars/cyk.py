@@ -1,0 +1,170 @@
+"""CYK parsing for grammars in Chomsky normal form.
+
+Membership, exact parse-tree counting (with arbitrary-precision integers —
+grammar ambiguity can make counts astronomically large), and lazy
+enumeration of all parse trees.  These are the workhorses behind the
+ambiguity checks of Example 4 and the parse-tree descent of
+Proposition 7.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import NotInChomskyNormalFormError
+from repro.grammars.cfg import CFG, NonTerminal
+from repro.grammars.trees import ParseTree, leaf, node
+
+__all__ = ["CYKChart", "cyk_chart", "recognises", "count_parse_trees", "iter_parse_trees", "one_parse_tree"]
+
+
+def _require_cnf(grammar: CFG) -> None:
+    if not grammar.is_in_cnf():
+        raise NotInChomskyNormalFormError(
+            "CYK requires a grammar in Chomsky normal form; use repro.grammars.cnf.to_cnf"
+        )
+
+
+class CYKChart:
+    """The CYK dynamic-programming chart for one grammar/word pair.
+
+    ``counts[(i, j)][A]`` is the exact number of parse trees deriving the
+    factor ``word[i:j]`` from non-terminal ``A``.  The chart is computed
+    once and then shared by membership tests, counting, and enumeration.
+    """
+
+    def __init__(self, grammar: CFG, word: str) -> None:
+        _require_cnf(grammar)
+        self.grammar = grammar
+        self.word = word
+        n = len(word)
+        counts: dict[tuple[int, int], dict[NonTerminal, int]] = {}
+        binary_rules = [r for r in grammar.rules if len(r.rhs) == 2]
+        unary_rules = [r for r in grammar.rules if len(r.rhs) == 1]
+        # Length-1 spans.
+        for i in range(n):
+            cell: dict[NonTerminal, int] = {}
+            for rule in unary_rules:
+                if rule.rhs[0] == word[i]:
+                    cell[rule.lhs] = cell.get(rule.lhs, 0) + 1
+            counts[(i, i + 1)] = cell
+        # Longer spans.
+        for width in range(2, n + 1):
+            for i in range(0, n - width + 1):
+                j = i + width
+                cell = {}
+                for split in range(i + 1, j):
+                    left = counts[(i, split)]
+                    right = counts[(split, j)]
+                    if not left or not right:
+                        continue
+                    for rule in binary_rules:
+                        b, c = rule.rhs
+                        lb = left.get(b)
+                        if not lb:
+                            continue
+                        rc = right.get(c)
+                        if not rc:
+                            continue
+                        cell[rule.lhs] = cell.get(rule.lhs, 0) + lb * rc
+                counts[(i, j)] = cell
+        self._counts = counts
+
+    def count(self, symbol: NonTerminal | None = None, span: tuple[int, int] | None = None) -> int:
+        """Number of parse trees for ``word[span]`` rooted at ``symbol``.
+
+        Defaults: the start symbol over the whole word — i.e. the number
+        of parse trees of the word, which is 1 for every word of an
+        unambiguous grammar.  The empty word has a tree only via an
+        epsilon start rule, handled specially.
+        """
+        symbol = symbol if symbol is not None else self.grammar.start
+        span = span if span is not None else (0, len(self.word))
+        if span[0] == span[1]:
+            # Only the CNF-relaxed `S -> ε` rule can derive the empty span.
+            has_eps = any(
+                r.lhs == symbol and len(r.rhs) == 0 for r in self.grammar.rules_for(symbol)
+            )
+            return 1 if has_eps else 0
+        return self._counts[span].get(symbol, 0)
+
+    def symbols_at(self, span: tuple[int, int]) -> frozenset[NonTerminal]:
+        """The non-terminals deriving ``word[span]``."""
+        return frozenset(self._counts[span])
+
+    def iter_trees(
+        self, symbol: NonTerminal | None = None, span: tuple[int, int] | None = None
+    ) -> Iterator[ParseTree]:
+        """Lazily yield every parse tree of ``word[span]`` from ``symbol``.
+
+        Trees are produced in a deterministic order (split position, then
+        rule order).  The number of trees yielded always equals
+        :meth:`count` for the same arguments.
+        """
+        symbol = symbol if symbol is not None else self.grammar.start
+        span = span if span is not None else (0, len(self.word))
+        i, j = span
+        if i == j:
+            if self.count(symbol, span):
+                yield node(symbol, ())
+            return
+        if j == i + 1:
+            ch = self.word[i]
+            for rule in self.grammar.rules_for(symbol):
+                if len(rule.rhs) == 1 and rule.rhs[0] == ch:
+                    yield node(symbol, (leaf(ch),))
+            return
+        for split in range(i + 1, j):
+            left_cell = self._counts[(i, split)]
+            right_cell = self._counts[(split, j)]
+            if not left_cell or not right_cell:
+                continue
+            for rule in self.grammar.rules_for(symbol):
+                if len(rule.rhs) != 2:
+                    continue
+                b, c = rule.rhs
+                if b not in left_cell or c not in right_cell:
+                    continue
+                for left_tree in self.iter_trees(b, (i, split)):
+                    for right_tree in self.iter_trees(c, (split, j)):
+                        yield node(symbol, (left_tree, right_tree))
+
+
+def cyk_chart(grammar: CFG, word: str) -> CYKChart:
+    """Build and return the CYK chart for ``word`` under ``grammar``."""
+    return CYKChart(grammar, word)
+
+
+def recognises(grammar: CFG, word: str) -> bool:
+    """Return whether the CNF grammar derives ``word``.
+
+    >>> from repro.grammars.cfg import CFG
+    >>> g = CFG("ab", ["S", "A"], [("S", ("A", "A")), ("A", ("a",))], "S")
+    >>> recognises(g, "aa"), recognises(g, "ab")
+    (True, False)
+    """
+    return CYKChart(grammar, word).count() > 0
+
+
+def count_parse_trees(grammar: CFG, word: str) -> int:
+    """Return the exact number of parse trees of ``word``.
+
+    ``0`` means the word is not in the language; ``>= 2`` is a witness of
+    ambiguity (Figure 1 of the paper shows such a witness for the
+    Example 3 grammar).
+    """
+    return CYKChart(grammar, word).count()
+
+
+def iter_parse_trees(grammar: CFG, word: str) -> Iterator[ParseTree]:
+    """Lazily yield all parse trees of ``word`` under the CNF grammar."""
+    return CYKChart(grammar, word).iter_trees()
+
+
+def one_parse_tree(grammar: CFG, word: str) -> ParseTree:
+    """Return some parse tree of ``word``; raise if the word is rejected."""
+    from repro.errors import NotInLanguageError
+
+    for tree in CYKChart(grammar, word).iter_trees():
+        return tree
+    raise NotInLanguageError(f"{word!r} is not generated by the grammar")

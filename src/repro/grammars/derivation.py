@@ -1,0 +1,120 @@
+"""Derivations as sequences of sentential forms (Definition 2's ``⇒*``).
+
+The paper defines acceptance through derivations and then works with
+parse trees; this module makes the correspondence executable: a parse
+tree unfolds into its unique *leftmost* derivation, a claimed derivation
+can be replayed and validated step by step, and the equivalence "one
+parse tree ⇔ one leftmost derivation" (used implicitly when the paper
+says unambiguity means a unique derivation) is testable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GrammarError
+from repro.grammars.cfg import CFG, Rule, Symbol
+from repro.grammars.trees import ParseTree
+
+__all__ = [
+    "leftmost_derivation",
+    "derivation_steps",
+    "replay_derivation",
+    "format_derivation",
+]
+
+SententialForm = tuple[Symbol, ...]
+
+
+def leftmost_derivation(tree: ParseTree) -> list[SententialForm]:
+    """The leftmost derivation corresponding to a parse tree.
+
+    Returns the sequence of sentential forms from the root symbol to the
+    terminal word; consecutive forms differ by one application of the
+    tree's rule at the leftmost non-terminal.
+
+    >>> from repro.grammars.trees import leaf, node
+    >>> t = node("S", (leaf("a"), node("X", (leaf("b"),))))
+    >>> leftmost_derivation(t)
+    [('S',), ('a', 'X'), ('a', 'b')]
+    """
+    if tree.children is None:
+        raise GrammarError("a bare terminal leaf is not a derivation root")
+    forms: list[SententialForm] = [(tree.symbol,)]
+    # `pending[i]` is the subtree whose root is the i-th symbol of the
+    # current sentential form (None for terminals already emitted).
+    pending: list[ParseTree | None] = [tree]
+    while True:
+        # Find the leftmost expandable (inner-node) position.
+        position = next(
+            (i for i, sub in enumerate(pending) if sub is not None and sub.children is not None),
+            None,
+        )
+        if position is None:
+            break
+        subtree = pending[position]
+        assert subtree is not None and subtree.children is not None
+        replacement_symbols: list[Symbol] = [child.symbol for child in subtree.children]
+        replacement_trees: list[ParseTree | None] = [
+            child if child.children is not None else None for child in subtree.children
+        ]
+        current = forms[-1]
+        new_form = current[:position] + tuple(replacement_symbols) + current[position + 1 :]
+        forms.append(new_form)
+        pending = pending[:position] + replacement_trees + pending[position + 1 :]
+    return forms
+
+
+def derivation_steps(tree: ParseTree) -> list[Rule]:
+    """The rules applied along the leftmost derivation, in order."""
+    if tree.children is None:
+        raise GrammarError("a bare terminal leaf is not a derivation root")
+    rules: list[Rule] = []
+
+    def visit(node: ParseTree) -> None:
+        if node.children is None:
+            return
+        rules.append(node.rule())
+        for child in node.children:
+            visit(child)
+
+    visit(tree)
+    return rules
+
+
+def replay_derivation(
+    grammar: CFG, forms: list[SententialForm]
+) -> bool:
+    """Validate a claimed leftmost derivation against a grammar.
+
+    Checks every consecutive pair: the leftmost non-terminal of the
+    earlier form is rewritten by some rule of the grammar, everything
+    else unchanged.  The final form must be all-terminal.
+    """
+    if not forms:
+        return False
+    for current, following in zip(forms, forms[1:]):
+        position = next(
+            (i for i, s in enumerate(current) if grammar.is_nonterminal(s)), None
+        )
+        if position is None:
+            return False  # nothing left to rewrite but derivation continues
+        head = current[:position]
+        if following[:position] != head:
+            return False
+        tail = current[position + 1 :]
+        if tail and following[len(following) - len(tail) :] != tail:
+            return False
+        body = following[position : len(following) - len(tail)] if tail else following[position:]
+        if Rule(current[position], tuple(body)) not in set(grammar.rules):
+            return False
+    return all(grammar.is_terminal(s) for s in forms[-1])
+
+
+def format_derivation(forms: list[SententialForm]) -> str:
+    """Render a derivation as ``S ⇒ aX ⇒ ab``."""
+
+    def render(form: SententialForm) -> str:
+        if not form:
+            return "ε"
+        return "".join(s if isinstance(s, str) and len(s) == 1 else f"⟨{s}⟩" for s in form)
+
+    return " ⇒ ".join(render(form) for form in forms)

@@ -1,0 +1,182 @@
+"""Finite-language extraction and exact counting.
+
+For a finite language (the only kind the paper considers) the trimmed
+grammar's non-terminal dependency graph is acyclic, so the language of
+every non-terminal can be computed bottom-up in topological order.  This
+module also exposes the two counting notions whose divergence is the
+algorithmic heart of the CFG/uCFG contrast:
+
+* :func:`count_derivations` — the number of parse trees from the start
+  symbol, computable in time polynomial in the grammar size;
+* :func:`count_words` — the number of *distinct* words, which coincides
+  with the former exactly for unambiguous grammars (counting for general
+  CFGs is #P-complete, so here it falls back to enumeration).
+"""
+
+from __future__ import annotations
+
+import graphlib
+from collections.abc import Iterator
+
+from repro.errors import InfiniteLanguageError
+from repro.grammars.analysis import require_finite_language, trim
+from repro.grammars.cfg import CFG, NonTerminal
+
+__all__ = [
+    "languages_by_nonterminal",
+    "language",
+    "iter_language",
+    "count_words",
+    "count_derivations",
+    "derivations_by_length",
+    "words_by_length",
+    "accepts_language",
+    "same_language",
+]
+
+#: Guard against accidentally materialising astronomically large languages.
+DEFAULT_MAX_WORDS = 5_000_000
+
+
+def _topological_nonterminals(grammar: CFG) -> list[NonTerminal]:
+    """Non-terminals of a trimmed finite-language grammar, dependencies first."""
+    sorter: graphlib.TopologicalSorter = graphlib.TopologicalSorter()
+    for nt in grammar.nonterminals:
+        deps = {
+            sym
+            for rule in grammar.rules_for(nt)
+            for sym in rule.rhs
+            if grammar.is_nonterminal(sym)
+        }
+        sorter.add(nt, *deps)
+    try:
+        return list(sorter.static_order())
+    except graphlib.CycleError as exc:  # pragma: no cover - guarded by finiteness check
+        raise InfiniteLanguageError(f"unexpected dependency cycle: {exc}") from exc
+
+
+def languages_by_nonterminal(
+    grammar: CFG, max_words: int = DEFAULT_MAX_WORDS
+) -> dict[NonTerminal, frozenset[str]]:
+    """Return ``{A: L(A)}`` for every useful non-terminal.
+
+    The grammar is trimmed internally; non-terminals that appear in no
+    parse tree are omitted.  Raises :class:`InfiniteLanguageError` if the
+    language is infinite or if an intermediate language exceeds
+    ``max_words`` (a safety valve — Example 4 grammars explode quickly).
+    """
+    require_finite_language(grammar, "languages_by_nonterminal")
+    g = trim(grammar)
+    langs: dict[NonTerminal, frozenset[str]] = {}
+    for nt in _topological_nonterminals(g):
+        words: set[str] = set()
+        for rule in g.rules_for(nt):
+            partial: set[str] = {""}
+            for sym in rule.rhs:
+                pieces = (sym,) if g.is_terminal(sym) else langs[sym]
+                partial = {w + p for w in partial for p in pieces}
+                if len(partial) > max_words:
+                    raise InfiniteLanguageError(
+                        f"language of {nt!r} exceeds max_words={max_words}"
+                    )
+            words |= partial
+            if len(words) > max_words:
+                raise InfiniteLanguageError(f"language of {nt!r} exceeds max_words={max_words}")
+        langs[nt] = frozenset(words)
+    return langs
+
+
+def language(grammar: CFG, max_words: int = DEFAULT_MAX_WORDS) -> frozenset[str]:
+    """Return ``L(G)`` as a frozenset of words.
+
+    >>> from repro.grammars.cfg import grammar_from_mapping
+    >>> g = grammar_from_mapping("ab", {"S": ["ab", "ba"]}, "S")
+    >>> sorted(language(g))
+    ['ab', 'ba']
+    """
+    langs = languages_by_nonterminal(grammar, max_words)
+    return langs.get(grammar.start, frozenset())
+
+
+def iter_language(grammar: CFG, max_words: int = DEFAULT_MAX_WORDS) -> Iterator[str]:
+    """Yield the words of ``L(G)`` sorted by length, then lexicographically."""
+    yield from sorted(language(grammar, max_words), key=lambda w: (len(w), w))
+
+
+def count_words(grammar: CFG, max_words: int = DEFAULT_MAX_WORDS) -> int:
+    """Return ``|L(G)|`` exactly, by enumeration.
+
+    For unambiguous grammars prefer :func:`count_derivations`, which gives
+    the same number in polynomial time.
+    """
+    return len(language(grammar, max_words))
+
+
+def count_derivations(grammar: CFG) -> int:
+    """Return the number of parse trees from the start symbol.
+
+    Computed by the classic product-sum dynamic program
+    ``t(A) = Σ_{A→W} Π_{B ∈ W} t(B)`` over the trimmed grammar, in time
+    polynomial in ``|G|``.  For an unambiguous grammar this equals
+    ``|L(G)|``; in general it over-counts words by their ambiguity
+    multiplicity (counting words exactly for general CFGs is #P-complete,
+    as recalled in the paper's introduction).
+    """
+    require_finite_language(grammar, "count_derivations")
+    g = trim(grammar)
+    counts: dict[NonTerminal, int] = {}
+    for nt in _topological_nonterminals(g):
+        total = 0
+        for rule in g.rules_for(nt):
+            prod = 1
+            for sym in rule.rhs:
+                if g.is_nonterminal(sym):
+                    prod *= counts[sym]
+            total += prod
+        counts[nt] = total
+    return counts.get(g.start, 0)
+
+
+def derivations_by_length(grammar: CFG) -> dict[int, int]:
+    """Return ``{length: #parse trees of words of that length}``.
+
+    The dynamic program carries a length-indexed polynomial per
+    non-terminal; for unambiguous grammars this is the exact word-count
+    spectrum of the language.
+    """
+    require_finite_language(grammar, "derivations_by_length")
+    g = trim(grammar)
+    spectra: dict[NonTerminal, dict[int, int]] = {}
+    for nt in _topological_nonterminals(g):
+        spectrum: dict[int, int] = {}
+        for rule in g.rules_for(nt):
+            partial: dict[int, int] = {0: 1}
+            for sym in rule.rhs:
+                sym_spec = {1: 1} if g.is_terminal(sym) else spectra[sym]
+                combined: dict[int, int] = {}
+                for l1, c1 in partial.items():
+                    for l2, c2 in sym_spec.items():
+                        combined[l1 + l2] = combined.get(l1 + l2, 0) + c1 * c2
+                partial = combined
+            for length, cnt in partial.items():
+                spectrum[length] = spectrum.get(length, 0) + cnt
+        spectra[nt] = spectrum
+    return spectra.get(g.start, {})
+
+
+def words_by_length(grammar: CFG, max_words: int = DEFAULT_MAX_WORDS) -> dict[int, int]:
+    """Return ``{length: #distinct words of that length}`` by enumeration."""
+    spectrum: dict[int, int] = {}
+    for word in language(grammar, max_words):
+        spectrum[len(word)] = spectrum.get(len(word), 0) + 1
+    return spectrum
+
+
+def accepts_language(grammar: CFG, expected: frozenset[str] | set[str]) -> bool:
+    """Return whether ``L(G)`` equals ``expected`` exactly."""
+    return language(grammar) == frozenset(expected)
+
+
+def same_language(grammar_a: CFG, grammar_b: CFG) -> bool:
+    """Return whether two finite-language grammars are equivalent."""
+    return language(grammar_a) == language(grammar_b)

@@ -1,0 +1,122 @@
+"""Parse trees (Section 2, Figure 1 of the paper).
+
+Each derivation of a context-free grammar is associated with a parse tree
+in the natural way; a grammar is *unambiguous* when every word of its
+language has a unique parse tree.  Trees here are immutable and compare
+structurally, so "two different parse trees for the same word" (Figure 1)
+is literally ``t1 != t2 and t1.word == t2.word``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.grammars.cfg import CFG, NonTerminal, Rule, Symbol, _symbol_str
+
+__all__ = ["ParseTree", "leaf", "node"]
+
+
+@dataclass(frozen=True, slots=True)
+class ParseTree:
+    """A parse tree: an inner node labelled by a non-terminal, or a leaf.
+
+    Leaves carry a terminal symbol and no children.  Inner nodes carry the
+    non-terminal and the tuple of sub-trees corresponding to a rule
+    ``symbol -> children-roots``.  An inner node with zero children
+    represents an application of an epsilon rule.
+    """
+
+    symbol: Symbol
+    children: tuple["ParseTree", ...] | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this is a terminal leaf."""
+        return self.children is None
+
+    @property
+    def word(self) -> str:
+        """The yield of the tree: the terminal word at its leaves."""
+        if self.children is None:
+            return str(self.symbol)
+        return "".join(child.word for child in self.children)
+
+    @property
+    def n_nodes(self) -> int:
+        """Total number of nodes (leaves included)."""
+        if self.children is None:
+            return 1
+        return 1 + sum(child.n_nodes for child in self.children)
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of terminal leaves — equals ``len(self.word)``."""
+        if self.children is None:
+            return 1
+        return sum(child.n_leaves for child in self.children)
+
+    @property
+    def height(self) -> int:
+        """Height of the tree; a leaf has height 0."""
+        if self.children is None or not self.children:
+            return 0
+        return 1 + max(child.height for child in self.children)
+
+    def rule(self) -> Rule:
+        """Return the rule applied at the root (inner nodes only)."""
+        if self.children is None:
+            raise ValueError("a leaf does not correspond to a rule application")
+        return Rule(self.symbol, tuple(child.symbol for child in self.children))
+
+    def nonterminals_used(self) -> frozenset[NonTerminal]:
+        """Return every non-terminal labelling some inner node."""
+        acc: set[NonTerminal] = set()
+        stack: list[ParseTree] = [self]
+        while stack:
+            tree = stack.pop()
+            if tree.children is None:
+                continue
+            acc.add(tree.symbol)
+            stack.extend(tree.children)
+        return frozenset(acc)
+
+    def validate(self, grammar: CFG) -> None:
+        """Check that this tree is a parse tree of ``grammar``.
+
+        Every inner node must apply a rule of the grammar and every leaf
+        must be a terminal.  Raises ``ValueError`` on the first violation.
+        """
+        rules = set(grammar.rules)
+        stack: list[ParseTree] = [self]
+        while stack:
+            tree = stack.pop()
+            if tree.children is None:
+                if not grammar.is_terminal(tree.symbol):
+                    raise ValueError(f"leaf {tree.symbol!r} is not a terminal")
+                continue
+            applied = tree.rule()
+            if applied not in rules:
+                raise ValueError(f"rule {applied} is not in the grammar")
+            stack.extend(tree.children)
+
+    def pretty(self, indent: str = "") -> str:
+        """Render the tree as an indented outline."""
+        label = _symbol_str(self.symbol)
+        if self.children is None:
+            return f"{indent}{label!s}"
+        if not self.children:
+            return f"{indent}{label!s} -> ε"
+        lines = [f"{indent}{label!s}"]
+        for child in self.children:
+            lines.append(child.pretty(indent + "  "))
+        return "\n".join(lines)
+
+
+def leaf(terminal: str) -> ParseTree:
+    """Construct a terminal leaf."""
+    return ParseTree(terminal, None)
+
+
+def node(symbol: Symbol, children: tuple[ParseTree, ...] | list[ParseTree]) -> ParseTree:
+    """Construct an inner node applying ``symbol -> children``."""
+    return ParseTree(symbol, tuple(children))

@@ -1,0 +1,56 @@
+"""Minimal DFAs for ``L_n``: the deterministic price of distance-``n``.
+
+A DFA for (even the variable-length superset of) ``L_n`` must remember
+which of the last ``n`` positions carried an ``a`` — ``2^n`` sliding
+windows — so minimal DFAs explode exponentially.  Together with the
+``Θ(n)`` NFA (Theorem 1(2)) and the ``2^Ω(n)`` uCFG bound (Theorem 12),
+this completes the picture of where `L_n` is cheap and where it is not:
+
+==================  =====================
+representation      size for ``L_n``
+==================  =====================
+CFG                 ``Θ(log n)``
+NFA (promise)       ``Θ(n)``
+NFA (exact)         ``Θ(n²)``
+DFA                 ``2^{Θ(n)}``
+uCFG                ``2^{Θ(n)}``
+==================  =====================
+"""
+
+from __future__ import annotations
+
+from repro.automata.dfa import DFA, determinise, minimise
+from repro.automata.ops import minimal_dfa_of_finite_language
+from repro.languages.ln import ln_words
+from repro.languages.nfa_ln import ln_match_nfa
+from repro.words.alphabet import AB
+
+__all__ = ["ln_minimal_dfa", "ln_match_minimal_dfa", "ln_minimal_dfa_states"]
+
+
+def ln_minimal_dfa(n: int) -> DFA:
+    """The minimal complete DFA of the exact finite language ``L_n``.
+
+    Built through the trie of all ``4^n - 3^n`` members, so only feasible
+    for small ``n`` (tests use ``n ≤ 5``).
+    """
+    if n < 1:
+        raise ValueError(f"ln_minimal_dfa is defined for n >= 1, got {n}")
+    return minimal_dfa_of_finite_language(ln_words(n), AB)
+
+
+def ln_match_minimal_dfa(n: int) -> DFA:
+    """The minimal DFA of the *variable-length* match language
+    ``Σ* a Σ^{n-1} a Σ*`` (determinised guess-and-verify NFA, minimised).
+
+    Grows as ``2^{Θ(n)}`` — the sliding-window memory is unavoidable for
+    determinism, exactly as it is for unambiguity in grammars.
+    """
+    if n < 1:
+        raise ValueError(f"ln_match_minimal_dfa is defined for n >= 1, got {n}")
+    return minimise(determinise(ln_match_nfa(n)))
+
+
+def ln_minimal_dfa_states(n: int) -> int:
+    """State count of the minimal exact-``L_n`` DFA (small ``n`` only)."""
+    return ln_minimal_dfa(n).n_states

@@ -1,0 +1,72 @@
+"""The small ambiguous grammar of Example 3 (from [20]).
+
+``G_k`` has terminals ``{a, b}``, non-terminals ``{A_i, B_i}_{0 ≤ i ≤ k}``,
+start symbol ``A_k`` and rules::
+
+    A_i -> B_{i-1} A_{i-1} | A_{i-1} B_{i-1}    for i in [k]
+    A_0 -> B_0 a B_k a | a B_k a B_0
+    B_i -> B_{i-1} B_{i-1}                      for i in [k]
+    B_0 -> a | b
+
+It has size ``Θ(k)`` and accepts ``L_{2^k + 1}`` — an exponentially long
+language from a linear grammar.  The grammar is ambiguous; Figure 1 of
+the paper shows two parse trees of ``aaaaaa`` under ``G_1``, and
+:func:`repro.grammars.ambiguity.ambiguity_witness` regenerates exactly
+such a pair.
+"""
+
+from __future__ import annotations
+
+from repro.grammars.cfg import CFG, NonTerminal, Rule
+from repro.words.alphabet import AB
+
+__all__ = ["example3_grammar", "example3_language_parameter", "example3_size"]
+
+
+def example3_grammar(k: int) -> CFG:
+    """Build the Example 3 grammar ``G_k`` accepting ``L_{2^k + 1}``.
+
+    >>> g = example3_grammar(1)
+    >>> from repro.grammars.language import language
+    >>> from repro.languages.ln import ln_words
+    >>> language(g) == ln_words(3)   # 2^1 + 1 = 3
+    True
+    """
+    if k < 1:
+        raise ValueError(f"example3_grammar is defined for k >= 1, got {k}")
+    a_nt: dict[int, NonTerminal] = {i: ("A", i) for i in range(k + 1)}
+    b_nt: dict[int, NonTerminal] = {i: ("B", i) for i in range(k + 1)}
+    rules: list[Rule] = []
+    for i in range(1, k + 1):
+        rules.append(Rule(a_nt[i], (b_nt[i - 1], a_nt[i - 1])))
+        rules.append(Rule(a_nt[i], (a_nt[i - 1], b_nt[i - 1])))
+    rules.append(Rule(a_nt[0], (b_nt[0], "a", b_nt[k], "a")))
+    rules.append(Rule(a_nt[0], ("a", b_nt[k], "a", b_nt[0])))
+    for i in range(1, k + 1):
+        rules.append(Rule(b_nt[i], (b_nt[i - 1], b_nt[i - 1])))
+    rules.append(Rule(b_nt[0], ("a",)))
+    rules.append(Rule(b_nt[0], ("b",)))
+    nts = list(a_nt.values()) + list(b_nt.values())
+    return CFG(AB, nts, rules, a_nt[k])
+
+
+def example3_language_parameter(k: int) -> int:
+    """The ``n`` with ``L(G_k) = L_n``, namely ``2^k + 1``."""
+    if k < 1:
+        raise ValueError(f"example3_language_parameter is defined for k >= 1, got {k}")
+    return 2**k + 1
+
+
+def example3_size(k: int) -> int:
+    """The exact size of ``G_k`` under the paper's measure: ``Θ(k)``.
+
+    Per construction: ``2k`` rules of size 2 for the ``A_i``, two size-4
+    rules for ``A_0``, ``k`` rules of size 2 for the ``B_i``, and two
+    size-1 rules for ``B_0`` — in total ``6k + 10``.
+
+    >>> example3_size(3) == example3_grammar(3).size
+    True
+    """
+    if k < 1:
+        raise ValueError(f"example3_size is defined for k >= 1, got {k}")
+    return 6 * k + 10

@@ -1,0 +1,78 @@
+"""The balanced-rectangle language ``L*_n`` of Example 6.
+
+``L*_n := a^{n/2} (a+b)^n a^{n/2}`` — all words of length ``2n`` which
+begin and end with ``n/2`` consecutive ``a`` symbols.  It is a single
+balanced rectangle with parameters ``n1 = n3 = n/2``, ``n2 = n``,
+``L1 = {a^n}``, ``L2 = Σ^n`` — the warm-up example showing what the
+rectangle decomposition of Section 3 looks like in the simplest case.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.words.alphabet import AB
+from repro.words.ops import all_words
+
+__all__ = ["is_in_lstar", "iter_lstar", "lstar_words", "count_lstar", "lstar_rectangle"]
+
+
+def _check_n(n: int) -> None:
+    if n < 2 or n % 2:
+        raise ValueError(f"L*_n is defined for even n >= 2, got n={n}")
+
+
+def is_in_lstar(word: str, n: int) -> bool:
+    """Membership in ``L*_n``.
+
+    >>> is_in_lstar("abba", 2), is_in_lstar("babb", 2)
+    (True, False)
+    """
+    _check_n(n)
+    half = n // 2
+    return (
+        len(word) == 2 * n
+        and all(ch in AB for ch in word)
+        and word[:half] == "a" * half
+        and word[-half:] == "a" * half
+    )
+
+
+def iter_lstar(n: int) -> Iterator[str]:
+    """Yield ``L*_n`` in lexicographic order."""
+    _check_n(n)
+    half = n // 2
+    for middle in all_words(AB, n):
+        yield "a" * half + middle + "a" * half
+
+
+def lstar_words(n: int) -> frozenset[str]:
+    """Return ``L*_n`` as a frozenset."""
+    return frozenset(iter_lstar(n))
+
+
+def count_lstar(n: int) -> int:
+    """``|L*_n| = 2^n`` exactly."""
+    _check_n(n)
+    return 2**n
+
+
+def lstar_rectangle(n: int):
+    """Return ``L*_n`` as a :class:`~repro.core.rectangles.Rectangle`.
+
+    The parameters are exactly those of Example 6: ``n1 = n3 = n/2``,
+    ``n2 = n``, ``L1 = {a^n}``, ``L2 = Σ^n`` — and the rectangle is
+    balanced.
+    """
+    from repro.core.rectangles import Rectangle
+
+    _check_n(n)
+    half = n // 2
+    return Rectangle(
+        outer={"a" * n},
+        inner=frozenset(all_words(AB, n)),
+        n1=half,
+        n2=n,
+        n3=half,
+        alphabet=AB,
+    )

@@ -1,0 +1,99 @@
+"""The language ``L_n`` of Example 3 — the paper's separating language.
+
+``L_n := { (a+b)^k a (a+b)^{n-1} a (a+b)^{n-1-k} | 0 ≤ k ≤ n-1 }`` — all
+words of length ``2n`` over ``{a, b}`` containing two ``a`` symbols at
+distance exactly ``n`` (i.e. with exactly ``n - 1`` symbols between
+them).  Identifying a word with the pair of index sets of its ``a``
+positions, ``L_n`` is the complement of set disjointness — "the flagship
+problem of communication complexity" (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.words.alphabet import AB
+from repro.words.ops import all_words
+
+__all__ = [
+    "is_in_ln",
+    "iter_ln",
+    "ln_words",
+    "count_ln",
+    "first_match_position",
+    "match_positions",
+]
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise ValueError(f"L_n is defined for n >= 1, got n={n}")
+
+
+def is_in_ln(word: str, n: int) -> bool:
+    """Membership test for ``L_n``.
+
+    >>> is_in_ln("aaba", 2), is_in_ln("abab", 2), is_in_ln("bbbb", 2)
+    (True, True, False)
+    """
+    _check_n(n)
+    if len(word) != 2 * n:
+        return False
+    if any(ch not in AB for ch in word):
+        return False
+    return any(word[k] == "a" and word[k + n] == "a" for k in range(n))
+
+
+def match_positions(word: str, n: int) -> list[int]:
+    """Return all 0-based ``k`` with ``word[k] == word[k+n] == 'a'``.
+
+    The number of matches is what makes ``L_n`` a *highly non-disjoint*
+    union of the rectangles ``L_n^k`` (Example 8): a word can witness
+    membership at many distances simultaneously.
+    """
+    _check_n(n)
+    if len(word) != 2 * n:
+        raise ValueError(f"expected a word of length {2 * n}, got {len(word)}")
+    return [k for k in range(n) if word[k] == "a" and word[k + n] == "a"]
+
+
+def first_match_position(word: str, n: int) -> int | None:
+    """The smallest match position, or ``None`` for non-members.
+
+    Example 4's unambiguous grammar keys every derivation on exactly this
+    quantity.
+    """
+    matches = match_positions(word, n)
+    return matches[0] if matches else None
+
+
+def iter_ln(n: int) -> Iterator[str]:
+    """Yield the words of ``L_n`` in lexicographic order (brute force).
+
+    Enumerates ``Σ^{2n}``, so only use for small ``n`` (tests use
+    ``n ≤ 10``).
+    """
+    _check_n(n)
+    for word in all_words(AB, 2 * n):
+        if any(word[k] == "a" and word[k + n] == "a" for k in range(n)):
+            yield word
+
+
+def ln_words(n: int) -> frozenset[str]:
+    """Return ``L_n`` as a frozenset (brute force; small ``n`` only)."""
+    return frozenset(iter_ln(n))
+
+
+def count_ln(n: int) -> int:
+    """Return ``|L_n| = 4^n - 3^n`` exactly.
+
+    Proof: pair up positions ``k`` and ``k + n``.  A word avoids ``L_n``
+    iff every pair avoids ``(a, a)``, leaving 3 of the 4 combinations per
+    pair, independently — so there are ``3^n`` non-members among the
+    ``4^n`` words of length ``2n``.
+
+    >>> count_ln(2) == len(ln_words(2))
+    True
+    """
+    _check_n(n)
+    return 4**n - 3**n

@@ -1,0 +1,99 @@
+"""The ``Θ(log n)`` CFG for ``L_n``, for every ``n`` (Appendix A).
+
+The construction: write ``n - 1 = Σ_{i ∈ I} 2^i`` from the binary
+representation of ``n - 1``, imagine a word ``w`` of length ``n - 1``
+split into blocks of those power-of-two lengths, and insert a factor
+``a w' a`` (with ``|w'| = n - 1``) at some position inside one block.
+Doubling non-terminals ``B_i`` generate all words of length ``2^i``; a
+binary tree of ``C_v``/``D_v`` non-terminals selects the block receiving
+the insertion; ``A_i`` non-terminals perform the insertion inside a block
+of length ``2^i``; and ``S -> B_{i_1} ... B_{i_l}`` generates ``w'``.
+
+Note on the source: Appendix A lists the descent rule only as
+``A_i -> B_{i-1} A_{i-1}``; exactly as in Example 3 both orders are needed
+to reach insertion positions in the *first* half of a block, so this
+implementation emits ``A_i -> B_{i-1} A_{i-1} | A_{i-1} B_{i-1}``.  Tests
+verify language equality with brute-forced ``L_n`` for every ``n ≤ 9``.
+"""
+
+from __future__ import annotations
+
+from repro.grammars.cfg import CFG, NonTerminal, Rule
+from repro.util.binary import binary_decomposition
+from repro.words.alphabet import AB
+
+__all__ = ["small_ln_grammar"]
+
+
+def small_ln_grammar(n: int) -> CFG:
+    """Build the Appendix A grammar accepting ``L_n``; size ``Θ(log n)``.
+
+    >>> from repro.grammars.language import language
+    >>> from repro.languages.ln import ln_words
+    >>> language(small_ln_grammar(5)) == ln_words(5)
+    True
+    >>> small_ln_grammar(10**6).size < 400
+    True
+    """
+    if n < 1:
+        raise ValueError(f"small_ln_grammar is defined for n >= 1, got {n}")
+    if n == 1:
+        # L_1 = {aa}: the generic construction degenerates (I = ∅).
+        start: NonTerminal = ("C-root",)
+        return CFG(AB, [start], [Rule(start, ("a", "a"))], start)
+
+    exponents = binary_decomposition(n - 1)  # I = {i_1 < ... < i_l}
+    max_exp = exponents[-1]
+
+    rules: list[Rule] = []
+    nts: list[NonTerminal] = []
+
+    # B_i generates every word of length 2^i (for all 2^i < n).
+    b_nt: dict[int, NonTerminal] = {}
+    for i in range(max_exp + 1):
+        b_nt[i] = ("B", i)
+        nts.append(b_nt[i])
+    rules.append(Rule(b_nt[0], ("a",)))
+    rules.append(Rule(b_nt[0], ("b",)))
+    for i in range(1, max_exp + 1):
+        rules.append(Rule(b_nt[i], (b_nt[i - 1], b_nt[i - 1])))
+
+    # S generates w' (all words of length n - 1) as a block concatenation.
+    s_nt: NonTerminal = ("S-mid",)
+    nts.append(s_nt)
+    rules.append(Rule(s_nt, tuple(b_nt[i] for i in exponents)))
+
+    # A_i inserts `a S a` at any position inside a block of length 2^i.
+    a_nt: dict[int, NonTerminal] = {}
+    for i in range(max_exp + 1):
+        a_nt[i] = ("A", i)
+        nts.append(a_nt[i])
+    rules.append(Rule(a_nt[0], (b_nt[0], "a", s_nt, "a")))
+    rules.append(Rule(a_nt[0], ("a", s_nt, "a", b_nt[0])))
+    for i in range(1, max_exp + 1):
+        rules.append(Rule(a_nt[i], (b_nt[i - 1], a_nt[i - 1])))
+        rules.append(Rule(a_nt[i], (a_nt[i - 1], b_nt[i - 1])))
+
+    # Binary selection tree over the blocks: C_v = "insertion happens in a
+    # block below v", D_v = "no insertion below v".
+    def build(lo: int, hi: int) -> tuple[NonTerminal, NonTerminal]:
+        """Return (C_v, D_v) for the subtree over exponents[lo:hi]."""
+        c_v: NonTerminal = ("C", lo, hi)
+        d_v: NonTerminal = ("D", lo, hi)
+        nts.append(c_v)
+        nts.append(d_v)
+        if hi - lo == 1:
+            exponent = exponents[lo]
+            rules.append(Rule(c_v, (a_nt[exponent],)))
+            rules.append(Rule(d_v, (b_nt[exponent],)))
+            return c_v, d_v
+        mid = (lo + hi) // 2
+        c_left, d_left = build(lo, mid)
+        c_right, d_right = build(mid, hi)
+        rules.append(Rule(c_v, (c_left, d_right)))
+        rules.append(Rule(c_v, (d_left, c_right)))
+        rules.append(Rule(d_v, (d_left, d_right)))
+        return c_v, d_v
+
+    c_root, _d_root = build(0, len(exponents))
+    return CFG(AB, nts, rules, c_root)

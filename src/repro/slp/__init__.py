@@ -1,0 +1,27 @@
+"""Straight-line programs (grammar-based compression; Related Work).
+
+Single-word CFGs with random access, plus balanced and Re-Pair-style
+constructions — the "compress one long document" counterpart to the
+paper's "represent many strings" setting.
+"""
+
+from repro.slp.ops import (
+    concat_slp,
+    extract_factor,
+    repeat_slp,
+    slp_equal,
+    symbol_counts,
+)
+from repro.slp.slp import SLP, power_word_slp, slp_from_word_balanced, slp_from_word_repair
+
+__all__ = [
+    "SLP",
+    "slp_from_word_balanced",
+    "slp_from_word_repair",
+    "power_word_slp",
+    "concat_slp",
+    "repeat_slp",
+    "symbol_counts",
+    "extract_factor",
+    "slp_equal",
+]

@@ -1,0 +1,126 @@
+"""Algorithms on SLP-compressed words.
+
+The selling point of grammar-based compression (Related Work of the
+paper, [21]'s survey) is that algorithms run *on the compressed
+representation*: concatenation and powering are O(1) new rules, factor
+extraction and equality avoid full decompression where possible, and
+statistics like symbol counts come from a linear dynamic program.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GrammarError
+from repro.slp.slp import SLP, Sym
+
+__all__ = [
+    "concat_slp",
+    "repeat_slp",
+    "symbol_counts",
+    "extract_factor",
+    "slp_equal",
+]
+
+
+def _merge(left: SLP, right: SLP) -> dict[Sym, tuple[Sym, ...]]:
+    """Disjointly merge rule sets by tagging variables with their side."""
+    if left.alphabet != right.alphabet:
+        raise GrammarError("SLP operations need identical alphabets")
+    rules: dict[Sym, tuple[Sym, ...]] = {}
+    for tag, slp in (("l", left), ("r", right)):
+        for var, body in slp.rules.items():
+            rules[(tag, var)] = tuple(
+                (tag, s) if slp.is_variable(s) else s for s in body
+            )
+    return rules
+
+
+def concat_slp(left: SLP, right: SLP) -> SLP:
+    """The SLP for ``expand(left) + expand(right)`` — one new rule.
+
+    >>> from repro.slp.slp import power_word_slp
+    >>> s = concat_slp(power_word_slp(2), power_word_slp(1))
+    >>> s.expand()
+    'aaaaaa'
+    """
+    rules = _merge(left, right)
+    rules["cat-root"] = (("l", left.start), ("r", right.start))
+    return SLP(left.alphabet, rules, "cat-root")
+
+
+def repeat_slp(slp: SLP, times: int) -> SLP:
+    """The SLP for ``expand(slp) * times`` with ``O(log times)`` new rules.
+
+    Binary powering: rules double the word, then the binary decomposition
+    of ``times`` stitches the pieces together.
+
+    >>> from repro.slp.slp import slp_from_word_balanced
+    >>> base = slp_from_word_balanced("ab", "ab")
+    >>> repeat_slp(base, 13).expand() == "ab" * 13
+    True
+    """
+    if times < 1:
+        raise GrammarError(f"repeat_slp needs times >= 1, got {times}")
+    rules: dict[Sym, tuple[Sym, ...]] = {
+        ("b", var): tuple(("b", s) if slp.is_variable(s) else s for s in body)
+        for var, body in slp.rules.items()
+    }
+    doubles: list[Sym] = [("b", slp.start)]
+    for level in range(1, times.bit_length()):
+        var: Sym = ("dbl", level)
+        rules[var] = (doubles[-1], doubles[-1])
+        doubles.append(var)
+    pieces = [doubles[i] for i in range(times.bit_length()) if times >> i & 1]
+    rules["rep-root"] = tuple(pieces)
+    return SLP(slp.alphabet, rules, "rep-root")
+
+
+def symbol_counts(slp: SLP) -> dict[str, int]:
+    """Occurrences of every terminal in the represented word, in O(size).
+
+    >>> from repro.slp.slp import power_word_slp
+    >>> symbol_counts(power_word_slp(10))
+    {'a': 1024}
+    """
+    counts: dict[Sym, dict[str, int]] = {}
+    rules = slp.rules
+    for var in slp.variables_in_order:
+        acc: dict[str, int] = {}
+        for sym in rules[var]:
+            if sym in rules:
+                for ch, k in counts[sym].items():
+                    acc[ch] = acc.get(ch, 0) + k
+            else:
+                acc[sym] = acc.get(sym, 0) + 1
+        counts[var] = acc
+    return counts[slp.start]
+
+
+def extract_factor(slp: SLP, start: int, length: int) -> str:
+    """The factor ``word[start : start + length]`` without full expansion.
+
+    Cost ``O(length · depth)`` via repeated random access — linear-time
+    factor extraction exists but per-character descent is all the
+    repository's benchmarks need.
+    """
+    if length < 0:
+        raise GrammarError(f"length must be non-negative, got {length}")
+    if start < 0 or start + length > slp.length:
+        raise GrammarError(
+            f"factor [{start}, {start + length}) outside word of length {slp.length}"
+        )
+    return "".join(slp.access(start + offset) for offset in range(length))
+
+
+def slp_equal(left: SLP, right: SLP) -> bool:
+    """Whether two SLPs represent the same word.
+
+    Length and symbol-count filters run in O(size); only on agreement is
+    a (guarded) expansion comparison performed.  Polynomial-time SLP
+    equality without expansion exists (Plandowski) but is far beyond what
+    the reproduction needs.
+    """
+    if left.length != right.length:
+        return False
+    if symbol_counts(left) != symbol_counts(right):
+        return False
+    return left.expand() == right.expand()

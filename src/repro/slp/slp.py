@@ -1,0 +1,280 @@
+"""Straight-line programs: grammar-based compression of a single word.
+
+The paper's Related Work distinguishes its many-strings setting from
+grammar-based compression, "where one aims to find a small CFG
+representing a single word w" (CFGs there are often called straight-line
+programs).  This module implements that substrate: SLPs with exact
+expansion, length computation, O(depth) random access, conversion to the
+repository's :class:`~repro.grammars.cfg.CFG` (a singleton-language
+uCFG), and two constructions (balanced splitting and a Re-Pair-style
+digram compressor).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+
+from repro.errors import GrammarError
+from repro.grammars.cfg import CFG, NonTerminal, Rule
+from repro.words.alphabet import Alphabet
+
+__all__ = ["SLP", "slp_from_word_balanced", "slp_from_word_repair", "power_word_slp"]
+
+Sym = Hashable  # terminal (1-char str in the alphabet) or SLP variable
+
+
+class SLP:
+    """A straight-line program: one rule per variable, acyclic, one word.
+
+    ``rules`` maps each variable to a tuple of symbols (variables or
+    terminals); ``start`` is the axiom.  The represented word is the full
+    expansion of the axiom.
+
+    >>> s = SLP("ab", {"X": ("a", "b"), "S": ("X", "X")}, "S")
+    >>> s.expand()
+    'abab'
+    >>> s.length, s.size
+    (4, 4)
+    """
+
+    __slots__ = ("_alphabet", "_rules", "_start", "_order", "_lengths")
+
+    def __init__(
+        self,
+        alphabet: Alphabet | str,
+        rules: Mapping[Sym, tuple[Sym, ...]],
+        start: Sym,
+    ) -> None:
+        sigma = alphabet if isinstance(alphabet, Alphabet) else Alphabet(alphabet)
+        if start not in rules:
+            raise GrammarError(f"axiom {start!r} has no rule")
+        normalised: dict[Sym, tuple[Sym, ...]] = {}
+        for var, body in rules.items():
+            if isinstance(var, str) and var in sigma:
+                raise GrammarError(f"variable {var!r} collides with a terminal")
+            body_t = tuple(body)
+            if not body_t:
+                raise GrammarError(f"variable {var!r} has an empty body; SLPs are ε-free")
+            for sym in body_t:
+                is_terminal = isinstance(sym, str) and sym in sigma
+                if not is_terminal and sym not in rules:
+                    raise GrammarError(f"variable {var!r} references undefined symbol {sym!r}")
+            normalised[var] = body_t
+        self._alphabet = sigma
+        self._rules = normalised
+        self._start = start
+        self._order = self._topological_order()
+        self._lengths = self._compute_lengths()
+
+    def _topological_order(self) -> list[Sym]:
+        order: list[Sym] = []
+        state: dict[Sym, int] = {}
+        for root in self._rules:
+            if root in state:
+                continue
+            stack: list[tuple[Sym, int]] = [(root, 0)]
+            while stack:
+                var, phase = stack.pop()
+                if phase == 1:
+                    state[var] = 2
+                    order.append(var)
+                    continue
+                if state.get(var) == 1:
+                    raise GrammarError("SLP rules are cyclic")
+                if var in state:
+                    continue
+                state[var] = 1
+                stack.append((var, 1))
+                for sym in self._rules[var]:
+                    if sym in self._rules:
+                        if state.get(sym) == 1:
+                            raise GrammarError("SLP rules are cyclic")
+                        if sym not in state:
+                            stack.append((sym, 0))
+        return order
+
+    def _compute_lengths(self) -> dict[Sym, int]:
+        lengths: dict[Sym, int] = {}
+        for var in self._order:
+            lengths[var] = sum(
+                lengths[s] if s in self._rules else 1 for s in self._rules[var]
+            )
+        return lengths
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """``Σ |rhs|`` — the same measure as for CFGs."""
+        return sum(len(body) for body in self._rules.values())
+
+    @property
+    def n_variables(self) -> int:
+        return len(self._rules)
+
+    @property
+    def length(self) -> int:
+        """The length of the represented word (without expanding it)."""
+        return self._lengths[self._start]
+
+    @property
+    def start(self) -> Sym:
+        return self._start
+
+    @property
+    def alphabet(self) -> Alphabet:
+        return self._alphabet
+
+    @property
+    def rules(self) -> dict[Sym, tuple[Sym, ...]]:
+        """A copy of the rule mapping."""
+        return dict(self._rules)
+
+    @property
+    def variables_in_order(self) -> list[Sym]:
+        """Variables in dependency (children-first) order."""
+        return list(self._order)
+
+    def is_variable(self, symbol: Sym) -> bool:
+        """Whether ``symbol`` is a variable of this SLP."""
+        return symbol in self._rules
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def expand(self, max_length: int = 10_000_000) -> str:
+        """The represented word (guarded against exponential blow-up)."""
+        if self.length > max_length:
+            raise GrammarError(
+                f"expansion has length {self.length} > max_length={max_length}"
+            )
+        cache: dict[Sym, str] = {}
+        for var in self._order:
+            cache[var] = "".join(
+                cache[s] if s in self._rules else s for s in self._rules[var]
+            )
+        return cache[self._start]
+
+    def access(self, index: int) -> str:
+        """The character at 0-based ``index``, in time O(depth · fan-out).
+
+        This is the signature operation of SLP-compressed strings: random
+        access without decompression.
+        """
+        if not 0 <= index < self.length:
+            raise IndexError(f"index {index} out of range [0, {self.length})")
+        var: Sym = self._start
+        while True:
+            body = self._rules[var]
+            for sym in body:
+                piece = self._lengths[sym] if sym in self._rules else 1
+                if index < piece:
+                    if sym in self._rules:
+                        var = sym
+                        break
+                    return sym
+                index -= piece
+
+    def to_cfg(self) -> CFG:
+        """View the SLP as a CFG (of the singleton language)."""
+        nts: list[NonTerminal] = [("slp", v) for v in self._rules]
+        rules = [
+            Rule(
+                ("slp", var),
+                tuple(("slp", s) if s in self._rules else s for s in body),
+            )
+            for var, body in self._rules.items()
+        ]
+        return CFG(self._alphabet, nts, rules, ("slp", self._start))
+
+    def __repr__(self) -> str:
+        return f"SLP(|vars|={self.n_variables}, size={self.size}, length={self.length})"
+
+
+def slp_from_word_balanced(word: str, alphabet: Alphabet | str) -> SLP:
+    """Build an SLP by recursive balanced splitting, sharing equal factors.
+
+    Hash-consing equal factors makes repetitive inputs compress; for a
+    highly periodic word like ``(ab)^{2^k}`` the result has ``O(k)``
+    variables.
+    """
+    sigma = alphabet if isinstance(alphabet, Alphabet) else Alphabet(alphabet)
+    if not word:
+        raise GrammarError("SLPs represent nonempty words")
+    rules: dict[Sym, tuple[Sym, ...]] = {}
+    interned: dict[str, Sym] = {}
+
+    def build(factor: str) -> Sym:
+        if factor in interned:
+            return interned[factor]
+        var: Sym = ("f", factor)
+        if len(factor) == 1:
+            rules[var] = (factor,)
+        else:
+            mid = len(factor) // 2
+            rules[var] = (build(factor[:mid]), build(factor[mid:]))
+        interned[factor] = var
+        return var
+
+    start = build(word)
+    return SLP(sigma, rules, start)
+
+
+def slp_from_word_repair(word: str, alphabet: Alphabet | str) -> SLP:
+    """A Re-Pair-style compressor: repeatedly replace the most frequent
+    digram by a fresh variable until no digram repeats.
+
+    Classic grammar-based compression [Kieffer & Yang; Larsson & Moffat];
+    not optimal (the smallest-grammar problem is NP-hard [9]) but a solid
+    baseline.
+    """
+    sigma = alphabet if isinstance(alphabet, Alphabet) else Alphabet(alphabet)
+    if not word:
+        raise GrammarError("SLPs represent nonempty words")
+    sequence: list[Sym] = list(word)
+    rules: dict[Sym, tuple[Sym, ...]] = {}
+    counter = 0
+    while True:
+        digram_counts: dict[tuple[Sym, Sym], int] = {}
+        for left, right in zip(sequence, sequence[1:]):
+            digram_counts[(left, right)] = digram_counts.get((left, right), 0) + 1
+        best = max(digram_counts.items(), key=lambda kv: kv[1], default=None)
+        if best is None or best[1] < 2:
+            break
+        digram = best[0]
+        var: Sym = ("r", counter)
+        counter += 1
+        rules[var] = digram
+        rewritten: list[Sym] = []
+        i = 0
+        while i < len(sequence):
+            if i + 1 < len(sequence) and (sequence[i], sequence[i + 1]) == digram:
+                rewritten.append(var)
+                i += 2
+            else:
+                rewritten.append(sequence[i])
+                i += 1
+        sequence = rewritten
+    start: Sym = ("r", "start")
+    rules[start] = tuple(sequence)
+    return SLP(sigma, rules, start)
+
+
+def power_word_slp(k: int, symbol: str = "a") -> SLP:
+    """The canonical SLP for ``symbol^{2^k}``: ``k + 1`` doubling rules.
+
+    Exponential compression — the single-word analogue of the Example 3
+    doubling non-terminals ``B_i``.
+
+    >>> power_word_slp(5).length
+    32
+    """
+    if k < 0:
+        raise ValueError(f"need k >= 0, got {k}")
+    rules: dict[Sym, tuple[Sym, ...]] = {("p", 0): (symbol,)}
+    for i in range(1, k + 1):
+        rules[("p", i)] = (("p", i - 1), ("p", i - 1))
+    return SLP(Alphabet(symbol), rules, ("p", k))

@@ -1,0 +1,31 @@
+"""Information-extraction scenario (introduction of the paper).
+
+Column-agreement extraction over CSV-style rows: a small ambiguous CFG,
+the reduction embedding ``L_n``, and the transferred uCFG lower bound.
+"""
+
+from repro.spanners.csv_match import (
+    column_leq_cfg,
+    column_match_cfg,
+    column_relation_cfg,
+    decode_ln_word,
+    document_word,
+    encode_ln_word,
+    is_column_match,
+    is_column_related,
+    split_document,
+    transferred_ucfg_lower_bound,
+)
+
+__all__ = [
+    "document_word",
+    "split_document",
+    "is_column_match",
+    "is_column_related",
+    "column_match_cfg",
+    "column_relation_cfg",
+    "column_leq_cfg",
+    "encode_ln_word",
+    "decode_ln_word",
+    "transferred_ucfg_lower_bound",
+]

@@ -1,0 +1,30 @@
+"""Small exact-arithmetic and formatting helpers shared across the library.
+
+Everything here is deliberately dependency-free and uses Python's arbitrary
+precision integers: the paper's quantities (``2^{4m}``, ``12^m``,
+``|A| - |B \\cap L_n|`` ...) are verified *exactly*, never with floats.
+"""
+
+from repro.util.combinatorics import (
+    binomial,
+    iter_subsets,
+    iter_subsets_of_size,
+    popcount,
+    powerset_size,
+)
+from repro.util.binary import binary_decomposition, bit_length_of, is_power_of_two
+from repro.util.tables import Table, format_int, approx_log2
+
+__all__ = [
+    "binomial",
+    "iter_subsets",
+    "iter_subsets_of_size",
+    "popcount",
+    "powerset_size",
+    "binary_decomposition",
+    "bit_length_of",
+    "is_power_of_two",
+    "Table",
+    "format_int",
+    "approx_log2",
+]

@@ -1,0 +1,42 @@
+"""Binary decompositions of integers.
+
+Appendix A of the paper builds its ``Θ(log n)`` grammar for ``L_n`` from the
+set ``I = {i_1, ..., i_l}`` with ``n - 1 = Σ_{i ∈ I} 2^i`` — i.e. from the
+positions of the set bits of ``n - 1``.  This module provides exactly that
+decomposition plus small related helpers.
+"""
+
+from __future__ import annotations
+
+__all__ = ["binary_decomposition", "bit_length_of", "is_power_of_two"]
+
+
+def binary_decomposition(n: int) -> list[int]:
+    """Return the sorted exponents ``I`` with ``n = Σ_{i ∈ I} 2^i``.
+
+    ``n = 0`` yields the empty list.
+
+    >>> binary_decomposition(13)
+    [0, 2, 3]
+    >>> sum(2 ** i for i in binary_decomposition(1000)) == 1000
+    True
+    """
+    if n < 0:
+        raise ValueError(f"binary_decomposition: n must be non-negative, got {n}")
+    return [i for i in range(n.bit_length()) if n >> i & 1]
+
+
+def bit_length_of(n: int) -> int:
+    """Return the number of bits needed to write ``n`` in binary (``0`` -> 0)."""
+    if n < 0:
+        raise ValueError(f"bit_length_of: n must be non-negative, got {n}")
+    return n.bit_length()
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return whether ``n`` is a (positive) power of two.
+
+    >>> [k for k in range(9) if is_power_of_two(k)]
+    [1, 2, 4, 8]
+    """
+    return n > 0 and n & (n - 1) == 0

@@ -1,0 +1,94 @@
+"""Exact combinatorial primitives.
+
+These are thin, carefully specified wrappers used throughout the
+reproduction: the discrepancy calculations of Section 4.2 (Lemma 18 and
+Lemma 19) are sums of binomials and powers, and the rectangle machinery
+iterates over subsets of small ground sets.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator, Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+__all__ = [
+    "binomial",
+    "iter_subsets",
+    "iter_subsets_of_size",
+    "popcount",
+    "powerset_size",
+]
+
+
+def binomial(n: int, k: int) -> int:
+    """Return the binomial coefficient ``C(n, k)`` as an exact integer.
+
+    Out-of-range ``k`` (negative or larger than ``n``) yields ``0``, which is
+    the convention the alternating-sum identities of Lemma 18 rely on.
+
+    >>> binomial(4, 2)
+    6
+    >>> binomial(4, 5)
+    0
+    """
+    if n < 0:
+        raise ValueError(f"binomial: n must be non-negative, got {n}")
+    if k < 0 or k > n:
+        return 0
+    return math.comb(n, k)
+
+
+def popcount(x: int) -> int:
+    """Return the number of set bits of a non-negative integer.
+
+    >>> popcount(0b1011)
+    3
+    """
+    if x < 0:
+        raise ValueError(f"popcount: x must be non-negative, got {x}")
+    return x.bit_count()
+
+
+def powerset_size(n: int) -> int:
+    """Return ``2**n``, the number of subsets of an ``n``-element set."""
+    if n < 0:
+        raise ValueError(f"powerset_size: n must be non-negative, got {n}")
+    return 1 << n
+
+
+def iter_subsets(items: Sequence[T] | Iterable[T]) -> Iterator[frozenset[T]]:
+    """Yield every subset of ``items`` as a frozenset, smallest masks first.
+
+    The iteration order is deterministic: subsets are produced in increasing
+    order of the bitmask over the input sequence order.  ``items`` must be
+    duplicate-free.
+
+    >>> sorted(len(s) for s in iter_subsets("ab"))
+    [0, 1, 1, 2]
+    """
+    pool = list(items)
+    if len(set(pool)) != len(pool):
+        raise ValueError("iter_subsets: items must not contain duplicates")
+    n = len(pool)
+    for mask in range(1 << n):
+        yield frozenset(pool[i] for i in range(n) if mask >> i & 1)
+
+
+def iter_subsets_of_size(items: Sequence[T] | Iterable[T], k: int) -> Iterator[frozenset[T]]:
+    """Yield every ``k``-element subset of ``items`` as a frozenset.
+
+    >>> sorted(sorted(s) for s in iter_subsets_of_size("abc", 2))
+    [['a', 'b'], ['a', 'c'], ['b', 'c']]
+    """
+    import itertools
+
+    pool = list(items)
+    if len(set(pool)) != len(pool):
+        raise ValueError("iter_subsets_of_size: items must not contain duplicates")
+    if k < 0:
+        raise ValueError(f"iter_subsets_of_size: k must be non-negative, got {k}")
+    for combo in itertools.combinations(pool, k):
+        yield frozenset(combo)

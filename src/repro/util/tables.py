@@ -1,0 +1,124 @@
+"""Plain-text table rendering for benchmark and experiment output.
+
+The benchmark harness regenerates the paper's quantitative claims as rows
+of a table (EXPERIMENTS.md records the same rows).  This module renders
+those tables without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["Table", "format_int", "approx_log2"]
+
+
+def format_int(value: int, max_digits: int = 12) -> str:
+    """Format a (possibly huge) exact integer compactly.
+
+    Small integers are printed verbatim with thousands separators; integers
+    with more than ``max_digits`` digits are printed as ``~2^k`` with the
+    exact bit length, because e.g. the Example 4 uCFG sizes overflow any
+    sensible column width long before ``n = 100``.
+
+    >>> format_int(1234)
+    '1,234'
+    >>> format_int(2 ** 200)
+    '~2^200.0'
+    """
+    if not isinstance(value, int):
+        raise TypeError(f"format_int expects int, got {type(value).__name__}")
+    sign = "-" if value < 0 else ""
+    magnitude = abs(value)
+    # Avoid int->str on huge values entirely (Python caps the conversion at
+    # 4300 digits by default): 10^max_digits has ~3.32·max_digits bits.
+    if magnitude.bit_length() <= int(3.33 * max_digits):
+        digits = len(str(magnitude))
+        if digits <= max_digits:
+            return f"{value:,}"
+    return f"{sign}~2^{approx_log2(magnitude):.1f}"
+
+
+def approx_log2(value: int) -> float:
+    """Return ``log2(value)`` for a positive integer of any size.
+
+    Uses exact integer bit manipulation so it does not overflow for
+    thousand-digit integers (``math.log2`` raises on huge ints converted to
+    float).
+
+    >>> approx_log2(8)
+    3.0
+    """
+    if value <= 0:
+        raise ValueError(f"approx_log2: value must be positive, got {value}")
+    bits = value.bit_length()
+    if bits <= 53:
+        return math.log2(value)
+    # Keep 53 significant bits and account for the shift exactly.
+    shift = bits - 53
+    return math.log2(value >> shift) + shift
+
+
+class Table:
+    """A minimal aligned-text table builder.
+
+    >>> t = Table(["n", "size"])
+    >>> t.add_row([4, 16])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    n | size
+    --+-----
+    4 | 16
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None) -> None:
+        if not columns:
+            raise ValueError("Table needs at least one column")
+        self.title = title
+        self._columns = [str(c) for c in columns]
+        self._rows: list[list[str]] = []
+
+    def add_row(self, values: Sequence[object]) -> None:
+        """Append a row; values are stringified (ints keep separators)."""
+        if len(values) != len(self._columns):
+            raise ValueError(
+                f"row has {len(values)} values but table has {len(self._columns)} columns"
+            )
+        rendered = [
+            format_int(v) if isinstance(v, int) and not isinstance(v, bool) else str(v)
+            for v in values
+        ]
+        self._rows.append(rendered)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._rows)
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        widths = [len(c) for c in self._columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(c.ljust(w) for c, w in zip(self._columns, widths)).rstrip()
+        separator = "-+-".join("-" * w for w in widths)
+        lines = [header, separator]
+        for row in self._rows:
+            lines.append(" | ".join(cell.rjust(w) for cell, w in zip(row, widths)).rstrip())
+        body = "\n".join(lines)
+        if self.title:
+            return f"{self.title}\n{body}"
+        return body
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table (title omitted)."""
+        header = "| " + " | ".join(self._columns) + " |"
+        separator = "|" + "|".join("---" for _ in self._columns) + "|"
+        lines = [header, separator]
+        for row in self._rows:
+            lines.append("| " + " | ".join(cell.replace("|", "\\|") for cell in row) + " |")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the rendered table followed by a blank line."""
+        print(self.render())
+        print()

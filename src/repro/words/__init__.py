@@ -1,0 +1,28 @@
+"""Alphabets and word utilities (Section 2 of the paper).
+
+Words are plain Python ``str`` objects whose characters are the symbols; an
+:class:`Alphabet` is an ordered, duplicate-free collection of
+single-character symbols.  The binary alphabet ``{a, b}`` of the paper is
+exported as :data:`AB`.
+"""
+
+from repro.words.alphabet import AB, Alphabet
+from repro.words.ops import (
+    all_words,
+    complement_word,
+    count_words,
+    is_word_over,
+    random_word,
+    words_of_lengths,
+)
+
+__all__ = [
+    "Alphabet",
+    "AB",
+    "all_words",
+    "complement_word",
+    "count_words",
+    "is_word_over",
+    "random_word",
+    "words_of_lengths",
+]

@@ -1,0 +1,71 @@
+"""Alphabets: ordered, duplicate-free sets of single-character symbols."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = ["Alphabet", "AB"]
+
+
+class Alphabet:
+    """A finite, ordered alphabet of single-character symbols.
+
+    The order matters: language enumeration (and therefore lexicographic
+    rank/unrank on unambiguous grammars) follows the declared symbol order.
+
+    >>> sigma = Alphabet("ab")
+    >>> list(sigma)
+    ['a', 'b']
+    >>> "a" in sigma
+    True
+    """
+
+    __slots__ = ("_symbols", "_index")
+
+    def __init__(self, symbols: Iterable[str]) -> None:
+        syms = list(symbols)
+        if not syms:
+            raise ValueError("an alphabet must contain at least one symbol")
+        for s in syms:
+            if not isinstance(s, str) or len(s) != 1:
+                raise ValueError(f"alphabet symbols must be single characters, got {s!r}")
+        if len(set(syms)) != len(syms):
+            raise ValueError(f"alphabet contains duplicate symbols: {syms!r}")
+        self._symbols: tuple[str, ...] = tuple(syms)
+        self._index: dict[str, int] = {s: i for i, s in enumerate(syms)}
+
+    @property
+    def symbols(self) -> tuple[str, ...]:
+        """The symbols in declaration order."""
+        return self._symbols
+
+    def index(self, symbol: str) -> int:
+        """Return the 0-based position of ``symbol`` in the alphabet order."""
+        try:
+            return self._index[symbol]
+        except KeyError:
+            raise ValueError(f"{symbol!r} is not a symbol of {self!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._symbols)
+
+    def __contains__(self, symbol: object) -> bool:
+        return symbol in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Alphabet):
+            return NotImplemented
+        return self._symbols == other._symbols
+
+    def __hash__(self) -> int:
+        return hash(self._symbols)
+
+    def __repr__(self) -> str:
+        return f"Alphabet({''.join(self._symbols)!r})"
+
+
+#: The binary alphabet ``{a, b}`` used by every concrete language in the paper.
+AB = Alphabet("ab")

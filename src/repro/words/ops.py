@@ -1,0 +1,100 @@
+"""Word-level operations: enumeration, complementation, validation.
+
+The paper's Example 4 uses the *complement* ``w̄`` of a word ``w`` over
+``{a, b}`` — the word obtained by flipping every ``a`` to ``b`` and
+vice-versa; :func:`complement_word` generalises this to any two-symbol
+alphabet.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterable, Iterator
+
+from repro.words.alphabet import Alphabet
+
+__all__ = [
+    "all_words",
+    "complement_word",
+    "count_words",
+    "is_word_over",
+    "random_word",
+    "words_of_lengths",
+]
+
+
+def is_word_over(word: str, alphabet: Alphabet) -> bool:
+    """Return whether every character of ``word`` is a symbol of ``alphabet``.
+
+    >>> from repro.words import AB
+    >>> is_word_over("abba", AB), is_word_over("abc", AB)
+    (True, False)
+    """
+    return all(ch in alphabet for ch in word)
+
+
+def all_words(alphabet: Alphabet, length: int) -> Iterator[str]:
+    """Yield every word of exactly ``length`` in lexicographic order.
+
+    Lexicographic means: with respect to the alphabet's declared symbol
+    order, so ``all_words(AB, 2)`` yields ``aa, ab, ba, bb``.
+
+    >>> from repro.words import AB
+    >>> list(all_words(AB, 2))
+    ['aa', 'ab', 'ba', 'bb']
+    """
+    if length < 0:
+        raise ValueError(f"all_words: length must be non-negative, got {length}")
+    for tup in itertools.product(alphabet.symbols, repeat=length):
+        yield "".join(tup)
+
+
+def words_of_lengths(alphabet: Alphabet, lengths: Iterable[int]) -> Iterator[str]:
+    """Yield all words whose length is in ``lengths``, shortest first.
+
+    ``lengths`` is deduplicated and sorted, so the output order is
+    deterministic regardless of the input order.
+    """
+    for length in sorted(set(lengths)):
+        yield from all_words(alphabet, length)
+
+
+def count_words(alphabet: Alphabet, length: int) -> int:
+    """Return ``|Σ|**length``, the number of words of a given length."""
+    if length < 0:
+        raise ValueError(f"count_words: length must be non-negative, got {length}")
+    return len(alphabet) ** length
+
+
+def complement_word(word: str, alphabet: Alphabet) -> str:
+    """Return ``w̄``: the word with the two symbols of ``alphabet`` swapped.
+
+    Only defined for two-symbol alphabets (Example 4 of the paper uses it
+    over ``{a, b}``).
+
+    >>> from repro.words import AB
+    >>> complement_word("aab", AB)
+    'bba'
+    """
+    if len(alphabet) != 2:
+        raise ValueError(
+            f"complement_word is only defined over two-symbol alphabets, got {alphabet!r}"
+        )
+    first, second = alphabet.symbols
+    table = str.maketrans({first: second, second: first})
+    if not is_word_over(word, alphabet):
+        raise ValueError(f"{word!r} is not a word over {alphabet!r}")
+    return word.translate(table)
+
+
+def random_word(alphabet: Alphabet, length: int, rng: random.Random | None = None) -> str:
+    """Return a uniformly random word of the given length.
+
+    Pass an explicit ``rng`` for reproducibility; tests and benchmarks in
+    this repository always do.
+    """
+    if length < 0:
+        raise ValueError(f"random_word: length must be non-negative, got {length}")
+    rng = rng if rng is not None else random.Random()
+    return "".join(rng.choice(alphabet.symbols) for _ in range(length))

@@ -1,0 +1,70 @@
+"""Shared fixtures: a corpus of small finite-language grammars.
+
+The corpus mixes unambiguous and ambiguous grammars, uniform-length and
+mixed-length languages, and the paper's own constructions at small
+parameters; cross-module tests (CNF, d-reps, covers, ...) iterate over
+it so every transformation is exercised on every shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grammars.cfg import CFG, grammar_from_mapping
+from repro.languages.example3 import example3_grammar
+from repro.languages.small_grammar import small_ln_grammar
+from repro.languages.unambiguous_grammar import example4_ucfg
+
+
+def corpus() -> dict[str, CFG]:
+    """Name → grammar.  All finite languages, all over {a, b}."""
+    return {
+        "two-words": grammar_from_mapping("ab", {"S": ["ab", "ba"]}, "S"),
+        "single-word": grammar_from_mapping("ab", {"S": ["abba"]}, "S"),
+        "epsilon": grammar_from_mapping("ab", {"S": ["", "a"]}, "S"),
+        "nested": grammar_from_mapping(
+            "ab", {"S": ["aXb"], "X": ["ab", "ba", ""]}, "S"
+        ),
+        "ambiguous-unit": grammar_from_mapping(
+            "ab", {"S": ["ab", "aX"], "X": ["b"]}, "S"
+        ),
+        "uniform-ucfg": grammar_from_mapping(
+            "ab", {"S": ["aX", "bY"], "X": ["ab", "bb"], "Y": ["aa", "ba"]}, "S"
+        ),
+        "uniform-ambiguous": grammar_from_mapping(
+            "ab", {"S": ["aX", "Ya"], "X": ["aa", "ab"], "Y": ["aa", "ba"]}, "S"
+        ),
+        "deep-chain": grammar_from_mapping(
+            "ab",
+            {"S": ["AB"], "A": ["aa", "ab"], "B": ["CD"], "C": ["a", "b"], "D": ["b"]},
+            "S",
+        ),
+        "example3-k1": example3_grammar(1),
+        "smallgrammar-n3": small_ln_grammar(3),
+        "smallgrammar-n4": small_ln_grammar(4),
+        "example4-n2": example4_ucfg(2),
+    }
+
+
+@pytest.fixture(params=sorted(corpus()), ids=sorted(corpus()))
+def corpus_grammar(request) -> CFG:
+    """Parametrised fixture yielding every corpus grammar."""
+    return corpus()[request.param]
+
+
+@pytest.fixture
+def uniform_corpus() -> dict[str, CFG]:
+    """The sub-corpus whose languages are uniform-length and ε-free."""
+    names = [
+        "two-words",
+        "single-word",
+        "uniform-ucfg",
+        "uniform-ambiguous",
+        "deep-chain",
+        "example3-k1",
+        "smallgrammar-n3",
+        "smallgrammar-n4",
+        "example4-n2",
+    ]
+    full = corpus()
+    return {name: full[name] for name in names}

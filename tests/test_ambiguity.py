@@ -1,0 +1,89 @@
+"""Tests for repro.grammars.ambiguity: deciding unambiguity, witnesses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NotUnambiguousError
+from repro.grammars.ambiguity import (
+    ambiguity_profile,
+    ambiguity_witness,
+    find_ambiguous_word,
+    is_unambiguous,
+    max_ambiguity,
+    require_unambiguous,
+)
+from repro.grammars.cfg import grammar_from_mapping
+from repro.languages.example3 import example3_grammar
+from repro.languages.unambiguous_grammar import example4_ucfg
+
+
+class TestDecision:
+    def test_unambiguous_flat(self):
+        g = grammar_from_mapping("ab", {"S": ["ab", "ba"]}, "S")
+        assert is_unambiguous(g)
+
+    def test_ambiguous_duplicate_path(self):
+        g = grammar_from_mapping("ab", {"S": ["ab", "X"], "X": ["ab"]}, "S")
+        assert not is_unambiguous(g)
+
+    def test_example3_is_ambiguous(self):
+        assert not is_unambiguous(example3_grammar(1))
+
+    def test_example4_is_unambiguous(self):
+        assert is_unambiguous(example4_ucfg(2))
+        assert is_unambiguous(example4_ucfg(3))
+
+    def test_empty_language_unambiguous(self):
+        g = grammar_from_mapping("ab", {"S": ["SX"], "X": ["a"]}, "S")
+        assert is_unambiguous(g)
+
+    def test_ambiguous_split(self):
+        g = grammar_from_mapping("ab", {"S": ["XX"], "X": ["a", "aa"]}, "S")
+        assert not is_unambiguous(g)  # aaa splits 1+2 or 2+1
+
+
+class TestProfileAndWitness:
+    def test_profile_counts(self):
+        g = grammar_from_mapping("ab", {"S": ["ab", "X", "ba"], "X": ["ab"]}, "S")
+        assert ambiguity_profile(g) == {"ab": 2, "ba": 1}
+
+    def test_max_ambiguity(self):
+        g = grammar_from_mapping("ab", {"S": ["ab", "X", "Y"], "X": ["ab"], "Y": ["ab"]}, "S")
+        assert max_ambiguity(g) == 3
+
+    def test_max_ambiguity_unambiguous_is_one(self):
+        assert max_ambiguity(grammar_from_mapping("ab", {"S": ["a"]}, "S")) == 1
+
+    def test_max_ambiguity_empty_is_zero(self):
+        g = grammar_from_mapping("ab", {"S": ["SX"], "X": ["a"]}, "S")
+        assert max_ambiguity(g) == 0
+
+    def test_find_ambiguous_word_shortest_first(self):
+        g = grammar_from_mapping(
+            "ab", {"S": ["a", "X", "bb", "Y"], "X": ["a"], "Y": ["bb"]}, "S"
+        )
+        assert find_ambiguous_word(g) == "a"
+
+    def test_find_ambiguous_word_none(self):
+        assert find_ambiguous_word(grammar_from_mapping("ab", {"S": ["a"]}, "S")) is None
+
+    def test_witness_regenerates_figure1(self):
+        witness = ambiguity_witness(example3_grammar(1))
+        assert witness is not None
+        word, tree1, tree2 = witness
+        assert tree1 != tree2
+        assert tree1.word == word == tree2.word
+
+    def test_witness_none_for_unambiguous(self):
+        assert ambiguity_witness(example4_ucfg(2)) is None
+
+
+class TestRequire:
+    def test_require_passes(self):
+        require_unambiguous(grammar_from_mapping("ab", {"S": ["a"]}, "S"), "test")
+
+    def test_require_raises(self):
+        g = grammar_from_mapping("ab", {"S": ["a", "X"], "X": ["a"]}, "S")
+        with pytest.raises(NotUnambiguousError):
+            require_unambiguous(g, "test")

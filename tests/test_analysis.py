@@ -1,0 +1,176 @@
+"""Tests for repro.grammars.analysis: trimming, finiteness, Observation 9."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GrammarError, InfiniteLanguageError, MixedLengthLanguageError
+from repro.grammars.analysis import (
+    derivable_lengths,
+    has_finite_language,
+    has_unit_or_epsilon_cycle,
+    is_empty,
+    is_trim,
+    nullable_nonterminals,
+    productive_nonterminals,
+    reachable_nonterminals,
+    trim,
+    uniform_lengths,
+    useful_nonterminals,
+)
+from repro.grammars.cfg import CFG, grammar_from_mapping
+from repro.words.alphabet import AB
+
+
+class TestProductiveReachable:
+    def test_productive_basic(self):
+        g = grammar_from_mapping("ab", {"S": ["aX"], "X": ["b"], "D": ["D"]}, "S")
+        assert productive_nonterminals(g) == {"S", "X"}
+
+    def test_unproductive_start(self):
+        g = grammar_from_mapping("ab", {"S": ["SX"], "X": ["a"]}, "S")
+        assert "S" not in productive_nonterminals(g)
+        assert is_empty(g)
+
+    def test_reachable_basic(self):
+        g = grammar_from_mapping(
+            "ab", {"S": ["aX"], "X": ["b"], "L": ["a"]}, "S"
+        )
+        assert reachable_nonterminals(g) == {"S", "X"}
+
+    def test_start_always_reachable(self):
+        g = grammar_from_mapping("ab", {"S": []}, "S")
+        assert reachable_nonterminals(g) == {"S"}
+
+    def test_useful_requires_both(self):
+        g = grammar_from_mapping(
+            "ab",
+            {"S": ["aX"], "X": ["b"], "L": ["a"], "D": ["D"]},
+            "S",
+        )
+        assert useful_nonterminals(g) == {"S", "X"}
+
+    def test_useful_excludes_reachable_only_through_dead(self):
+        # Y is reachable only via a rule that also mentions the unproductive D.
+        g = grammar_from_mapping(
+            "ab", {"S": ["YD", "a"], "Y": ["b"], "D": ["D"]}, "S"
+        )
+        assert useful_nonterminals(g) == {"S"}
+
+
+class TestTrim:
+    def test_trim_removes_useless(self):
+        g = grammar_from_mapping(
+            "ab", {"S": ["aX"], "X": ["b"], "L": ["a"], "D": ["D"]}, "S"
+        )
+        trimmed = trim(g)
+        assert set(trimmed.nonterminals) == {"S", "X"}
+        assert is_trim(trimmed)
+
+    def test_trim_preserves_language(self):
+        from repro.grammars.language import language
+
+        g = grammar_from_mapping(
+            "ab", {"S": ["aX", "b"], "X": ["b"], "L": ["ab"]}, "S"
+        )
+        assert language(trim(g)) == language(g)
+
+    def test_trim_empty_language(self):
+        g = grammar_from_mapping("ab", {"S": ["SX"], "X": ["a"]}, "S")
+        trimmed = trim(g)
+        assert set(trimmed.nonterminals) == {"S"}
+        assert not trimmed.rules
+        assert is_trim(trimmed)
+
+    def test_is_trim_detects_useless(self, corpus_grammar):
+        assert is_trim(trim(corpus_grammar))
+
+    def test_trim_idempotent(self, corpus_grammar):
+        once = trim(corpus_grammar)
+        assert trim(once) == once
+
+    def test_trim_never_increases_size(self, corpus_grammar):
+        assert trim(corpus_grammar).size <= corpus_grammar.size
+
+
+class TestFiniteness:
+    def test_finite_corpus(self, corpus_grammar):
+        assert has_finite_language(corpus_grammar)
+
+    def test_infinite_detected(self):
+        g = grammar_from_mapping("ab", {"S": ["aS", "a"]}, "S")
+        assert not has_finite_language(g)
+
+    def test_useless_recursion_is_fine(self):
+        g = grammar_from_mapping("ab", {"S": ["a"], "D": ["aD"]}, "S")
+        assert has_finite_language(g)
+
+    def test_indirect_recursion(self):
+        g = grammar_from_mapping("ab", {"S": ["aX", "b"], "X": ["Sb"]}, "S")
+        assert not has_finite_language(g)
+
+    def test_derivable_lengths_requires_cap_for_infinite(self):
+        g = grammar_from_mapping("ab", {"S": ["aS", "a"]}, "S")
+        with pytest.raises(InfiniteLanguageError):
+            derivable_lengths(g)
+        lengths = derivable_lengths(g, max_length=4)
+        assert lengths["S"] == {1, 2, 3, 4}
+
+
+class TestLengths:
+    def test_derivable_lengths_finite(self):
+        g = grammar_from_mapping("ab", {"S": ["aX", "X"], "X": ["ab", "b"]}, "S")
+        lengths = derivable_lengths(g)
+        assert lengths["X"] == {1, 2}
+        assert lengths["S"] == {1, 2, 3}
+
+    def test_uniform_lengths_happy(self):
+        g = grammar_from_mapping("ab", {"S": ["aX"], "X": ["ab", "bb"]}, "S")
+        assert uniform_lengths(g) == {"S": 3, "X": 2}
+
+    def test_uniform_lengths_mixed_raises(self):
+        g = grammar_from_mapping("ab", {"S": ["a", "ab"]}, "S")
+        with pytest.raises(MixedLengthLanguageError):
+            uniform_lengths(g)
+
+    def test_uniform_lengths_requires_trim(self):
+        g = grammar_from_mapping("ab", {"S": ["ab"], "L": ["a"]}, "S")
+        with pytest.raises(GrammarError):
+            uniform_lengths(g)
+
+    def test_uniform_lengths_observation9_on_corpus(self, uniform_corpus):
+        from repro.grammars.language import languages_by_nonterminal
+
+        for name, grammar in uniform_corpus.items():
+            trimmed = trim(grammar)
+            lengths = uniform_lengths(trimmed)
+            langs = languages_by_nonterminal(trimmed)
+            for nt, words in langs.items():
+                assert {len(w) for w in words} == {lengths[nt]}, name
+
+
+class TestNullableAndCycles:
+    def test_nullable(self):
+        g = grammar_from_mapping("ab", {"S": ["XY"], "X": [""], "Y": ["a", ""]}, "S")
+        assert nullable_nonterminals(g) == {"S", "X", "Y"}
+
+    def test_not_nullable(self):
+        g = grammar_from_mapping("ab", {"S": ["aX"], "X": ["b"]}, "S")
+        assert nullable_nonterminals(g) == set()
+
+    def test_unit_cycle_detected(self):
+        g = grammar_from_mapping("ab", {"S": ["X", "a"], "X": ["S"]}, "S")
+        assert has_unit_or_epsilon_cycle(g)
+
+    def test_epsilon_enabled_cycle_detected(self):
+        g = grammar_from_mapping(
+            "ab", {"S": ["XE", "a"], "X": ["S"], "E": [""]}, "S"
+        )
+        assert has_unit_or_epsilon_cycle(g)
+
+    def test_no_cycle_when_context_not_nullable(self):
+        g = grammar_from_mapping("ab", {"S": ["Xa", "a"], "X": ["S"]}, "S")
+        assert not has_unit_or_epsilon_cycle(g)
+
+    def test_corpus_is_cycle_free(self, corpus_grammar):
+        assert not has_unit_or_epsilon_cycle(trim(corpus_grammar))

@@ -1,0 +1,91 @@
+"""Tests for repro.automata.counting: transfer-matrix word counting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.counting import (
+    count_dfa_words_of_length,
+    count_dfa_words_up_to,
+    count_nfa_runs_of_length,
+)
+from repro.automata.dfa import determinise
+from repro.automata.ops import (
+    is_unambiguous_nfa,
+    minimal_dfa_of_finite_language,
+)
+from repro.languages.ln import count_ln, ln_words
+from repro.languages.nfa_ln import ln_match_nfa
+from repro.words.alphabet import AB
+
+
+class TestDFACounting:
+    def test_counts_match_language(self):
+        words = {"ab", "ba", "b", "aaa"}
+        dfa = minimal_dfa_of_finite_language(words, AB)
+        assert count_dfa_words_of_length(dfa, 1) == 1
+        assert count_dfa_words_of_length(dfa, 2) == 2
+        assert count_dfa_words_of_length(dfa, 3) == 1
+        assert count_dfa_words_of_length(dfa, 4) == 0
+
+    def test_counts_ln_via_minimal_dfa(self):
+        # |L_n| = 4^n - 3^n reproduced by a completely different machine.
+        for n in (1, 2, 3, 4):
+            dfa = minimal_dfa_of_finite_language(ln_words(n), AB)
+            assert count_dfa_words_of_length(dfa, 2 * n) == count_ln(n)
+            assert count_dfa_words_of_length(dfa, 2 * n - 1) == 0
+
+    def test_counts_via_determinised_match_nfa(self):
+        n = 4
+        dfa = determinise(ln_match_nfa(n))
+        assert count_dfa_words_of_length(dfa, 2 * n) == count_ln(n)
+
+    def test_up_to_spectrum(self):
+        words = {"a", "ab", "ba"}
+        dfa = minimal_dfa_of_finite_language(words, AB)
+        assert count_dfa_words_up_to(dfa, 3) == {0: 0, 1: 1, 2: 2, 3: 0}
+
+    def test_epsilon_counted(self):
+        dfa = minimal_dfa_of_finite_language({"", "a"}, AB)
+        assert count_dfa_words_up_to(dfa, 1) == {0: 1, 1: 1}
+
+    def test_negative_length_rejected(self):
+        dfa = minimal_dfa_of_finite_language({"a"}, AB)
+        with pytest.raises(ValueError):
+            count_dfa_words_of_length(dfa, -1)
+        with pytest.raises(ValueError):
+            count_dfa_words_up_to(dfa, -1)
+
+    def test_complete_dfa_counts_everything(self):
+        dfa = minimal_dfa_of_finite_language({"a"}, AB).complement()
+        # complement over Σ*: all words except 'a'.
+        assert count_dfa_words_of_length(dfa, 1) == 1  # just 'b'
+        assert count_dfa_words_of_length(dfa, 3) == 8
+
+
+class TestNFARunCounting:
+    def test_runs_overcount_for_ambiguous(self):
+        n = 2
+        nfa = ln_match_nfa(n)
+        assert not is_unambiguous_nfa(nfa)
+        runs = count_nfa_runs_of_length(nfa, 2 * n)
+        words = count_ln(n)
+        assert runs > words
+
+    def test_runs_equal_words_for_deterministic(self):
+        dfa = minimal_dfa_of_finite_language({"ab", "ba"}, AB)
+        nfa = dfa.to_nfa()
+        assert is_unambiguous_nfa(nfa)
+        assert count_nfa_runs_of_length(nfa, 2) == 2
+
+    def test_run_count_matches_per_word_sum(self):
+        from repro.words.ops import all_words
+
+        n = 2
+        nfa = ln_match_nfa(n)
+        total = sum(nfa.count_accepting_runs(w) for w in all_words(AB, 2 * n))
+        assert count_nfa_runs_of_length(nfa, 2 * n) == total
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            count_nfa_runs_of_length(ln_match_nfa(2), -1)

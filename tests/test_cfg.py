@@ -1,0 +1,169 @@
+"""Tests for repro.grammars.cfg: the CFG structure and size measure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GrammarError
+from repro.grammars.cfg import CFG, Rule, grammar_from_mapping
+from repro.words.alphabet import AB
+
+
+def simple_grammar() -> CFG:
+    return CFG(
+        AB,
+        ["S", "X"],
+        [("S", ("a", "X")), ("S", ("b",)), ("X", ("a",)), ("X", ())],
+        "S",
+    )
+
+
+class TestRule:
+    def test_size(self):
+        assert Rule("S", ("a", "X", "b")).size == 3
+        assert Rule("S", ()).size == 0
+
+    def test_str(self):
+        assert str(Rule("S", ("a", "X"))) == "S -> a X"
+        assert str(Rule("S", ())) == "S -> ε"
+
+    def test_rhs_must_be_tuple(self):
+        with pytest.raises(GrammarError):
+            Rule("S", ["a"])  # type: ignore[arg-type]
+
+    def test_equality_structural(self):
+        assert Rule("S", ("a",)) == Rule("S", ("a",))
+        assert Rule("S", ("a",)) != Rule("S", ("b",))
+
+
+class TestConstruction:
+    def test_basic_accessors(self):
+        g = simple_grammar()
+        assert g.start == "S"
+        assert set(g.nonterminals) == {"S", "X"}
+        assert g.terminals == ("a", "b")
+
+    def test_size_is_sum_of_body_lengths(self):
+        assert simple_grammar().size == 2 + 1 + 1 + 0
+
+    def test_n_rules(self):
+        assert simple_grammar().n_rules == 4
+
+    def test_duplicate_rules_collapse(self):
+        g = CFG(AB, ["S"], [("S", ("a",)), ("S", ("a",))], "S")
+        assert g.n_rules == 1
+
+    def test_undeclared_lhs_rejected(self):
+        with pytest.raises(GrammarError):
+            CFG(AB, ["S"], [("X", ("a",))], "S")
+
+    def test_undeclared_rhs_symbol_rejected(self):
+        with pytest.raises(GrammarError):
+            CFG(AB, ["S"], [("S", ("Y",))], "S")
+
+    def test_undeclared_terminal_rejected(self):
+        with pytest.raises(GrammarError):
+            CFG(AB, ["S"], [("S", ("c",))], "S")
+
+    def test_start_must_be_nonterminal(self):
+        with pytest.raises(GrammarError):
+            CFG(AB, ["S"], [], "T")
+
+    def test_terminal_nonterminal_overlap_rejected(self):
+        with pytest.raises(GrammarError):
+            CFG(AB, ["a"], [], "a")
+
+    def test_duplicate_nonterminals_rejected(self):
+        with pytest.raises(GrammarError):
+            CFG(AB, ["S", "S"], [], "S")
+
+    def test_tuple_nonterminals_supported(self):
+        g = CFG(AB, [("A", 1)], [(("A", 1), ("a",))], ("A", 1))
+        assert g.size == 1
+
+
+class TestPredicates:
+    def test_is_terminal_nonterminal(self):
+        g = simple_grammar()
+        assert g.is_terminal("a") and not g.is_terminal("S")
+        assert g.is_nonterminal("X") and not g.is_nonterminal("a")
+
+    def test_rules_for(self):
+        g = simple_grammar()
+        assert len(g.rules_for("S")) == 2
+        assert len(g.rules_for("X")) == 2
+
+    def test_rules_for_unknown_raises(self):
+        with pytest.raises(GrammarError):
+            simple_grammar().rules_for("Z")
+
+    def test_is_in_cnf_positive(self):
+        g = CFG(AB, ["S", "A"], [("S", ("A", "A")), ("A", ("a",))], "S")
+        assert g.is_in_cnf()
+
+    def test_is_in_cnf_rejects_long_bodies(self):
+        g = CFG(AB, ["S"], [("S", ("a", "a", "a"))], "S")
+        assert not g.is_in_cnf()
+
+    def test_is_in_cnf_rejects_unit_rules(self):
+        g = CFG(AB, ["S", "A"], [("S", ("A",)), ("A", ("a",))], "S")
+        assert not g.is_in_cnf()
+
+    def test_is_in_cnf_rejects_mixed_pair(self):
+        g = CFG(AB, ["S", "A"], [("S", ("a", "A")), ("A", ("a",))], "S")
+        assert not g.is_in_cnf()
+
+    def test_is_in_cnf_epsilon_on_start_only(self):
+        ok = CFG(AB, ["S", "A"], [("S", ()), ("S", ("A", "A")), ("A", ("a",))], "S")
+        assert ok.is_in_cnf()
+        bad = CFG(
+            AB,
+            ["S", "A"],
+            [("A", ()), ("S", ("A", "A")), ("A", ("a",))],
+            "S",
+        )
+        assert not bad.is_in_cnf()
+
+    def test_is_in_cnf_epsilon_start_on_rhs_rejected(self):
+        g = CFG(AB, ["S", "A"], [("S", ()), ("A", ("S", "S")), ("S", ("A", "A"))], "S")
+        assert not g.is_in_cnf()
+
+
+class TestDerivedGrammars:
+    def test_restricted_to_drops_rules(self):
+        g = simple_grammar()
+        restricted = g.restricted_to(["S"])
+        assert set(restricted.nonterminals) == {"S"}
+        assert all("X" not in rule.rhs for rule in restricted.rules)
+
+    def test_restricted_to_keeps_start(self):
+        with pytest.raises(GrammarError):
+            simple_grammar().restricted_to(["X"])
+
+    def test_restricted_to_unknown_raises(self):
+        with pytest.raises(GrammarError):
+            simple_grammar().restricted_to(["S", "Q"])
+
+    def test_with_start(self):
+        g = simple_grammar().with_start("X")
+        assert g.start == "X"
+
+    def test_equality(self):
+        assert simple_grammar() == simple_grammar()
+        assert simple_grammar() != simple_grammar().with_start("X")
+
+    def test_hashable(self):
+        assert len({simple_grammar(), simple_grammar()}) == 1
+
+    def test_pretty_lists_all_rules(self):
+        text = simple_grammar().pretty()
+        assert text.count("\n") == 3
+
+
+class TestGrammarFromMapping:
+    def test_string_bodies_split(self):
+        g = grammar_from_mapping("ab", {"S": ["ab", "aXb"], "X": [""]}, "S")
+        assert g.size == 2 + 3 + 0
+
+    def test_repr_mentions_size(self):
+        assert "size=" in repr(simple_grammar())

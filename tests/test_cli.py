@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestSizes:
+    def test_runs_and_prints_table(self, capsys):
+        assert main(["sizes", "--max-exp", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1" in out
+        assert "16" in out  # n = 2^4
+
+    def test_default_max_exp(self, capsys):
+        assert main(["sizes", "--max-exp", "3"]) == 0
+        assert "8" in capsys.readouterr().out
+
+
+class TestCertificate:
+    def test_prints_all_quantities(self, capsys):
+        assert main(["certificate", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "margin" in out and "uCFG size bound" in out
+        assert "16,640" in out  # the exact margin for m = 4
+
+    def test_invalid_n(self, capsys):
+        assert main(["certificate", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestGrammar:
+    def test_prints_rules(self, capsys):
+        assert main(["grammar", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "->" in out and "size" in out
+
+    def test_language_parameter_in_header(self, capsys):
+        main(["grammar", "12"])
+        assert "L_12" in capsys.readouterr().out
+
+
+class TestCover:
+    def test_runs_for_small_n(self, capsys):
+        assert main(["cover", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "disjoint: True" in out
+
+    def test_rejects_large_n(self, capsys):
+        assert main(["cover", "9"]) == 2
+        assert "infeasible" in capsys.readouterr().err
+
+
+class TestLemma18:
+    def test_verifies(self, capsys):
+        assert main(["lemma18", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "256" in out  # |L| for m = 2
+
+    def test_rejects_large_m(self, capsys):
+        assert main(["lemma18", "9"]) == 2
+
+
+class TestMember:
+    def test_member_with_positions(self, capsys):
+        assert main(["member", "abab", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "True" in out and "[0]" in out
+
+    def test_non_member(self, capsys):
+        assert main(["member", "bbbb", "2"]) == 0
+        assert "False" in capsys.readouterr().out
+
+    def test_wrong_length(self, capsys):
+        assert main(["member", "ab", "2"]) == 2
+        assert "length" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "member", "aa", "1"],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0
+        assert "True" in result.stdout
+
+
+class TestZoo:
+    def test_runs(self, capsys):
+        assert main(["zoo", "--max-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "min DFA" in out and "uCFG" in out
+
+    def test_max_n_clamped(self, capsys):
+        assert main(["zoo", "--max-n", "99"]) == 0  # clamps to 5
+
+
+class TestCertificateJson:
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["certificate", "16", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["m"] == 4
+        assert payload["margin"] == 16640
+        assert payload["lemma18_threshold_holds"] is True
+
+    def test_json_huge_values_stringified(self, capsys):
+        import json
+
+        assert main(["certificate", "65536", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload["n"], int)

@@ -1,0 +1,109 @@
+"""Tests for repro.grammars.cnf: Chomsky normal form conversion."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grammars.ambiguity import is_unambiguous
+from repro.grammars.analysis import is_trim
+from repro.grammars.cfg import CFG, grammar_from_mapping
+from repro.grammars.cnf import to_cnf
+from repro.grammars.language import language
+from repro.words.alphabet import AB
+
+
+class TestShape:
+    def test_result_is_cnf(self, corpus_grammar):
+        assert to_cnf(corpus_grammar).is_in_cnf()
+
+    def test_result_is_trim(self, corpus_grammar):
+        assert is_trim(to_cnf(corpus_grammar))
+
+    def test_language_preserved(self, corpus_grammar):
+        assert language(to_cnf(corpus_grammar)) == language(corpus_grammar)
+
+    def test_unambiguity_preserved(self, corpus_grammar):
+        if is_unambiguous(corpus_grammar):
+            assert is_unambiguous(to_cnf(corpus_grammar))
+
+    def test_already_cnf_stays_equivalent(self):
+        g = CFG(AB, ["S", "A"], [("S", ("A", "A")), ("A", ("a",))], "S")
+        converted = to_cnf(g)
+        assert converted.is_in_cnf()
+        assert language(converted) == language(g)
+
+
+class TestEpsilonHandling:
+    def test_epsilon_language(self):
+        g = grammar_from_mapping("ab", {"S": ["", "ab"]}, "S")
+        converted = to_cnf(g)
+        assert converted.is_in_cnf()
+        assert language(converted) == {"", "ab"}
+
+    def test_pure_epsilon_language(self):
+        g = grammar_from_mapping("ab", {"S": [""]}, "S")
+        converted = to_cnf(g)
+        assert language(converted) == {""}
+
+    def test_nullable_inner_nonterminal(self):
+        g = grammar_from_mapping("ab", {"S": ["aXb"], "X": ["", "a"]}, "S")
+        assert language(to_cnf(g)) == {"ab", "aab"}
+
+    def test_empty_language(self):
+        g = grammar_from_mapping("ab", {"S": ["SX"], "X": ["a"]}, "S")
+        converted = to_cnf(g)
+        assert language(converted) == frozenset()
+
+
+class TestSizeBound:
+    def test_quadratic_bound_on_corpus(self, corpus_grammar):
+        # The paper: |G'| <= |G|^2.  The pipeline includes a fresh start
+        # rule and terminal proxies, so allow the standard additive slack.
+        converted = to_cnf(corpus_grammar)
+        source = max(corpus_grammar.size, 1)
+        assert converted.size <= source * source + 4 * source + 8
+
+    def test_long_body_binarisation(self):
+        g = grammar_from_mapping("ab", {"S": ["aaaaaaaa"]}, "S")
+        converted = to_cnf(g)
+        assert converted.is_in_cnf()
+        assert language(converted) == {"aaaaaaaa"}
+
+    def test_unit_chain_elimination(self):
+        g = grammar_from_mapping(
+            "ab", {"S": ["X"], "X": ["Y"], "Y": ["ab"]}, "S"
+        )
+        converted = to_cnf(g)
+        assert converted.is_in_cnf()
+        assert language(converted) == {"ab"}
+
+
+def _random_grammar(seed_words: list[str], nest: bool) -> CFG:
+    """A small deterministic grammar family for property testing."""
+    productions: dict[str, list[str]] = {"S": []}
+    if nest:
+        productions["S"] = ["aXb", "b"]
+        productions["X"] = seed_words or [""]
+    else:
+        productions["S"] = seed_words or ["a"]
+    return grammar_from_mapping("ab", productions, "S")
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(st.text(alphabet="ab", max_size=4), min_size=1, max_size=5),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cnf_language_preservation_property(self, words, nest):
+        g = _random_grammar(words, nest)
+        assert language(to_cnf(g)) == language(g)
+
+    @given(st.lists(st.text(alphabet="ab", min_size=1, max_size=4), min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_cnf_of_flat_union_is_unambiguous_iff_nodup(self, words):
+        g = _random_grammar(sorted(set(words)), nest=False)
+        # A duplicate-free flat union of distinct words is unambiguous.
+        assert is_unambiguous(g)
+        assert is_unambiguous(to_cnf(g))

@@ -1,0 +1,166 @@
+"""Tests for repro.comm: matrices, rank bounds, fooling sets, covers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm import (
+    CommMatrix,
+    disjointness_matrix,
+    equality_matrix,
+    fooling_set_bound,
+    greedy_disjoint_cover,
+    greedy_fooling_set,
+    intersection_matrix,
+    is_fooling_set,
+    matrix_from_function,
+    minimum_disjoint_cover,
+    rank_lower_bound_for_disjoint_cover,
+    rank_over_gf2,
+    rank_over_q,
+    verify_disjoint_cover,
+)
+
+
+class TestCommMatrix:
+    def test_shape_and_entries(self):
+        m = matrix_from_function([0, 1], [0, 1, 2], lambda x, y: x < y)
+        assert m.shape == (2, 3)
+        assert m[0, 1] == 1 and m[1, 1] == 0
+
+    def test_ones(self):
+        m = matrix_from_function([0, 1], [0, 1], lambda x, y: x == y)
+        assert set(m.ones()) == {(0, 0), (1, 1)}
+        assert m.count_ones() == 2
+
+    def test_monochromatic_check(self):
+        m = matrix_from_function([0, 1], [0, 1], lambda x, y: x == y)
+        assert m.is_monochromatic_rectangle([0], [0])
+        assert not m.is_monochromatic_rectangle([0, 1], [0])
+        assert m.is_monochromatic_rectangle([], [0])
+
+    def test_transpose(self):
+        m = matrix_from_function([0, 1], [0], lambda x, y: x == 1)
+        assert m.transpose().entries == [[0, 1]]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CommMatrix([0], [0, 1], [[1]])
+        with pytest.raises(ValueError):
+            CommMatrix([0], [0], [[2]])
+
+    def test_intersection_matrix_semantics(self):
+        m = intersection_matrix(2)
+        # The empty set is label 0 and intersects nothing.
+        empty_index = m.row_labels.index(frozenset())
+        assert all(m[empty_index, j] == 0 for j in range(m.shape[1]))
+
+    def test_disjointness_is_complement(self):
+        inter, disj = intersection_matrix(2), disjointness_matrix(2)
+        rows, cols = inter.shape
+        assert all(
+            inter[i, j] + disj[i, j] == 1 for i in range(rows) for j in range(cols)
+        )
+
+    def test_equality_matrix_is_identity(self):
+        m = equality_matrix(2)
+        rows, _ = m.shape
+        assert all(m[i, j] == (1 if i == j else 0) for i in range(rows) for j in range(rows))
+
+
+class TestRank:
+    def test_rank_of_identity(self):
+        assert rank_over_q(equality_matrix(3)) == 8
+        assert rank_over_gf2(equality_matrix(3)) == 8
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 6])
+    def test_intersection_rank_is_2p_minus_1(self, p):
+        assert rank_over_q(intersection_matrix(p)) == 2**p - 1
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 4])
+    def test_disjointness_rank_is_2p(self, p):
+        assert rank_over_q(disjointness_matrix(p)) == 2**p
+
+    def test_rank_zero_matrix(self):
+        assert rank_over_q([[0, 0], [0, 0]]) == 0
+        assert rank_over_gf2([[0, 0]]) == 0
+
+    def test_rank_rectangular(self):
+        assert rank_over_q([[1, 2, 3], [2, 4, 6]]) == 1
+
+    def test_gf2_differs_from_q(self):
+        # [[1,1],[1,1]] + parity structure: 2x2 all-ones has rank 1 in both;
+        # [[1,1,0],[0,1,1],[1,0,1]] has rank 3 over Q but 2 over GF(2).
+        matrix = [[1, 1, 0], [0, 1, 1], [1, 0, 1]]
+        assert rank_over_q(matrix) == 3
+        assert rank_over_gf2(matrix) == 2
+
+    def test_rank_bound_alias(self):
+        m = intersection_matrix(3)
+        assert rank_lower_bound_for_disjoint_cover(m) == 7
+
+
+class TestFooling:
+    def test_identity_fooling_set(self):
+        m = equality_matrix(2)
+        diagonal = [(i, i) for i in range(4)]
+        assert is_fooling_set(m, diagonal)
+
+    def test_non_fooling_detected(self):
+        m = matrix_from_function([0, 1], [0, 1], lambda x, y: True)
+        assert not is_fooling_set(m, [(0, 0), (1, 1)])
+
+    def test_zero_entry_not_allowed(self):
+        m = equality_matrix(1)
+        assert not is_fooling_set(m, [(0, 1)])
+
+    def test_greedy_on_equality_is_maximum(self):
+        m = equality_matrix(3)
+        assert fooling_set_bound(m) == 8
+
+    def test_greedy_is_verified(self):
+        m = intersection_matrix(3)
+        assert is_fooling_set(m, greedy_fooling_set(m))
+
+
+class TestCovers:
+    def test_greedy_cover_valid(self):
+        for p in (1, 2, 3):
+            m = intersection_matrix(p)
+            cover = greedy_disjoint_cover(m)
+            assert verify_disjoint_cover(m, cover)
+
+    def test_minimum_cover_valid_and_minimal(self):
+        m = intersection_matrix(2)
+        cover = minimum_disjoint_cover(m)
+        assert verify_disjoint_cover(m, cover)
+        assert len(cover) <= len(greedy_disjoint_cover(m))
+        assert len(cover) >= rank_over_q(m)  # = 3
+
+    def test_minimum_cover_equals_rank_for_intersect2(self):
+        # Partition number of INTERSECT_2 equals its rank, 3.
+        m = intersection_matrix(2)
+        assert len(minimum_disjoint_cover(m)) == 3
+
+    def test_minimum_cover_identity(self):
+        m = equality_matrix(2)
+        assert len(minimum_disjoint_cover(m)) == 4
+
+    def test_empty_matrix_cover(self):
+        m = matrix_from_function([0], [0], lambda x, y: False)
+        assert minimum_disjoint_cover(m) == []
+
+    def test_verify_rejects_overlap(self):
+        m = matrix_from_function([0], [0, 1], lambda x, y: True)
+        rect = (frozenset({0}), frozenset({0, 1}))
+        assert not verify_disjoint_cover(m, [rect, rect])
+
+    def test_verify_rejects_non_cover(self):
+        m = matrix_from_function([0], [0, 1], lambda x, y: True)
+        rect = (frozenset({0}), frozenset({0}))
+        assert not verify_disjoint_cover(m, [rect])
+
+    def test_verify_rejects_zero_cell(self):
+        m = matrix_from_function([0], [0, 1], lambda x, y: y == 0)
+        rect = (frozenset({0}), frozenset({0, 1}))
+        assert not verify_disjoint_cover(m, [rect])

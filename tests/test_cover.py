@@ -1,0 +1,88 @@
+"""Tests for repro.core.cover: the Proposition 7 extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cover import balanced_rectangle_cover, context_pairs
+from repro.core.rectangles import is_rectangle_decomposition
+from repro.errors import RectangleError
+from repro.grammars.ambiguity import is_unambiguous
+from repro.grammars.cfg import grammar_from_mapping
+from repro.grammars.cnf import to_cnf
+from repro.grammars.indexing import index_by_position
+from repro.grammars.language import language, languages_by_nonterminal
+from repro.languages.example3 import example3_grammar
+from repro.languages.unambiguous_grammar import example4_ucfg
+
+
+class TestProposition7:
+    def test_cover_on_uniform_corpus(self, uniform_corpus):
+        for name, grammar in uniform_corpus.items():
+            cover = balanced_rectangle_cover(grammar)
+            assert is_rectangle_decomposition(
+                cover.rectangles, language(grammar), require_balanced=True
+            ), name
+            assert cover.n_rectangles <= cover.proposition7_bound, name
+
+    def test_disjoint_for_unambiguous(self, uniform_corpus):
+        for name, grammar in uniform_corpus.items():
+            if is_unambiguous(grammar):
+                cover = balanced_rectangle_cover(grammar)
+                assert cover.disjoint, name
+
+    def test_example3_cover_union(self):
+        cover = balanced_rectangle_cover(example3_grammar(1))
+        assert cover.covered_words() == language(example3_grammar(1))
+
+    def test_example4_cover_disjoint(self):
+        cover = balanced_rectangle_cover(example4_ucfg(2))
+        assert cover.disjoint
+        total = sum(r.n_words for r in cover.rectangles)
+        assert total == len(language(example4_ucfg(2)))
+
+    def test_steps_record_witnesses(self):
+        cover = balanced_rectangle_cover(example4_ucfg(2))
+        covered = set()
+        for step in cover.steps:
+            assert step.witness_word in step.rectangle
+            covered |= step.rectangle.word_set()
+        assert covered == language(example4_ucfg(2))
+
+    def test_empty_language(self):
+        g = grammar_from_mapping("ab", {"S": ["SX"], "X": ["a"]}, "S")
+        cover = balanced_rectangle_cover(g)
+        assert cover.n_rectangles == 0
+
+    def test_mixed_length_rejected(self):
+        g = grammar_from_mapping("ab", {"S": ["a", "ab"]}, "S")
+        with pytest.raises(RectangleError):
+            balanced_rectangle_cover(g)
+
+    def test_word_length_one_rejected(self):
+        g = grammar_from_mapping("ab", {"S": ["a", "b"]}, "S")
+        with pytest.raises(RectangleError):
+            balanced_rectangle_cover(g)
+
+    def test_rectangle_count_positive(self):
+        cover = balanced_rectangle_cover(grammar_from_mapping("ab", {"S": ["ab"]}, "S"))
+        assert cover.n_rectangles == 1
+
+
+class TestContexts:
+    def test_context_pairs_reconstruct_language(self, uniform_corpus):
+        for name, grammar in uniform_corpus.items():
+            indexed = index_by_position(to_cnf(grammar))
+            langs = languages_by_nonterminal(indexed.grammar)
+            contexts = context_pairs(indexed.grammar, langs)
+            full = language(grammar)
+            for nt, pairs in contexts.items():
+                for prefix, suffix in pairs:
+                    for middle in langs[nt]:
+                        assert prefix + middle + suffix in full, (name, nt)
+
+    def test_start_context_is_empty_pair(self):
+        indexed = index_by_position(to_cnf(grammar_from_mapping("ab", {"S": ["ab"]}, "S")))
+        langs = languages_by_nonterminal(indexed.grammar)
+        contexts = context_pairs(indexed.grammar, langs)
+        assert contexts[indexed.grammar.start] == {("", "")}

@@ -1,0 +1,123 @@
+"""Cross-engine consistency: every pipeline computes the same facts.
+
+The repository has many independent routes to the same quantities —
+three parsers, two counting disciplines, two ranked-access orders, four
+`L_n` representations, two rectangle views.  This module asserts their
+agreement on shared inputs, which is the strongest correctness signal a
+reproduction can give without an external oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.counting import count_dfa_words_of_length
+from repro.automata.dfa import determinise, minimise
+from repro.automata.ops import minimal_dfa_of_finite_language
+from repro.automata.regex import any_symbol, compile_regex, sym
+from repro.core.cover import balanced_rectangle_cover
+from repro.core.setview import (
+    rectangle_to_set_rectangle,
+    set_rectangle_to_rectangle,
+)
+from repro.factorized.convert import cfg_to_drep
+from repro.grammars.ambiguity import is_unambiguous
+from repro.grammars.cnf import to_cnf
+from repro.grammars.cyk import count_parse_trees
+from repro.grammars.earley import earley_recognises
+from repro.grammars.generic import GenericParser
+from repro.grammars.gnf import to_gnf
+from repro.grammars.language import count_derivations, language
+from repro.grammars.lexorder import LexRankedLanguage
+from repro.grammars.ranking import RankedLanguage
+from repro.languages.example3 import example3_grammar
+from repro.languages.ln import count_ln, is_in_ln, ln_words
+from repro.languages.nfa_ln import ln_match_nfa
+from repro.languages.small_grammar import small_ln_grammar
+from repro.languages.unambiguous_grammar import example4_ucfg
+from repro.words.alphabet import AB
+from repro.words.ops import all_words
+
+
+class TestFiveRoutesToLn:
+    """|L_n| and membership computed five independent ways."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_membership_agreement(self, n):
+        grammar = small_ln_grammar(n)
+        cnf = to_cnf(grammar)
+        parser = GenericParser(grammar)
+        nfa = ln_match_nfa(n)
+        sigma = any_symbol(AB)
+        regex_nfa = compile_regex(
+            sigma.star() + sym("a") + sigma ** (n - 1) + sym("a") + sigma.star(), AB
+        )
+        for word in all_words(AB, 2 * n):
+            truth = is_in_ln(word, n)
+            assert parser.recognises(word) == truth
+            assert earley_recognises(grammar, word) == truth
+            assert (count_parse_trees(cnf, word) > 0) == truth
+            assert nfa.accepts(word) == truth
+            assert regex_nfa.accepts(word) == truth
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_count_agreement(self, n):
+        formula = count_ln(n)
+        assert len(ln_words(n)) == formula
+        assert len(language(small_ln_grammar(n))) == formula
+        assert RankedLanguage(example4_ucfg(n)).count == formula
+        assert LexRankedLanguage(example4_ucfg(n), check_unambiguous=False).count == formula
+        dfa = minimal_dfa_of_finite_language(ln_words(n), AB)
+        assert count_dfa_words_of_length(dfa, 2 * n) == formula
+        assert count_dfa_words_of_length(
+            determinise(ln_match_nfa(n)), 2 * n
+        ) == formula
+
+
+class TestNormalFormsAgree:
+    @pytest.mark.parametrize("builder", [small_ln_grammar, example3_grammar])
+    def test_cnf_gnf_same_language(self, builder):
+        grammar = builder(3) if builder is small_ln_grammar else builder(1)
+        words = language(grammar)
+        assert language(to_cnf(grammar)) == words
+        assert language(to_gnf(grammar)) == words
+
+    def test_derivation_counts_survive_nothing_but_language(self):
+        # CNF/GNF need not preserve derivation counts for ambiguous
+        # grammars — but must for unambiguous ones (count == |L|).
+        g = example4_ucfg(2)
+        for transform in (to_cnf, to_gnf):
+            image = transform(g)
+            assert is_unambiguous(image)
+            assert count_derivations(image) == len(language(g))
+
+
+class TestRankedOrdersAgree:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_same_set_different_orders(self, n):
+        g = example4_ucfg(n)
+        derivation_order = list(RankedLanguage(g))
+        lex_order = list(LexRankedLanguage(g, check_unambiguous=False))
+        assert set(derivation_order) == set(lex_order) == ln_words(n)
+        assert lex_order == sorted(lex_order, key=lambda w: (len(w), w))
+
+
+class TestRectangleViewsAgree:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_cover_roundtrips_through_set_view(self, n):
+        cover = balanced_rectangle_cover(example4_ucfg(n))
+        for rect in cover.rectangles:
+            back = set_rectangle_to_rectangle(rectangle_to_set_rectangle(rect))
+            assert back.word_set() == rect.word_set()
+
+
+class TestRepresentationsAgreeOnCounts:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_drep_language_equals_grammar_language(self, n):
+        grammar = small_ln_grammar(n)
+        assert cfg_to_drep(grammar).language() == language(grammar)
+
+    def test_minimised_match_dfa_counts_ln(self):
+        n = 3
+        dfa = minimise(determinise(ln_match_nfa(n)))
+        assert count_dfa_words_of_length(dfa, 2 * n) == count_ln(n)

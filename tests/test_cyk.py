@@ -1,0 +1,125 @@
+"""Tests for repro.grammars.cyk: CNF parsing, counting, enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NotInChomskyNormalFormError, NotInLanguageError
+from repro.grammars.cfg import CFG
+from repro.grammars.cyk import (
+    CYKChart,
+    count_parse_trees,
+    iter_parse_trees,
+    one_parse_tree,
+    recognises,
+)
+from repro.words.alphabet import AB
+
+
+def balanced_pairs_grammar() -> CFG:
+    """CNF grammar for {a^k b^k : 1 <= k <= ...} restricted by recursion."""
+    return CFG(
+        AB,
+        ["S", "A", "B", "T"],
+        [
+            ("S", ("A", "B")),
+            ("S", ("A", "T")),
+            ("T", ("S", "B")),
+            ("A", ("a",)),
+            ("B", ("b",)),
+        ],
+        "S",
+    )
+
+
+def ambiguous_cnf() -> CFG:
+    """Two parse trees for 'aaa': split after 1 or after 2."""
+    return CFG(
+        AB,
+        ["S", "X", "A"],
+        [
+            ("S", ("A", "X")),
+            ("S", ("X", "A")),
+            ("X", ("A", "A")),
+            ("A", ("a",)),
+        ],
+        "S",
+    )
+
+
+class TestRecognise:
+    def test_membership(self):
+        g = balanced_pairs_grammar()
+        assert recognises(g, "ab")
+        assert recognises(g, "aabb")
+        assert recognises(g, "aaabbb")
+
+    def test_rejection(self):
+        g = balanced_pairs_grammar()
+        assert not recognises(g, "ba")
+        assert not recognises(g, "aab")
+        assert not recognises(g, "")
+
+    def test_non_cnf_rejected(self):
+        g = CFG(AB, ["S"], [("S", ("a", "a", "a"))], "S")
+        with pytest.raises(NotInChomskyNormalFormError):
+            recognises(g, "aaa")
+
+    def test_epsilon_start_rule(self):
+        g = CFG(AB, ["S", "A"], [("S", ()), ("S", ("A", "A")), ("A", ("a",))], "S")
+        assert recognises(g, "")
+        assert recognises(g, "aa")
+        assert not recognises(g, "a")
+
+
+class TestCounting:
+    def test_unambiguous_counts_one(self):
+        g = balanced_pairs_grammar()
+        assert count_parse_trees(g, "aabb") == 1
+
+    def test_ambiguous_counts_two(self):
+        assert count_parse_trees(ambiguous_cnf(), "aaa") == 2
+
+    def test_nonmember_counts_zero(self):
+        assert count_parse_trees(ambiguous_cnf(), "ab") == 0
+
+    def test_count_by_symbol_and_span(self):
+        chart = CYKChart(ambiguous_cnf(), "aaa")
+        assert chart.count("A", (0, 1)) == 1
+        assert chart.count("X", (0, 2)) == 1
+        assert chart.count("S", (0, 3)) == 2
+
+    def test_symbols_at(self):
+        chart = CYKChart(ambiguous_cnf(), "aaa")
+        assert chart.symbols_at((0, 1)) == {"A"}
+        assert "S" in chart.symbols_at((0, 3))
+
+
+class TestEnumeration:
+    def test_tree_count_matches(self):
+        g = ambiguous_cnf()
+        trees = list(iter_parse_trees(g, "aaa"))
+        assert len(trees) == count_parse_trees(g, "aaa") == 2
+        assert len(set(trees)) == 2
+
+    def test_trees_yield_the_word(self):
+        for tree in iter_parse_trees(ambiguous_cnf(), "aaa"):
+            assert tree.word == "aaa"
+
+    def test_trees_validate(self):
+        g = ambiguous_cnf()
+        for tree in iter_parse_trees(g, "aaa"):
+            tree.validate(g)
+
+    def test_one_parse_tree(self):
+        tree = one_parse_tree(balanced_pairs_grammar(), "aabb")
+        assert tree.word == "aabb"
+
+    def test_one_parse_tree_rejects_nonmember(self):
+        with pytest.raises(NotInLanguageError):
+            one_parse_tree(balanced_pairs_grammar(), "ba")
+
+    def test_empty_word_tree(self):
+        g = CFG(AB, ["S", "A"], [("S", ()), ("S", ("A", "A")), ("A", ("a",))], "S")
+        trees = list(CYKChart(g, "").iter_trees())
+        assert len(trees) == 1 and trees[0].word == ""

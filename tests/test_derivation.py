@@ -1,0 +1,91 @@
+"""Tests for repro.grammars.derivation: leftmost derivations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GrammarError
+from repro.grammars.cfg import grammar_from_mapping
+from repro.grammars.derivation import (
+    derivation_steps,
+    format_derivation,
+    leftmost_derivation,
+    replay_derivation,
+)
+from repro.grammars.generic import GenericParser
+from repro.grammars.language import language
+from repro.grammars.trees import leaf, node
+from repro.languages.example3 import example3_grammar
+
+
+class TestLeftmostDerivation:
+    def test_simple(self):
+        tree = node("S", (leaf("a"), node("X", (leaf("b"),))))
+        assert leftmost_derivation(tree) == [("S",), ("a", "X"), ("a", "b")]
+
+    def test_epsilon_rule(self):
+        tree = node("S", (leaf("a"), node("X", ())))
+        assert leftmost_derivation(tree) == [("S",), ("a", "X"), ("a",)]
+
+    def test_final_form_is_word(self):
+        g = example3_grammar(1)
+        parser = GenericParser(g)
+        tree = parser.one_tree("aaaaaa")
+        forms = leftmost_derivation(tree)
+        assert "".join(forms[-1]) == "aaaaaa"
+
+    def test_step_count_equals_inner_nodes(self):
+        g = example3_grammar(1)
+        tree = GenericParser(g).one_tree("abaaba")
+        forms = leftmost_derivation(tree)
+        inner = sum(1 for r in derivation_steps(tree))
+        assert len(forms) == inner + 1
+
+    def test_leaf_rejected(self):
+        with pytest.raises(GrammarError):
+            leftmost_derivation(leaf("a"))
+
+
+class TestReplay:
+    def test_valid_derivation_replays(self, corpus_grammar):
+        words = sorted(language(corpus_grammar))[:5]
+        parser = GenericParser(corpus_grammar)
+        for word in words:
+            tree = parser.one_tree(word)
+            forms = leftmost_derivation(tree)
+            assert replay_derivation(corpus_grammar, forms), word
+
+    def test_forged_derivation_rejected(self):
+        g = grammar_from_mapping("ab", {"S": ["ab"]}, "S")
+        assert not replay_derivation(g, [("S",), ("b", "a")])
+
+    def test_incomplete_derivation_rejected(self):
+        g = grammar_from_mapping("ab", {"S": ["aX"], "X": ["b"]}, "S")
+        assert not replay_derivation(g, [("S",), ("a", "X")])
+
+    def test_empty_rejected(self):
+        g = grammar_from_mapping("ab", {"S": ["ab"]}, "S")
+        assert not replay_derivation(g, [])
+
+    def test_unambiguous_has_unique_derivation(self):
+        # "every word in L(G) has a unique derivation" (Section 2):
+        # the leftmost derivations of distinct trees differ.
+        g = grammar_from_mapping("ab", {"S": ["ab", "X"], "X": ["ab"]}, "S")
+        parser = GenericParser(g)
+        trees = list(parser.iter_trees("ab"))
+        assert len(trees) == 2
+        d1, d2 = (leftmost_derivation(t) for t in trees)
+        assert d1 != d2
+
+
+class TestFormatting:
+    def test_format(self):
+        forms = [("S",), ("a", "X"), ("a", "b")]
+        assert format_derivation(forms) == "S ⇒ aX ⇒ ab"
+
+    def test_format_epsilon(self):
+        assert format_derivation([()]) == "ε"
+
+    def test_format_tuple_nonterminal(self):
+        rendered = format_derivation([(("A", 1),)])
+        assert "A" in rendered

@@ -1,0 +1,63 @@
+"""Tests for repro.languages.dfa_ln: the deterministic blow-up."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.counting import count_dfa_words_of_length
+from repro.languages.dfa_ln import (
+    ln_match_minimal_dfa,
+    ln_minimal_dfa,
+    ln_minimal_dfa_states,
+)
+from repro.languages.ln import count_ln, is_in_ln, ln_words
+from repro.words.alphabet import AB
+from repro.words.ops import all_words
+
+
+class TestExactDFA:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_language_exact(self, n):
+        dfa = ln_minimal_dfa(n)
+        for length in (2 * n - 1, 2 * n):
+            for word in all_words(AB, length):
+                assert dfa.accepts(word) == (word in ln_words(n))
+
+    def test_counts_cross_check(self):
+        for n in (2, 3, 4):
+            assert count_dfa_words_of_length(ln_minimal_dfa(n), 2 * n) == count_ln(n)
+
+    def test_state_growth_exponential(self):
+        sizes = [ln_minimal_dfa_states(n) for n in (2, 3, 4, 5)]
+        assert sizes == sorted(sizes)
+        # Roughly doubling-plus: the sliding window forces 2^Θ(n).
+        assert sizes[-1] > 2 * sizes[-3]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ln_minimal_dfa(0)
+
+
+class TestMatchDFA:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_language_on_promise_lengths(self, n):
+        dfa = ln_match_minimal_dfa(n)
+        for word in all_words(AB, 2 * n):
+            assert dfa.accepts(word) == is_in_ln(word, n)
+
+    def test_accepts_longer_matches(self):
+        dfa = ln_match_minimal_dfa(2)
+        assert dfa.accepts("ababa")   # match at distance 2, length 5
+        assert not dfa.accepts("abba")
+
+    def test_exponential_growth(self):
+        sizes = [ln_match_minimal_dfa(n).n_states for n in (2, 3, 4, 5, 6)]
+        ratios = [b / a for a, b in zip(sizes, sizes[1:])]
+        assert all(r >= 1.8 for r in ratios)  # ~2x per step: 2^Θ(n)
+
+    def test_dfa_hierarchy_vs_nfa(self):
+        # DFA exponentially above the Θ(n) NFA already at small n.
+        from repro.languages.nfa_ln import ln_match_nfa
+
+        n = 8
+        assert ln_match_minimal_dfa(n).n_states > 8 * ln_match_nfa(n).n_states

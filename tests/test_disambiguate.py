@@ -1,0 +1,71 @@
+"""Tests for repro.grammars.disambiguate: CFG -> uCFG (benchmark E12)."""
+
+from __future__ import annotations
+
+from repro.grammars.ambiguity import is_unambiguous
+from repro.grammars.cfg import grammar_from_mapping
+from repro.grammars.disambiguate import disambiguate, ucfg_of_finite_language
+from repro.grammars.language import language, same_language
+from repro.languages.example3 import example3_grammar
+from repro.words.alphabet import AB
+
+
+class TestUcfgOfFiniteLanguage:
+    def test_basic(self):
+        g = ucfg_of_finite_language({"ab", "aa", "ba"}, AB)
+        assert language(g) == {"ab", "aa", "ba"}
+        assert is_unambiguous(g)
+
+    def test_epsilon_in_language(self):
+        g = ucfg_of_finite_language({"", "a", "aa"}, AB)
+        assert language(g) == {"", "a", "aa"}
+        assert is_unambiguous(g)
+
+    def test_single_word(self):
+        g = ucfg_of_finite_language({"abab"}, AB)
+        assert language(g) == {"abab"}
+        assert is_unambiguous(g)
+
+    def test_prefix_sharing_shrinks_grammar(self):
+        shared = ucfg_of_finite_language({"aaaa" + s for s in ("a", "b")}, AB)
+        # The common prefix is represented once (DFA chain), so well below
+        # the naive 10 symbols of the flat union.
+        assert shared.size <= 12
+
+    def test_suffix_sharing(self):
+        words = {"aab", "bab", "abb"}  # shared final 'b' merges states
+        g = ucfg_of_finite_language(words, AB)
+        assert language(g) == words
+        assert is_unambiguous(g)
+
+
+class TestDisambiguate:
+    def test_on_corpus(self, corpus_grammar):
+        from repro.grammars.language import count_words
+
+        if count_words(corpus_grammar) == 0:
+            return
+        result, report = disambiguate(corpus_grammar)
+        assert same_language(result, corpus_grammar)
+        assert is_unambiguous(result)
+        assert report.result_size == result.size
+        assert report.language_size == count_words(corpus_grammar)
+
+    def test_example3_disambiguation_blowup(self):
+        g = example3_grammar(1)  # size Θ(1), language L_3 of 37 words
+        result, report = disambiguate(g)
+        assert is_unambiguous(result)
+        assert report.language_size == 37
+        assert report.blow_up > 1.0
+
+    def test_report_fields(self):
+        g = grammar_from_mapping("ab", {"S": ["ab", "ba"]}, "S")
+        _result, report = disambiguate(g)
+        assert report.source_size == 4
+        assert report.language_size == 2
+        assert report.dfa_states >= 3
+
+    def test_verification_can_be_disabled(self):
+        g = grammar_from_mapping("ab", {"S": ["ab"]}, "S")
+        result, _report = disambiguate(g, verify=False)
+        assert language(result) == {"ab"}

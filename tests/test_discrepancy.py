@@ -1,0 +1,307 @@
+"""Tests for repro.core.discrepancy: Lemmas 18, 19 and the bilinear maximiser."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.discrepancy import (
+    Blocks,
+    choice_to_zset,
+    discrepancy,
+    in_a,
+    iter_script_l,
+    lemma18_margin,
+    lemma19_bound,
+    lemma23_bound,
+    max_bilinear_form,
+    max_discrepancy_over_partition,
+    n_matches,
+    sign_matrix_for_partition,
+    size_a,
+    size_b,
+    size_b_cap_ln,
+    size_b_minus_ln,
+    size_script_l,
+    split_partition,
+    verify_lemma18,
+    zset_to_choice,
+)
+from repro.core.setview import OrderedPartition, SetRectangle, zset_in_ln
+
+
+class TestBlocks:
+    def test_block_elements(self):
+        blocks = Blocks(2)
+        assert blocks.block_elements(1) == {1, 2, 3, 4}
+        assert blocks.block_elements(4) == {13, 14, 15, 16}
+
+    def test_block_of(self):
+        blocks = Blocks(2)
+        assert blocks.block_of(1) == 1 and blocks.block_of(16) == 4
+
+    def test_is_neat(self):
+        blocks = Blocks(1)
+        assert blocks.is_neat(OrderedPartition(n=4, lo=1, hi=4))
+        assert not blocks.is_neat(OrderedPartition(n=4, lo=2, hi=5))
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            Blocks(0)
+
+
+class TestScriptL:
+    def test_size(self):
+        assert len(list(iter_script_l(1))) == 16 == size_script_l(1)
+        assert len(list(iter_script_l(2))) == 256
+
+    def test_choice_roundtrip(self):
+        m = 2
+        for choice in list(iter_script_l(m))[:32]:
+            zset = choice_to_zset(choice, m)
+            assert zset_to_choice(zset, m) == choice
+
+    def test_choice_to_zset_one_per_block(self):
+        blocks = Blocks(2)
+        for choice in list(iter_script_l(2))[:16]:
+            zset = choice_to_zset(choice, 2)
+            for j in range(1, 5):
+                assert len(zset & blocks.block_elements(j)) == 1
+
+    def test_zset_to_choice_rejects_non_members(self):
+        with pytest.raises(ValueError):
+            zset_to_choice(frozenset({1, 2, 5, 9, 13}), 2)  # two in block 1
+        with pytest.raises(ValueError):
+            zset_to_choice(frozenset({1}), 2)  # misses blocks
+
+    def test_matches_and_a_membership(self):
+        m = 2
+        assert n_matches((0, 1, 0, 1), m) == 2
+        assert not in_a((0, 1, 0, 1), m)
+        assert in_a((0, 1, 0, 2), m)
+
+    def test_a_members_are_in_ln(self):
+        m = 1
+        for choice in iter_script_l(m):
+            if in_a(choice, m):
+                assert zset_in_ln(choice_to_zset(choice, m), 4 * m)
+
+
+class TestLemma18:
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_exhaustive_verification(self, m):
+        results = verify_lemma18(m)
+        for enumerated, formula in results.values():
+            assert enumerated == formula
+
+    def test_formulas(self):
+        assert size_script_l(3) == 2**12
+        assert size_a(2) == 96 and size_b(2) == 160
+        assert size_b_minus_ln(2) == 144
+        assert size_b_cap_ln(2) == 16
+        assert lemma18_margin(2) == 80
+
+    def test_identity_b_minus_a(self):
+        for m in range(1, 30):
+            assert size_b(m) - size_a(m) == 2 ** (3 * m)
+
+    def test_margin_positive(self):
+        for m in range(1, 30):
+            assert lemma18_margin(m) > 0
+
+    def test_threshold_is_m4(self):
+        # The paper's "n sufficiently big": margin > 2^{7m/2} from m = 4 on.
+        def holds(m: int) -> bool:
+            return lemma18_margin(m) ** 2 > 2 ** (7 * m)
+
+        assert not holds(3)
+        assert holds(4) and holds(5) and holds(10)
+
+
+class TestDiscrepancy:
+    def test_full_rectangle_discrepancy_is_minus_margin_complement(self):
+        # The rectangle containing all of 𝓛 has |A| - |B| = -2^{3m}.
+        m = 1
+        p = split_partition(m)
+        pi0, pi1 = p.parts
+        s = {choice_to_zset(c, m) & pi0 for c in iter_script_l(m)}
+        t = {choice_to_zset(c, m) & pi1 for c in iter_script_l(m)}
+        rect = SetRectangle(p, s, t)
+        assert discrepancy(rect, m) == size_a(m) - size_b(m) == -(2 ** (3 * m))
+
+    def test_empty_rectangle(self):
+        m = 1
+        rect = SetRectangle(split_partition(m), set(), set())
+        assert discrepancy(rect, m) == 0
+
+    @pytest.mark.parametrize("m", [1])
+    def test_lemma19_exact_maximum_is_tight(self, m):
+        value, exact = max_discrepancy_over_partition(split_partition(m), m)
+        assert exact
+        assert value == lemma19_bound(m)
+
+    def test_lemma19_random_rectangles_respect_bound(self):
+        m = 2
+        rng = random.Random(0)
+        p = split_partition(m)
+        pi0, pi1 = p.parts
+        all_s = sorted({choice_to_zset(c, m) & pi0 for c in iter_script_l(m)}, key=sorted)
+        all_t = sorted({choice_to_zset(c, m) & pi1 for c in iter_script_l(m)}, key=sorted)
+        for _ in range(25):
+            s = {x for x in all_s if rng.random() < 0.5}
+            t = {y for y in all_t if rng.random() < 0.5}
+            rect = SetRectangle(p, s, t)
+            assert abs(discrepancy(rect, m)) <= lemma19_bound(m)
+
+    def test_bounds_monotone(self):
+        for m in range(1, 12):
+            assert lemma19_bound(m) <= lemma23_bound(m)
+
+
+class TestSignMatrix:
+    def test_split_partition_matrix_shape(self):
+        matrix, side0, side1 = sign_matrix_for_partition(split_partition(1), 1)
+        assert len(matrix) == 4 and len(matrix[0]) == 4
+        assert side0 == [1] and side1 == [2]
+
+    def test_entries_are_signs(self):
+        matrix, _s0, _s1 = sign_matrix_for_partition(split_partition(1), 1)
+        assert all(v in (-1, 1) for row in matrix for v in row)
+
+    def test_total_sum_is_lemma19_value(self):
+        # Σ entries = |B \ match-free| ... = 12^m - 4^m signed: for the
+        # split partition the all-ones rectangle realises 2^{3m}.
+        matrix, _s0, _s1 = sign_matrix_for_partition(split_partition(1), 1)
+        total = sum(sum(row) for row in matrix)
+        assert abs(total) == 2**3
+
+    def test_matrix_matches_enumerated_discrepancy(self):
+        m = 1
+        p = split_partition(m)
+        matrix, _s0, _s1 = sign_matrix_for_partition(p, m)
+        pi0, pi1 = p.parts
+        # Row/col index i corresponds to offset choice i in the single block.
+        s = {frozenset({1 + 0}), frozenset({1 + 2})}      # offsets 0, 2 on X
+        t = {frozenset({5 + 1})}                          # offset 1 on Y
+        rect = SetRectangle(p, s, t)
+        expected = matrix[0][1] + matrix[2][1]
+        assert discrepancy(rect, m) == -expected or discrepancy(rect, m) == expected
+
+
+class TestMaxBilinear:
+    def test_empty(self):
+        assert max_bilinear_form([]) == (0, True)
+
+    def test_all_ones(self):
+        matrix = [[1, 1], [1, 1]]
+        assert max_bilinear_form(matrix) == (4, True)
+
+    def test_mixed_signs(self):
+        matrix = [[1, -1], [-1, 1]]
+        value, exact = max_bilinear_form(matrix)
+        assert exact and value == 1
+
+    def test_single_negative(self):
+        assert max_bilinear_form([[-1]]) == (1, True)
+
+    def test_heuristic_lower_bounds_exact(self):
+        rng = random.Random(5)
+        matrix = [[rng.choice((-1, 1)) for _ in range(6)] for _ in range(6)]
+        exact_value, exact = max_bilinear_form(matrix, exact_limit=6)
+        assert exact
+        heur_value, heur_exact = max_bilinear_form(matrix, exact_limit=0, rng=rng)
+        assert not heur_exact
+        assert heur_value <= exact_value
+
+
+class TestRandomRectangles:
+    def test_seeded_and_nonempty(self):
+        from repro.core.discrepancy import random_set_rectangle
+
+        rng1, rng2 = random.Random(3), random.Random(3)
+        p = split_partition(1)
+        r1 = random_set_rectangle(p, 1, rng1)
+        r2 = random_set_rectangle(p, 1, rng2)
+        assert r1.s == r2.s and r1.t == r2.t
+        assert r1.n_members >= 1
+
+    def test_extreme_densities(self):
+        from repro.core.discrepancy import random_set_rectangle
+
+        p = split_partition(1)
+        sparse = random_set_rectangle(p, 1, random.Random(0), density=0.0)
+        assert len(sparse.s) == 1 and len(sparse.t) == 1
+        full = random_set_rectangle(p, 1, random.Random(0), density=1.0)
+        assert len(full.s) == 4 and len(full.t) == 4
+
+    def test_density_validated(self):
+        from repro.core.discrepancy import random_set_rectangle
+
+        with pytest.raises(ValueError):
+            random_set_rectangle(split_partition(1), 1, random.Random(0), density=2.0)
+
+    def test_bounds_hold_over_many_samples(self):
+        from repro.core.discrepancy import random_set_rectangle
+
+        rng = random.Random(11)
+        for m in (1, 2):
+            p = split_partition(m)
+            for _ in range(20):
+                rect = random_set_rectangle(p, m, rng, density=rng.random())
+                assert abs(discrepancy(rect, m)) <= lemma19_bound(m)
+
+
+class TestCorollary20Scope:
+    """Finding F5: Corollary 20 as *stated* (any interval with
+    j - i = n - 1) fails off block boundaries; as *used* in Lemma 23
+    (after the neat restriction, so block-aligned) it holds and is tight.
+    """
+
+    def test_block_aligned_full_splits_meet_the_cap(self):
+        from repro.core.discrepancy import max_discrepancy_any_partition
+
+        m, n = 1, 4
+        for lo in (1, 5):  # the two block-aligned full-split intervals
+            p = OrderedPartition(n=n, lo=lo, hi=lo + n - 1)
+            value, exact = max_discrepancy_any_partition(p, m)
+            assert exact and value == lemma19_bound(m)
+
+    def test_shifted_full_split_exceeds_the_stated_cap(self):
+        from repro.core.discrepancy import max_discrepancy_any_partition
+
+        m, n = 1, 4
+        measured = {}
+        for lo in (2, 3, 4):
+            p = OrderedPartition(n=n, lo=lo, hi=lo + n - 1)
+            assert p.split_pairs() == frozenset(range(1, n + 1))  # hypothesis of Cor. 20
+            value, exact = max_discrepancy_any_partition(p, m)
+            assert exact
+            measured[lo] = value
+        assert measured == {2: 9, 3: 10, 4: 9}
+        assert all(v > lemma19_bound(m) for v in measured.values())
+
+    def test_violations_stay_under_the_lemma23_route(self):
+        # The measured 10^m maxima remain below 2^{10m/3} ≈ 10.08^m, so the
+        # overall Theorem 12 chain (which never uses Cor. 20 off-alignment)
+        # is numerically consistent: 10^3 = 1000 < 2^10 = 1024.
+        assert 10**3 < 2**10
+
+    def test_projection_matrix_consistency_with_neat_path(self):
+        from repro.core.discrepancy import (
+            max_discrepancy_any_partition,
+            max_discrepancy_over_partition,
+        )
+
+        for m in (1, 2):
+            p = split_partition(m)
+            general = max_discrepancy_any_partition(p, m)
+            neat = max_discrepancy_over_partition(p, m)
+            assert general == neat
+
+    def test_projection_matrix_rejects_wrong_n(self):
+        from repro.core.discrepancy import projection_matrix_for_partition
+        from repro.errors import PartitionError
+
+        with pytest.raises(PartitionError):
+            projection_matrix_for_partition(OrderedPartition(n=3, lo=1, hi=3), 1)

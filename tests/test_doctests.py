@@ -1,0 +1,37 @@
+"""Run every docstring example in the package as a test.
+
+The library leans on doctests as executable documentation (README-level
+usage lives in examples/); this module makes them part of the suite so a
+drifting docstring fails CI.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules() -> list[str]:
+    names: list[str] = ["repro"]
+    for module in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(module.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_doctests(module_name: str):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False, raise_on_error=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"
+
+
+def test_module_walk_found_the_package():
+    names = _all_modules()
+    assert "repro.core.discrepancy" in names
+    assert "repro.grammars.cfg" in names
+    assert len(names) > 40

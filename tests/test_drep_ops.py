@@ -1,0 +1,106 @@
+"""Tests for repro.factorized.ops: d-rep combinators and queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.factorized.convert import cfg_to_drep
+from repro.factorized.drep import Atom, Concat, DRep, Union
+from repro.factorized.ops import (
+    concat_drep,
+    drep_contains,
+    enumerate_drep,
+    restrict_length,
+    union_drep,
+)
+from repro.factorized.relations import product_drep
+from repro.languages.small_grammar import small_ln_grammar
+from repro.words.alphabet import AB
+
+
+def atoms(*words: str) -> DRep:
+    nodes = {w: Atom(w) for w in words}
+    nodes["root"] = Union(tuple(words))
+    return DRep(nodes, "root")
+
+
+class TestCombinators:
+    def test_union(self):
+        u = union_drep(atoms("a", "ab"), atoms("b"))
+        assert u.language() == {"a", "ab", "b"}
+
+    def test_union_deterministic_when_disjoint(self):
+        u = union_drep(atoms("a"), atoms("b"))
+        assert u.is_unambiguous()
+
+    def test_union_nondeterministic_when_overlapping(self):
+        u = union_drep(atoms("a"), atoms("a", "b"))
+        assert not u.is_unambiguous()
+
+    def test_concat(self):
+        c = concat_drep(atoms("a", "b"), atoms("a"))
+        assert c.language() == {"aa", "ba"}
+
+    def test_concat_size_is_additive_plus_constant(self):
+        left = product_drep([["a", "b"]] * 3)
+        right = product_drep([["a", "b"]] * 3)
+        combined = concat_drep(left, right)
+        assert combined.size <= left.size + right.size + 2
+        assert len(combined.language()) == 64
+
+    def test_nested_combinators(self):
+        d = union_drep(concat_drep(atoms("a"), atoms("b")), atoms("bb"))
+        assert d.language() == {"ab", "bb"}
+
+
+class TestQueries:
+    def test_contains(self):
+        d = product_drep([["a", "b"]] * 5)
+        assert drep_contains(d, "ababa", AB)
+        assert not drep_contains(d, "abab", AB)
+
+    def test_contains_on_cfg_image(self):
+        grammar = small_ln_grammar(4)
+        d = cfg_to_drep(grammar)
+        assert drep_contains(d, "abbbabbb", AB)   # a's at distance 4
+        assert not drep_contains(d, "bbbbbbbb", AB)
+
+    def test_enumerate_sorted_unique(self):
+        d = union_drep(atoms("b", "ab"), atoms("b", "a"))
+        words = list(enumerate_drep(d))
+        assert words == sorted(set(words), key=lambda w: (len(w), w))
+        assert set(words) == {"a", "b", "ab"}
+
+    def test_enumerate_matches_language(self):
+        d = cfg_to_drep(small_ln_grammar(3))
+        assert set(enumerate_drep(d)) == d.language()
+
+
+class TestRestrictLength:
+    def test_basic(self):
+        d = union_drep(atoms("a", "ab"), atoms("bbb"))
+        restricted = restrict_length(d, 2)
+        assert restricted.language() == {"ab"}
+
+    def test_no_words_of_length(self):
+        d = atoms("a", "ab")
+        assert restrict_length(d, 5).language() == frozenset()
+
+    def test_concat_distribution(self):
+        # (a|aa)(b|bb) restricted to length 3 = {abb, aab}.
+        d = concat_drep(atoms("a", "aa"), atoms("b", "bb"))
+        assert restrict_length(d, 3).language() == {"abb", "aab"}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            restrict_length(atoms("a"), -1)
+
+    def test_preserves_uniform_language(self):
+        d = cfg_to_drep(small_ln_grammar(3))
+        assert restrict_length(d, 6).language() == d.language()
+
+    def test_epsilon_case(self):
+        nodes = {"e": Atom(""), "a": Atom("a"), "u": Union(("e", "a"))}
+        d = DRep(nodes, "u")
+        assert restrict_length(d, 0).language() == {""}

@@ -1,0 +1,97 @@
+"""Tests for repro.grammars.earley: the third parsing engine."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grammars.cfg import grammar_from_mapping
+from repro.grammars.earley import EarleyChart, earley_parse_positions, earley_recognises
+from repro.grammars.generic import GenericParser
+from repro.grammars.language import language
+from repro.languages.example3 import example3_grammar
+from repro.languages.ln import is_in_ln
+from repro.languages.small_grammar import small_ln_grammar
+from repro.words.ops import all_words
+from repro.words.alphabet import AB
+
+
+class TestRecognition:
+    def test_dyck_like(self):
+        g = grammar_from_mapping("ab", {"S": ["aSb", ""]}, "S")
+        assert earley_recognises(g, "")
+        assert earley_recognises(g, "aaabbb")
+        assert not earley_recognises(g, "aab")
+        assert not earley_recognises(g, "ba")
+
+    def test_infinite_language_supported(self):
+        # Earley needs no finiteness, unlike enumeration-based membership.
+        g = grammar_from_mapping("ab", {"S": ["aS", "a"]}, "S")
+        assert earley_recognises(g, "a" * 50)
+        assert not earley_recognises(g, "a" * 50 + "b")
+
+    def test_epsilon_language(self):
+        g = grammar_from_mapping("ab", {"S": [""]}, "S")
+        assert earley_recognises(g, "")
+        assert not earley_recognises(g, "a")
+
+    def test_nullable_chain(self):
+        g = grammar_from_mapping(
+            "ab", {"S": ["XYa"], "X": ["", "a"], "Y": ["", "b"]}, "S"
+        )
+        assert language(g) == {"a", "aa", "ba", "aba"}
+        for word in all_words(AB, 3):
+            assert earley_recognises(g, word) == (word in language(g))
+
+    def test_empty_language(self):
+        g = grammar_from_mapping("ab", {"S": ["SX"], "X": ["a"]}, "S")
+        assert not earley_recognises(g, "a")
+
+    def test_ln_grammar_long_word(self):
+        # The Θ(log n) grammar with a word of length 60: CYK would need CNF.
+        n = 30
+        g = small_ln_grammar(n)
+        member = "a" + "b" * (n - 1) + "a" + "b" * (n - 1)
+        non_member = "b" * (2 * n)
+        assert earley_recognises(g, member)
+        assert not earley_recognises(g, non_member)
+
+
+class TestCrossValidation:
+    def test_matches_generic_parser_on_corpus(self, corpus_grammar):
+        parser = GenericParser(corpus_grammar)
+        words = sorted(language(corpus_grammar))[:15]
+        probes = words + ["", "a", "ab", "bbb", "abab"]
+        for word in probes:
+            assert earley_recognises(corpus_grammar, word) == parser.recognises(word)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(alphabet="ab", min_size=6, max_size=6))
+    def test_example3_membership(self, word):
+        assert earley_recognises(example3_grammar(1), word) == is_in_ln(word, 3)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 6), st.data())
+    def test_small_grammar_membership(self, n, data):
+        word = data.draw(st.text(alphabet="ab", min_size=2 * n, max_size=2 * n))
+        assert earley_recognises(small_ln_grammar(n), word) == is_in_ln(word, n)
+
+
+class TestSpans:
+    def test_completed_spans_contain_root(self):
+        g = grammar_from_mapping("ab", {"S": ["aX"], "X": ["b"]}, "S")
+        spans = earley_parse_positions(g, "ab")
+        assert ("S", 0, 2) in spans
+        assert ("X", 1, 2) in spans
+
+    def test_spans_are_sound(self):
+        g = example3_grammar(1)
+        word = "aaaaaa"
+        parser = GenericParser(g)
+        for symbol, i, j in earley_parse_positions(g, word):
+            assert parser.count(word[i:j], symbol) >= 1
+
+    def test_chart_accepts_property(self):
+        g = grammar_from_mapping("ab", {"S": ["ab"]}, "S")
+        assert EarleyChart(g, "ab").accepts()
+        assert not EarleyChart(g, "ba").accepts()

@@ -1,0 +1,170 @@
+"""Tests for repro.factorized: d-representations and the CFG isomorphism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.factorized import (
+    Atom,
+    Concat,
+    DRep,
+    Union,
+    cfg_to_drep,
+    drep_to_cfg,
+    factorise_relation,
+    language_to_tuples,
+    product_drep,
+    tuples_to_language,
+)
+from repro.grammars.ambiguity import is_unambiguous
+from repro.grammars.language import language
+
+
+def diamond_drep() -> DRep:
+    return DRep(
+        {
+            "a": Atom("a"),
+            "b": Atom("b"),
+            "u": Union(("a", "b")),
+            "c": Concat(("u", "u")),
+        },
+        root="c",
+    )
+
+
+class TestDRep:
+    def test_language(self):
+        assert diamond_drep().language() == {"aa", "ab", "ba", "bb"}
+
+    def test_size_and_edges(self):
+        d = diamond_drep()
+        assert d.n_edges == 4
+        assert d.n_nodes == 4
+
+    def test_counting_deterministic(self):
+        d = diamond_drep()
+        assert d.count_derivations() == 4
+        assert d.is_unambiguous()
+
+    def test_counting_overlapping_union(self):
+        d = DRep(
+            {"a1": Atom("a"), "a2": Atom("a"), "u": Union(("a1", "a2"))}, root="u"
+        )
+        assert d.language() == {"a"}
+        assert d.count_derivations() == 2
+        assert not d.is_unambiguous()
+
+    def test_ambiguous_concat(self):
+        d = DRep(
+            {
+                "a": Atom("a"),
+                "aa": Atom("aa"),
+                "u": Union(("a", "aa")),
+                "c": Concat(("u", "u")),
+            },
+            root="c",
+        )
+        assert "aaa" in d.language()
+        assert not d.is_unambiguous()
+
+    def test_epsilon_atom(self):
+        d = DRep({"e": Atom(""), "a": Atom("a"), "c": Concat(("e", "a"))}, root="c")
+        assert d.language() == {"a"}
+
+    def test_empty_union(self):
+        d = DRep({"u": Union(())}, root="u")
+        assert d.language() == frozenset()
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ReproError):
+            DRep({"c": Concat(("c",))}, root="c")
+
+    def test_missing_child_rejected(self):
+        with pytest.raises(ReproError):
+            DRep({"c": Concat(("missing",))}, root="c")
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(ReproError):
+            DRep({"a": Atom("a")}, root="b")
+
+
+class TestIsomorphism:
+    def test_language_preserved_forward(self, corpus_grammar):
+        assert cfg_to_drep(corpus_grammar).language() == language(corpus_grammar)
+
+    def test_roundtrip_language(self, corpus_grammar):
+        drep = cfg_to_drep(corpus_grammar)
+        back = drep_to_cfg(drep, corpus_grammar.alphabet)
+        assert language(back) == language(corpus_grammar)
+
+    def test_unambiguous_maps_to_deterministic(self, corpus_grammar):
+        if is_unambiguous(corpus_grammar):
+            assert cfg_to_drep(corpus_grammar).is_unambiguous()
+
+    def test_derivation_counts_preserved(self, corpus_grammar):
+        from repro.grammars.language import count_derivations
+
+        drep = cfg_to_drep(corpus_grammar)
+        assert drep.count_derivations() == count_derivations(corpus_grammar)
+
+    def test_size_comparable(self, corpus_grammar):
+        from repro.grammars.analysis import trim
+
+        drep = cfg_to_drep(corpus_grammar)
+        trimmed = trim(corpus_grammar)
+        # The mapped measure agrees with the grammar measure up to the
+        # per-rule constant for inlined singleton bodies.
+        assert drep.size <= 2 * max(trimmed.size, 1) + 2
+        assert drep.size >= trimmed.size // 2
+
+    def test_empty_language_roundtrip(self):
+        from repro.grammars.cfg import grammar_from_mapping
+
+        g = grammar_from_mapping("ab", {"S": ["SX"], "X": ["a"]}, "S")
+        assert cfg_to_drep(g).language() == frozenset()
+
+
+class TestRelations:
+    def test_tuples_roundtrip(self):
+        rows = {("aa", "bb"), ("ab", "ba"), ("bb", "bb")}
+        words = tuples_to_language(rows, 2)
+        assert language_to_tuples(words, 2) == rows
+
+    def test_width_validation(self):
+        with pytest.raises(ReproError):
+            tuples_to_language([("a", "bb")], 2)
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(ReproError):
+            tuples_to_language([("aa",), ("aa", "bb")], 2)
+
+    def test_decode_rejects_ragged(self):
+        with pytest.raises(ReproError):
+            language_to_tuples({"aaa"}, 2)
+
+    def test_product_drep_counts(self):
+        d = product_drep([["a", "b"]] * 5)
+        assert len(d.language()) == 32
+        assert d.count_derivations() == 32
+        assert d.is_unambiguous()
+
+    def test_product_drep_exponential_savings(self):
+        k = 8
+        d = product_drep([["a", "b"]] * k)
+        assert len(d.language()) == 2**k
+        assert d.size <= 5 * k  # linear representation of an exponential set
+
+    def test_product_empty_column_rejected(self):
+        with pytest.raises(ReproError):
+            product_drep([["a"], []])
+
+    def test_factorise_relation_roundtrip(self):
+        rows = {("aa", "ab"), ("aa", "bb"), ("ba", "ab")}
+        d = factorise_relation(rows, 2, "ab")
+        assert language_to_tuples(d.language(), 2) == rows
+        assert d.is_unambiguous()
+
+    def test_factorise_empty_rejected(self):
+        with pytest.raises(ReproError):
+            factorise_relation([], 2, "ab")

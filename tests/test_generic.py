@@ -1,0 +1,131 @@
+"""Tests for repro.grammars.generic: parsing grammars in arbitrary form."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InfiniteAmbiguityError, NotInLanguageError
+from repro.grammars.cfg import grammar_from_mapping
+from repro.grammars.generic import (
+    GenericParser,
+    count_parse_trees_generic,
+    iter_parse_trees_generic,
+    recognises_generic,
+)
+from repro.grammars.language import language
+from repro.languages.example3 import example3_grammar
+from repro.languages.ln import ln_words
+
+
+class TestRecognition:
+    def test_long_bodies(self):
+        g = grammar_from_mapping("ab", {"S": ["abab", "bXa"], "X": ["aa"]}, "S")
+        assert recognises_generic(g, "abab")
+        assert recognises_generic(g, "baaa")
+        assert not recognises_generic(g, "aaaa")
+
+    def test_epsilon_rules(self):
+        g = grammar_from_mapping("ab", {"S": ["aXb"], "X": ["", "ab"]}, "S")
+        assert recognises_generic(g, "ab")
+        assert recognises_generic(g, "aabb")
+        assert not recognises_generic(g, "a")
+
+    def test_example3_recognises_ln(self):
+        g = example3_grammar(1)
+        for word in ln_words(3):
+            assert recognises_generic(g, word)
+
+    def test_example3_rejects_non_ln(self):
+        g = example3_grammar(1)
+        parser = GenericParser(g)
+        assert not parser.recognises("bbbbbb")
+        assert not parser.recognises("ab")
+
+    def test_by_other_symbol(self):
+        g = grammar_from_mapping("ab", {"S": ["aX"], "X": ["bb"]}, "S")
+        parser = GenericParser(g)
+        assert parser.recognises("bb", "X")
+        assert not parser.recognises("bb", "S")
+
+
+class TestCounting:
+    def test_epsilon_induced_ambiguity(self):
+        g = grammar_from_mapping("ab", {"S": ["ab", "aXb"], "X": [""]}, "S")
+        assert count_parse_trees_generic(g, "ab") == 2
+
+    def test_figure1_word_has_two_trees(self):
+        # Figure 1 of the paper: two parse trees of aaaaaa under Example 3.
+        assert count_parse_trees_generic(example3_grammar(1), "aaaaaa") >= 2
+
+    def test_counts_agree_with_cnf_cyk_on_words(self, corpus_grammar):
+        # CNF conversion preserves membership (not tree counts in general).
+        from repro.grammars.cnf import to_cnf
+        from repro.grammars.cyk import recognises
+
+        cnf = to_cnf(corpus_grammar)
+        parser = GenericParser(corpus_grammar)
+        for word in sorted(language(corpus_grammar))[:20]:
+            assert parser.recognises(word)
+            assert recognises(cnf, word)
+
+    def test_nonmember_zero(self):
+        g = grammar_from_mapping("ab", {"S": ["ab"]}, "S")
+        assert count_parse_trees_generic(g, "ba") == 0
+
+    def test_multiplicity_three(self):
+        g = grammar_from_mapping(
+            "ab", {"S": ["X", "Y", "ab"], "X": ["ab"], "Y": ["ab"]}, "S"
+        )
+        assert count_parse_trees_generic(g, "ab") == 3
+
+
+class TestInfiniteAmbiguity:
+    def test_unit_cycle_raises(self):
+        g = grammar_from_mapping("ab", {"S": ["X", "a"], "X": ["S"]}, "S")
+        with pytest.raises(InfiniteAmbiguityError):
+            GenericParser(g)
+
+    def test_useless_cycle_tolerated(self):
+        g = grammar_from_mapping("ab", {"S": ["a"], "X": ["X"]}, "S")
+        assert GenericParser(g).count("a") == 1
+
+    def test_epsilon_cycle_raises(self):
+        g = grammar_from_mapping("ab", {"S": ["XS", "a"], "X": [""]}, "S")
+        with pytest.raises(InfiniteAmbiguityError):
+            GenericParser(g)
+
+
+class TestTrees:
+    def test_tree_enumeration_matches_count(self):
+        g = example3_grammar(1)
+        parser = GenericParser(g)
+        for word in sorted(ln_words(3))[:10]:
+            trees = list(parser.iter_trees(word))
+            assert len(trees) == parser.count(word)
+            assert len(set(trees)) == len(trees)
+            for tree in trees:
+                assert tree.word == word
+                tree.validate(g)
+
+    def test_one_tree(self):
+        parser = GenericParser(example3_grammar(1))
+        assert parser.one_tree("aaaaaa").word == "aaaaaa"
+
+    def test_one_tree_rejects(self):
+        parser = GenericParser(example3_grammar(1))
+        with pytest.raises(NotInLanguageError):
+            parser.one_tree("bbbbbb")
+
+    def test_epsilon_tree(self):
+        g = grammar_from_mapping("ab", {"S": ["", "a"]}, "S")
+        trees = list(iter_parse_trees_generic(g, ""))
+        assert len(trees) == 1 and trees[0].word == ""
+
+
+class TestAgainstBruteForce:
+    @given(st.text(alphabet="ab", min_size=6, max_size=6))
+    def test_example3_membership_matches_ln(self, word):
+        parser = GenericParser(example3_grammar(1))
+        assert parser.recognises(word) == (word in ln_words(3))

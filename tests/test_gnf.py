@@ -1,0 +1,93 @@
+"""Tests for repro.grammars.gnf: Greibach normal form."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GrammarError, InfiniteLanguageError
+from repro.grammars.cfg import CFG, grammar_from_mapping
+from repro.grammars.gnf import is_in_gnf, to_gnf
+from repro.grammars.language import language
+from repro.grammars.random_grammars import random_finite_grammar
+from repro.languages.small_grammar import small_ln_grammar
+from repro.words.alphabet import AB
+
+
+class TestPredicate:
+    def test_positive(self):
+        g = CFG(AB, ["S", "B"], [("S", ("a", "B", "B")), ("B", ("b",))], "S")
+        assert is_in_gnf(g)
+
+    def test_rejects_leading_nonterminal(self):
+        g = CFG(AB, ["S", "B"], [("S", ("B", "a")), ("B", ("b",))], "S")
+        assert not is_in_gnf(g)
+
+    def test_rejects_terminal_in_tail(self):
+        g = CFG(AB, ["S"], [("S", ("a", "b"))], "S")
+        assert not is_in_gnf(g)
+
+    def test_epsilon_only_on_isolated_start(self):
+        ok = CFG(AB, ["S"], [("S", ()), ("S", ("a",))], "S")
+        assert is_in_gnf(ok)
+        bad = CFG(AB, ["S", "X"], [("X", ()), ("S", ("a", "X"))], "S")
+        assert not is_in_gnf(bad)
+
+
+class TestConversion:
+    def test_language_preserved_on_corpus(self, corpus_grammar):
+        gnf = to_gnf(corpus_grammar)
+        assert is_in_gnf(gnf)
+        assert language(gnf) == language(corpus_grammar)
+
+    def test_ln_grammars(self):
+        for n in (2, 3, 4, 5):
+            gnf = to_gnf(small_ln_grammar(n))
+            assert is_in_gnf(gnf)
+            assert language(gnf) == language(small_ln_grammar(n))
+
+    def test_derivation_length_equals_word_length(self):
+        # The GNF signature: every derivation step emits one terminal.
+        from repro.grammars.derivation import leftmost_derivation
+        from repro.grammars.generic import GenericParser
+
+        gnf = to_gnf(grammar_from_mapping("ab", {"S": ["Xb"], "X": ["ab", "b"]}, "S"))
+        parser = GenericParser(gnf)
+        for word in language(gnf):
+            forms = leftmost_derivation(parser.one_tree(word))
+            assert len(forms) == len(word) + 1
+
+    def test_empty_language(self):
+        g = grammar_from_mapping("ab", {"S": ["SX"], "X": ["a"]}, "S")
+        gnf = to_gnf(g)
+        assert language(gnf) == frozenset()
+
+    def test_epsilon_language(self):
+        g = grammar_from_mapping("ab", {"S": ["", "ab"]}, "S")
+        gnf = to_gnf(g)
+        assert is_in_gnf(gnf)
+        assert language(gnf) == {"", "ab"}
+
+    def test_infinite_language_rejected(self):
+        g = grammar_from_mapping("ab", {"S": ["aS", "a"]}, "S")
+        with pytest.raises(InfiniteLanguageError):
+            to_gnf(g)
+
+    def test_rule_budget_guard(self):
+        # Deep leading-nonterminal chains multiply out; a tiny budget trips.
+        g = grammar_from_mapping(
+            "ab",
+            {"S": ["XY"], "X": ["YY"], "Y": ["ZZ"], "Z": ["a", "b"]},
+            "S",
+        )
+        with pytest.raises(GrammarError):
+            to_gnf(g, max_rules=1)
+
+    @given(st.integers(0, 3000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_grammars_roundtrip(self, seed):
+        g = random_finite_grammar(seed)
+        gnf = to_gnf(g)
+        assert is_in_gnf(gnf)
+        assert language(gnf) == language(g)

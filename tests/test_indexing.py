@@ -1,0 +1,108 @@
+"""Tests for repro.grammars.indexing: the Lemma 10 transform."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NotInChomskyNormalFormError
+from repro.grammars.ambiguity import is_unambiguous
+from repro.grammars.cfg import CFG, grammar_from_mapping
+from repro.grammars.cnf import to_cnf
+from repro.grammars.indexing import (
+    index_by_position,
+    indexed_base,
+    indexed_position,
+)
+from repro.grammars.language import language, languages_by_nonterminal
+from repro.words.alphabet import AB
+
+
+def indexed_for(grammar) -> tuple:
+    cnf = to_cnf(grammar)
+    return cnf, index_by_position(cnf)
+
+
+class TestRequirements:
+    def test_rejects_non_cnf(self):
+        g = grammar_from_mapping("ab", {"S": ["aaa"]}, "S")
+        with pytest.raises(NotInChomskyNormalFormError):
+            index_by_position(g)
+
+    def test_rejects_epsilon(self):
+        g = CFG(AB, ["S", "A"], [("S", ()), ("S", ("A", "A")), ("A", ("a",))], "S")
+        with pytest.raises(NotInChomskyNormalFormError):
+            index_by_position(g)
+
+    def test_rejects_mixed_lengths(self):
+        from repro.errors import MixedLengthLanguageError
+
+        g = to_cnf(grammar_from_mapping("ab", {"S": ["a", "ab"]}, "S"))
+        with pytest.raises(MixedLengthLanguageError):
+            index_by_position(g)
+
+    def test_rejects_empty_language(self):
+        g = CFG(AB, ["S"], [], "S")
+        with pytest.raises(ValueError):
+            index_by_position(g)
+
+
+class TestLemma10Properties:
+    def test_language_preserved(self, uniform_corpus):
+        for name, grammar in uniform_corpus.items():
+            cnf, indexed = indexed_for(grammar)
+            assert language(indexed.grammar) == language(cnf), name
+
+    def test_size_bound(self, uniform_corpus):
+        for name, grammar in uniform_corpus.items():
+            cnf, indexed = indexed_for(grammar)
+            assert indexed.grammar.size <= indexed.word_length * cnf.size, name
+
+    def test_unambiguity_preserved(self, uniform_corpus):
+        for name, grammar in uniform_corpus.items():
+            if not is_unambiguous(grammar):
+                continue
+            _cnf, indexed = indexed_for(grammar)
+            assert is_unambiguous(indexed.grammar), name
+
+    def test_positions_pin_factor_start(self, uniform_corpus):
+        # The index i of A_i is the 1-based start position of the factor
+        # generated from A_i in every word of the language.
+        from repro.core.cover import context_pairs
+
+        for name, grammar in uniform_corpus.items():
+            _cnf, indexed = indexed_for(grammar)
+            langs = languages_by_nonterminal(indexed.grammar)
+            contexts = context_pairs(indexed.grammar, langs)
+            for nt, pairs in contexts.items():
+                for prefix, _suffix in pairs:
+                    assert len(prefix) == indexed_position(nt) - 1, (name, nt)
+
+    def test_lengths_match_source(self, uniform_corpus):
+        for name, grammar in uniform_corpus.items():
+            _cnf, indexed = indexed_for(grammar)
+            langs = languages_by_nonterminal(indexed.grammar)
+            for nt, words in langs.items():
+                expected = indexed.length_of(nt)
+                assert {len(w) for w in words} == {expected}, (name, nt)
+
+    def test_word_length_recorded(self):
+        g = grammar_from_mapping("ab", {"S": ["abab"]}, "S")
+        _cnf, indexed = indexed_for(g)
+        assert indexed.word_length == 4
+
+    def test_start_is_position_one(self, uniform_corpus):
+        for _name, grammar in uniform_corpus.items():
+            _cnf, indexed = indexed_for(grammar)
+            assert indexed_position(indexed.grammar.start) == 1
+
+
+class TestHelpers:
+    def test_indexed_accessors(self):
+        assert indexed_position(("A", 3)) == 3
+        assert indexed_base(("A", 3)) == "A"
+
+    def test_indexed_accessors_reject_plain(self):
+        with pytest.raises(ValueError):
+            indexed_position("A")
+        with pytest.raises(ValueError):
+            indexed_base("A")

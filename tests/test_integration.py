@@ -1,0 +1,149 @@
+"""End-to-end integration tests: the Theorem 1 pipeline at machine scale.
+
+These tests chain several subsystems — the constructions, the CNF and
+indexing transforms, the Proposition 7 extraction, the set perspective,
+the discrepancy counts, and the certificates — and check that they tell
+one consistent story on small instances of ``L_n``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cover import balanced_rectangle_cover
+from repro.core.discrepancy import (
+    discrepancy,
+    in_a,
+    iter_script_l,
+    lemma19_bound,
+    choice_to_zset,
+)
+from repro.core.lower_bound import certificate, multipartition_cover_lower_bound
+from repro.core.rectangles import is_rectangle_decomposition
+from repro.core.setview import (
+    rectangle_to_set_rectangle,
+    word_to_zset,
+    zset_in_ln,
+)
+from repro.grammars.ambiguity import is_unambiguous
+from repro.grammars.language import language
+from repro.languages.example3 import example3_grammar
+from repro.languages.ln import count_ln, is_in_ln, ln_words
+from repro.languages.nfa_ln import ln_match_nfa
+from repro.languages.small_grammar import small_ln_grammar
+from repro.languages.unambiguous_grammar import example4_size, example4_ucfg
+
+
+class TestTheorem1Pipeline:
+    """The three legs of Theorem 1, verified together for small n."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_all_three_representations_agree(self, n):
+        words = ln_words(n)
+        # (1) the Θ(log n) CFG
+        assert language(small_ln_grammar(n)) == words
+        # (2) the Θ(n) guess-and-verify NFA (exact on length-2n inputs)
+        nfa = ln_match_nfa(n)
+        from repro.words.ops import all_words
+        from repro.words.alphabet import AB
+
+        for word in all_words(AB, 2 * n):
+            assert nfa.accepts(word) == (word in words)
+        # (3) the exponential uCFG
+        if n <= 4:
+            g = example4_ucfg(n)
+            assert language(g) == words and is_unambiguous(g)
+
+    def test_size_hierarchy_small_vs_ucfg(self):
+        # Already at moderate n, the three sizes separate in the paper's
+        # order: CFG (log) < NFA (linear) < uCFG construction (exponential).
+        n = 1024
+        cfg_size = small_ln_grammar(n).size
+        nfa_size = ln_match_nfa(n).n_states
+        ucfg_size = example4_size(n)
+        assert cfg_size < 250
+        assert nfa_size == n + 2
+        assert ucfg_size > 3**1022
+        assert cfg_size < nfa_size < ucfg_size
+
+    def test_lower_bound_never_contradicts_construction(self):
+        for n in (4, 16, 64, 256, 1024, 4096):
+            assert certificate(n).ucfg_bound <= example4_size(n)
+
+
+class TestProposition7OnLn:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_ambiguous_grammar_cover_overlaps(self, n):
+        cover = balanced_rectangle_cover(small_ln_grammar(n))
+        assert is_rectangle_decomposition(
+            cover.rectangles, ln_words(n), require_balanced=True
+        )
+
+    def test_example3_and_smallgrammar_covers_same_language(self):
+        cover_a = balanced_rectangle_cover(example3_grammar(1))
+        cover_b = balanced_rectangle_cover(small_ln_grammar(3))
+        assert cover_a.covered_words() == cover_b.covered_words() == ln_words(3)
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_ucfg_cover_disjoint_and_above_lower_bound(self, n):
+        cover = balanced_rectangle_cover(example4_ucfg(n))
+        assert cover.disjoint
+        assert cover.n_rectangles >= multipartition_cover_lower_bound(n)
+
+    def test_ucfg_cover_rectangles_translate_to_set_view(self):
+        cover = balanced_rectangle_cover(example4_ucfg(2))
+        members: set = set()
+        total = 0
+        for rect in cover.rectangles:
+            set_rect = rectangle_to_set_rectangle(rect)
+            rect_members = set_rect.member_set()
+            total += len(rect_members)
+            members |= rect_members
+        assert members == {word_to_zset(w) for w in ln_words(2)}
+        assert total == len(members)  # disjointness survives the translation
+
+
+class TestSetPerspectiveConsistency:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_zset_membership_matches_word_membership(self, n):
+        from repro.words.ops import all_words
+        from repro.words.alphabet import AB
+
+        for word in all_words(AB, 2 * n):
+            assert zset_in_ln(word_to_zset(word), n) == is_in_ln(word, n)
+
+    @pytest.mark.parametrize("m", [1, 2])
+    def test_a_is_subset_of_ln(self, m):
+        n = 4 * m
+        for choice in iter_script_l(m):
+            if in_a(choice, m):
+                assert zset_in_ln(choice_to_zset(choice, m), n)
+
+    def test_count_ln_formula_vs_enumeration(self):
+        for n in range(1, 7):
+            assert count_ln(n) == len(ln_words(n))
+
+
+class TestDiscrepancyMeetsCover:
+    def test_extracted_cover_respects_lemma19_on_script_l(self):
+        """Every [1, n]-style rectangle from the n = 4 uCFG cover has
+        discrepancy within the Lemma 19 bound."""
+        m = 1
+        cover = balanced_rectangle_cover(example4_ucfg(4))
+        for rect in cover.rectangles:
+            set_rect = rectangle_to_set_rectangle(rect)
+            assert abs(discrepancy(set_rect, m)) <= lemma19_bound(m)
+
+    def test_margin_equals_sum_over_cover(self):
+        """Lemma 18's margin equals Σ_i (|A∩R_i| - |B∩R_i|) for any
+        disjoint cover of L_n — here the extracted one for n = 4."""
+        from repro.core.discrepancy import lemma18_margin
+
+        m = 1
+        cover = balanced_rectangle_cover(example4_ucfg(4))
+        assert cover.disjoint
+        total = sum(
+            discrepancy(rectangle_to_set_rectangle(rect), m)
+            for rect in cover.rectangles
+        )
+        assert total == lemma18_margin(m)

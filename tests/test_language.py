@@ -1,0 +1,127 @@
+"""Tests for repro.grammars.language: enumeration and exact counting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InfiniteLanguageError
+from repro.grammars.ambiguity import is_unambiguous
+from repro.grammars.cfg import grammar_from_mapping
+from repro.grammars.generic import GenericParser
+from repro.grammars.language import (
+    accepts_language,
+    count_derivations,
+    count_words,
+    derivations_by_length,
+    iter_language,
+    language,
+    languages_by_nonterminal,
+    same_language,
+    words_by_length,
+)
+
+
+class TestLanguage:
+    def test_flat_union(self):
+        g = grammar_from_mapping("ab", {"S": ["ab", "ba", "ab"]}, "S")
+        assert language(g) == {"ab", "ba"}
+
+    def test_concatenation(self):
+        g = grammar_from_mapping("ab", {"S": ["XY"], "X": ["a", "b"], "Y": ["a", "b"]}, "S")
+        assert language(g) == {"aa", "ab", "ba", "bb"}
+
+    def test_epsilon_member(self):
+        g = grammar_from_mapping("ab", {"S": ["", "a"]}, "S")
+        assert language(g) == {"", "a"}
+
+    def test_empty_language(self):
+        g = grammar_from_mapping("ab", {"S": ["SX"], "X": ["a"]}, "S")
+        assert language(g) == frozenset()
+
+    def test_infinite_raises(self):
+        g = grammar_from_mapping("ab", {"S": ["aS", "a"]}, "S")
+        with pytest.raises(InfiniteLanguageError):
+            language(g)
+
+    def test_max_words_guard(self):
+        g = grammar_from_mapping(
+            "ab",
+            {"S": ["XXX"], "X": ["a", "b"]},
+            "S",
+        )
+        with pytest.raises(InfiniteLanguageError):
+            language(g, max_words=3)
+
+    def test_iter_language_ordering(self):
+        g = grammar_from_mapping("ab", {"S": ["ba", "b", "ab"]}, "S")
+        assert list(iter_language(g)) == ["b", "ab", "ba"]
+
+    def test_languages_by_nonterminal_only_useful(self):
+        g = grammar_from_mapping("ab", {"S": ["aX"], "X": ["b"], "L": ["a"]}, "S")
+        langs = languages_by_nonterminal(g)
+        assert set(langs) == {"S", "X"}
+        assert langs["X"] == {"b"}
+
+    def test_membership_consistent_with_parser(self, corpus_grammar):
+        parser = GenericParser(corpus_grammar)
+        for word in language(corpus_grammar):
+            assert parser.recognises(word)
+
+
+class TestCounting:
+    def test_count_words(self):
+        g = grammar_from_mapping("ab", {"S": ["ab", "ba", "X"], "X": ["ab"]}, "S")
+        assert count_words(g) == 2
+
+    def test_count_derivations_overcounts_ambiguity(self):
+        g = grammar_from_mapping("ab", {"S": ["ab", "ba", "X"], "X": ["ab"]}, "S")
+        assert count_derivations(g) == 3
+
+    def test_counts_agree_for_unambiguous(self, corpus_grammar):
+        if is_unambiguous(corpus_grammar):
+            assert count_derivations(corpus_grammar) == count_words(corpus_grammar)
+
+    def test_counts_upper_bound_in_general(self, corpus_grammar):
+        assert count_derivations(corpus_grammar) >= count_words(corpus_grammar)
+
+    def test_count_empty(self):
+        g = grammar_from_mapping("ab", {"S": ["SX"], "X": ["a"]}, "S")
+        assert count_derivations(g) == 0 and count_words(g) == 0
+
+    def test_derivations_by_length(self):
+        g = grammar_from_mapping("ab", {"S": ["a", "ab", "ba"]}, "S")
+        assert derivations_by_length(g) == {1: 1, 2: 2}
+
+    def test_words_by_length(self):
+        g = grammar_from_mapping("ab", {"S": ["a", "ab", "X"], "X": ["ab"]}, "S")
+        assert words_by_length(g) == {1: 1, 2: 1}
+
+    def test_spectra_agree_for_unambiguous(self, corpus_grammar):
+        if is_unambiguous(corpus_grammar):
+            assert derivations_by_length(corpus_grammar) == words_by_length(corpus_grammar)
+
+    def test_example3_derivation_explosion(self):
+        # Ambiguity multiplicity of Example 3: derivations far exceed words.
+        from repro.languages.example3 import example3_grammar
+        from repro.languages.ln import count_ln
+
+        g = example3_grammar(1)
+        assert count_words(g) == count_ln(3)
+        assert count_derivations(g) > count_ln(3)
+
+
+class TestEquality:
+    def test_accepts_language(self):
+        g = grammar_from_mapping("ab", {"S": ["ab", "ba"]}, "S")
+        assert accepts_language(g, {"ab", "ba"})
+        assert not accepts_language(g, {"ab"})
+
+    def test_same_language(self):
+        g1 = grammar_from_mapping("ab", {"S": ["ab", "ba"]}, "S")
+        g2 = grammar_from_mapping("ab", {"S": ["X", "Y"], "X": ["ab"], "Y": ["ba"]}, "S")
+        assert same_language(g1, g2)
+
+    def test_different_language(self):
+        g1 = grammar_from_mapping("ab", {"S": ["ab"]}, "S")
+        g2 = grammar_from_mapping("ab", {"S": ["ba"]}, "S")
+        assert not same_language(g1, g2)

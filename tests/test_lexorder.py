@@ -1,0 +1,105 @@
+"""Tests for repro.grammars.lexorder: length-lex ranked access."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotInLanguageError, NotUnambiguousError
+from repro.grammars.ambiguity import is_unambiguous
+from repro.grammars.cfg import grammar_from_mapping
+from repro.grammars.language import language
+from repro.grammars.lexorder import LexRankedLanguage
+from repro.grammars.random_grammars import random_finite_grammar
+from repro.languages.unambiguous_grammar import example4_ucfg
+
+
+def lex_sorted(words) -> list[str]:
+    return sorted(words, key=lambda w: (len(w), w))
+
+
+class TestOrdering:
+    def test_matches_materialised_sort(self, uniform_corpus):
+        for name, grammar in uniform_corpus.items():
+            if not is_unambiguous(grammar):
+                continue
+            lex = LexRankedLanguage(grammar)
+            assert list(lex) == lex_sorted(language(grammar)), name
+
+    def test_mixed_length_language(self):
+        g = grammar_from_mapping("ab", {"S": ["b", "aa", "", "ab"]}, "S")
+        lex = LexRankedLanguage(g)
+        assert list(lex) == ["", "b", "aa", "ab"]
+
+    def test_alphabet_order_respected(self):
+        g = grammar_from_mapping("ba", {"S": ["a", "b"]}, "S")  # b < a here
+        lex = LexRankedLanguage(g)
+        assert list(lex) == ["b", "a"]
+
+    def test_example4_lex_access(self):
+        from repro.languages.ln import ln_words
+
+        lex = LexRankedLanguage(example4_ucfg(3))
+        expected = lex_sorted(ln_words(3))
+        assert [lex.unrank(i) for i in (0, 5, 20, len(expected) - 1)] == [
+            expected[0],
+            expected[5],
+            expected[20],
+            expected[-1],
+        ]
+
+
+class TestRankUnrank:
+    def test_roundtrip(self, uniform_corpus):
+        for name, grammar in uniform_corpus.items():
+            if not is_unambiguous(grammar):
+                continue
+            lex = LexRankedLanguage(grammar)
+            for index in range(lex.count):
+                assert lex.rank(lex.unrank(index)) == index, name
+
+    def test_rank_rejects_non_member(self):
+        lex = LexRankedLanguage(grammar_from_mapping("ab", {"S": ["ab"]}, "S"))
+        with pytest.raises(NotInLanguageError):
+            lex.rank("ba")
+
+    def test_unrank_out_of_range(self):
+        lex = LexRankedLanguage(grammar_from_mapping("ab", {"S": ["ab"]}, "S"))
+        with pytest.raises(IndexError):
+            lex.unrank(1)
+        with pytest.raises(IndexError):
+            lex.unrank(-1)
+
+    def test_count_with_prefix(self):
+        g = grammar_from_mapping("ab", {"S": ["aa", "ab", "bb"]}, "S")
+        lex = LexRankedLanguage(g)
+        assert lex.count_with_prefix("a", 2) == 2
+        assert lex.count_with_prefix("b", 2) == 1
+        assert lex.count_with_prefix("", 2) == 3
+        assert lex.count_with_prefix("ba", 2) == 0
+
+    def test_ambiguous_rejected(self):
+        g = grammar_from_mapping("ab", {"S": ["ab", "X"], "X": ["ab"]}, "S")
+        with pytest.raises(NotUnambiguousError):
+            LexRankedLanguage(g)
+
+    def test_agreement_with_derivation_order_count(self, uniform_corpus):
+        from repro.grammars.ranking import RankedLanguage
+
+        for _name, grammar in uniform_corpus.items():
+            if not is_unambiguous(grammar):
+                continue
+            assert LexRankedLanguage(grammar).count == RankedLanguage(grammar).count
+
+
+class TestPropertyBased:
+    @given(st.integers(0, 2000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_unambiguous_grammars(self, seed):
+        g = random_finite_grammar(seed)
+        if not is_unambiguous(g):
+            return
+        lex = LexRankedLanguage(g, check_unambiguous=False)
+        expected = lex_sorted(language(g))
+        assert list(lex) == expected

@@ -1,0 +1,96 @@
+"""Tests for repro.languages.ln: the separating language L_n."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.languages.ln import (
+    count_ln,
+    first_match_position,
+    is_in_ln,
+    iter_ln,
+    ln_words,
+    match_positions,
+)
+
+
+class TestMembership:
+    def test_smallest_case(self):
+        assert ln_words(1) == {"aa"}
+
+    def test_examples_n2(self):
+        assert is_in_ln("aaaa", 2)
+        assert is_in_ln("abab", 2)   # match at k=0
+        assert is_in_ln("baba", 2)   # match at k=1
+        assert not is_in_ln("abba", 2)
+        assert not is_in_ln("bbbb", 2)
+
+    def test_wrong_length_rejected(self):
+        assert not is_in_ln("aa", 2)
+        assert not is_in_ln("aaaaaa", 2)
+
+    def test_foreign_symbols_rejected(self):
+        assert not is_in_ln("acac", 2)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            is_in_ln("aa", 0)
+
+    @given(st.integers(1, 6), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_membership_is_exists_match(self, n, data):
+        word = data.draw(st.text(alphabet="ab", min_size=2 * n, max_size=2 * n))
+        expected = any(word[k] == "a" and word[k + n] == "a" for k in range(n))
+        assert is_in_ln(word, n) == expected
+
+
+class TestCounting:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 7])
+    def test_formula_matches_bruteforce(self, n):
+        assert count_ln(n) == len(ln_words(n))
+
+    def test_formula_values(self):
+        assert count_ln(1) == 1
+        assert count_ln(2) == 7
+        assert count_ln(3) == 37
+
+    def test_fraction_tends_to_one_complement(self):
+        # |L_n| / 4^n = 1 - (3/4)^n grows towards 1.
+        assert count_ln(10) / 4**10 == pytest.approx(1 - (3 / 4) ** 10)
+
+    def test_iter_sorted(self):
+        words = list(iter_ln(3))
+        assert words == sorted(words)
+
+
+class TestMatches:
+    def test_match_positions(self):
+        assert match_positions("aaaa", 2) == [0, 1]
+        assert match_positions("abab", 2) == [0]
+        assert match_positions("bbbb", 2) == []
+
+    def test_match_positions_length_checked(self):
+        with pytest.raises(ValueError):
+            match_positions("aaa", 2)
+
+    def test_first_match(self):
+        assert first_match_position("baba", 2) == 1
+        assert first_match_position("bbbb", 2) is None
+
+    @given(st.integers(1, 5), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_first_match_consistent(self, n, data):
+        word = data.draw(st.text(alphabet="ab", min_size=2 * n, max_size=2 * n))
+        first = first_match_position(word, n)
+        assert (first is not None) == is_in_ln(word, n)
+        if first is not None:
+            assert word[first] == "a" and word[first + n] == "a"
+            assert all(
+                not (word[k] == "a" and word[k + n] == "a") for k in range(first)
+            )
+
+    def test_high_multiplicity_word(self):
+        # a^{2n} matches at every position: the non-disjointness of Example 8.
+        assert match_positions("a" * 8, 4) == [0, 1, 2, 3]

@@ -1,0 +1,165 @@
+"""Tests for repro.core.lower_bound: Theorem 17/12 certificates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.discrepancy import lemma18_margin, lemma19_bound
+from repro.core.lower_bound import (
+    LowerBoundCertificate,
+    certificate,
+    fixed_partition_cover_lower_bound,
+    multipartition_cover_lower_bound,
+    ucfg_cnf_size_lower_bound,
+    ucfg_size_lower_bound,
+)
+from repro.errors import CertificateError
+
+
+class TestFixedPartitionBound:
+    def test_requires_divisible_by_four(self):
+        with pytest.raises(ValueError):
+            fixed_partition_cover_lower_bound(6)
+
+    def test_value_is_ceil_margin_over_bound(self):
+        for n in (4, 8, 16, 40):
+            m = n // 4
+            expected = -(-lemma18_margin(m) // lemma19_bound(m))
+            assert fixed_partition_cover_lower_bound(n) == max(1, expected)
+
+    def test_exponential_growth(self):
+        # The bound behaves like 1.5^m: it should at least double every
+        # couple of doublings of n.
+        values = [fixed_partition_cover_lower_bound(n) for n in (8, 16, 32, 64, 128)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+        assert values[-1] > 2**10
+
+    def test_nontrivial_from_n8(self):
+        assert fixed_partition_cover_lower_bound(4) == 1
+        assert fixed_partition_cover_lower_bound(8) >= 2
+
+
+class TestMultipartitionBound:
+    def test_always_at_least_one(self):
+        for n in range(1, 40):
+            assert multipartition_cover_lower_bound(n) >= 1
+
+    def test_monotone_in_blocks_eventually(self):
+        values = [multipartition_cover_lower_bound(n) for n in (128, 256, 512, 1024)]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_exponential_asymptotics(self):
+        # ℓ ≥ 2^{m(log2 12 - 10/3)} / 2^8 with m = n/4: check a deep value.
+        import math
+
+        n = 4096
+        m = n // 4
+        expected_exponent = m * (math.log2(12) - 10 / 3) - 8
+        value = multipartition_cover_lower_bound(n)
+        assert value > 2 ** int(expected_exponent - 2)
+
+    def test_spare_element_reduction(self):
+        # Non-multiples of 4 lose at most the 2^6 factor vs the rounded-down n.
+        for n in (1026, 1027):
+            down = multipartition_cover_lower_bound(1024)
+            assert multipartition_cover_lower_bound(n) >= max(1, -(-down // 64))
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            multipartition_cover_lower_bound(0)
+
+
+class TestUcfgBounds:
+    def test_cnf_bound_relates_to_cover_bound(self):
+        for n in (128, 512, 2048):
+            cover = multipartition_cover_lower_bound(n)
+            assert ucfg_cnf_size_lower_bound(n) == max(1, -(-cover // (2 * n)))
+
+    def test_general_bound_is_sqrt(self):
+        import math
+
+        for n in (512, 2048):
+            cnf_bound = ucfg_cnf_size_lower_bound(n)
+            general = ucfg_size_lower_bound(n)
+            assert general >= math.isqrt(cnf_bound)
+            assert (general - 1) ** 2 < cnf_bound <= general * general or cnf_bound == general
+
+    def test_bound_exceeds_small_grammar_size_eventually(self):
+        # Theorem 1: the uCFG bound dwarfs the Θ(log n) CFG size.
+        from repro.languages.small_grammar import small_ln_grammar
+
+        n = 2048
+        assert ucfg_cnf_size_lower_bound(n) > small_ln_grammar(n).size
+
+    def test_bound_below_construction_size(self):
+        # Soundness vs the corrected Example 4 construction: the lower
+        # bound can never exceed the size of an actual uCFG for L_n.
+        from repro.languages.unambiguous_grammar import example4_size
+
+        for n in (16, 64, 256, 1024):
+            assert ucfg_size_lower_bound(n) <= example4_size(n)
+
+
+class TestCertificate:
+    def test_verify_passes(self):
+        for n in (4, 7, 16, 100):
+            certificate(n).verify()
+
+    def test_values_n16(self):
+        cert = certificate(16)
+        assert cert.m == 4
+        assert cert.margin == 12**4 - 2**12
+        assert cert.lemma18_threshold_holds
+
+    def test_threshold_false_below_m4(self):
+        assert not certificate(12).lemma18_threshold_holds
+        assert certificate(16).lemma18_threshold_holds
+
+    def test_broken_certificate_detected(self):
+        cert = certificate(16)
+        broken = LowerBoundCertificate(
+            n=cert.n,
+            m=cert.m,
+            remainder=cert.remainder,
+            size_script_l=cert.size_script_l,
+            size_a=cert.size_a + 1,
+            size_b=cert.size_b,
+            size_b_minus_ln=cert.size_b_minus_ln,
+            margin=cert.margin,
+            lemma18_threshold_holds=cert.lemma18_threshold_holds,
+            fixed_partition_bound=cert.fixed_partition_bound,
+            cover_bound=cert.cover_bound,
+            ucfg_cnf_bound=cert.ucfg_cnf_bound,
+            ucfg_bound=cert.ucfg_bound,
+        )
+        with pytest.raises(CertificateError):
+            broken.verify()
+
+    def test_certificate_consistent_with_bound_functions(self):
+        cert = certificate(64)
+        assert cert.cover_bound == multipartition_cover_lower_bound(64)
+        assert cert.ucfg_cnf_bound == ucfg_cnf_size_lower_bound(64)
+        assert cert.ucfg_bound == ucfg_size_lower_bound(64)
+
+
+class TestCrossValidationWithEnumeration:
+    def test_fixed_partition_bound_sound_for_m1(self):
+        # For m = 1 the exact maximum rectangle discrepancy is 8 = 2^{3m}
+        # (tight), margin = 4, so no disjoint [1,n]-cover smaller than
+        # ceil(4/8) = 1 exists: bound must not exceed any achievable cover.
+        from repro.core.cover import balanced_rectangle_cover
+        from repro.languages.unambiguous_grammar import example4_ucfg
+
+        n = 4
+        cover = balanced_rectangle_cover(example4_ucfg(n))
+        assert cover.disjoint
+        assert fixed_partition_cover_lower_bound(n) <= cover.n_rectangles
+
+    def test_multipartition_bound_sound_for_small_n(self):
+        from repro.core.cover import balanced_rectangle_cover
+        from repro.languages.unambiguous_grammar import example4_ucfg
+
+        for n in (2, 3, 4):
+            cover = balanced_rectangle_cover(example4_ucfg(n))
+            assert multipartition_cover_lower_bound(n) <= cover.n_rectangles

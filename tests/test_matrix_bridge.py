@@ -1,0 +1,95 @@
+"""Tests for repro.core.matrix_bridge: Theorem 17 ↔ the rank bound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.covers import minimum_disjoint_cover, verify_disjoint_cover
+from repro.comm.matrix import intersection_matrix
+from repro.core.matrix_bridge import (
+    ln_cover_to_matrix_cover,
+    matrix_rectangle_to_set_rectangle,
+    rank_bound_for_split_covers,
+    set_rectangle_to_matrix_rectangle,
+)
+from repro.core.setview import OrderedPartition, SetRectangle, word_to_zset
+from repro.errors import PartitionError
+from repro.languages.ln import ln_words
+
+
+def _ln_target(n: int):
+    return frozenset(word_to_zset(w) for w in ln_words(n))
+
+
+def _split_cover_of_l2() -> list[SetRectangle]:
+    """A disjoint [1, n]-rectangle cover of L_2 from the matrix side."""
+    n = 2
+    matrix = intersection_matrix(n)
+    matrix_cover = minimum_disjoint_cover(matrix)
+    return [
+        matrix_rectangle_to_set_rectangle(rect, matrix, n) for rect in matrix_cover
+    ]
+
+
+class TestRoundTrip:
+    def test_matrix_cover_pulls_back_to_ln_cover(self):
+        cover = _split_cover_of_l2()
+        members: set = set()
+        total = 0
+        for rect in cover:
+            rect_members = rect.member_set()
+            members |= rect_members
+            total += len(rect_members)
+        assert members == _ln_target(2)
+        assert total == len(members)  # disjoint
+
+    def test_forward_translation_verifies(self):
+        cover = _split_cover_of_l2()
+        matrix, matrix_cover = ln_cover_to_matrix_cover(cover, 2)
+        assert verify_disjoint_cover(matrix, matrix_cover)
+
+    def test_double_round_trip_members(self):
+        cover = _split_cover_of_l2()
+        matrix, matrix_cover = ln_cover_to_matrix_cover(cover, 2, verify=False)
+        back = [
+            matrix_rectangle_to_set_rectangle(rect, matrix, 2)
+            for rect in matrix_cover
+        ]
+        assert {r.member_set() for r in back} == {r.member_set() for r in cover}
+
+    def test_non_split_partition_rejected(self):
+        rect = SetRectangle(
+            OrderedPartition(n=2, lo=2, hi=3), {frozenset()}, {frozenset()}
+        )
+        with pytest.raises(PartitionError):
+            set_rectangle_to_matrix_rectangle(rect, intersection_matrix(2))
+
+    def test_broken_cover_detected(self):
+        cover = _split_cover_of_l2()
+        with pytest.raises(PartitionError):
+            ln_cover_to_matrix_cover(cover + [cover[0]], 2)  # overlap
+
+
+class TestRankBound:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_rank_is_2n_minus_1(self, n):
+        assert rank_bound_for_split_covers(n) == 2**n - 1
+
+    def test_rank_bound_dominates_discrepancy_bound_fixed_partition(self):
+        # For the FIXED partition, rank (2^n - 1) beats the discrepancy
+        # route (~1.5^{n/4}) — the discrepancy argument earns its keep
+        # only in the multi-partition setting.
+        from repro.core.lower_bound import fixed_partition_cover_lower_bound
+
+        for n in (4, 5):
+            assert rank_bound_for_split_covers(n) >= fixed_partition_cover_lower_bound(
+                4 * (n // 4)
+            )
+
+    def test_minimum_split_cover_at_least_rank(self):
+        # The translated covers can never beat the rank bound.
+        cover = _split_cover_of_l2()
+        assert len(cover) >= rank_bound_for_split_covers(2)
+
+    def test_min_cover_for_l2_is_exactly_rank(self):
+        assert len(_split_cover_of_l2()) == 3 == rank_bound_for_split_covers(2)

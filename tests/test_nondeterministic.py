@@ -1,0 +1,89 @@
+"""Tests for repro.comm.nondeterministic: overlapping covers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.covers import greedy_disjoint_cover, rect_cells
+from repro.comm.matrix import equality_matrix, intersection_matrix, matrix_from_function
+from repro.comm.nondeterministic import (
+    element_cover_for_intersection,
+    greedy_overlapping_cover,
+    nondeterministic_cc,
+    verify_overlapping_cover,
+)
+from repro.comm.rank import rank_over_q
+
+
+class TestElementCover:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5])
+    def test_covers_with_p_rectangles(self, p):
+        matrix, cover = element_cover_for_intersection(p)
+        assert len(cover) == p
+        assert verify_overlapping_cover(matrix, cover)
+
+    def test_overlap_equals_intersection_multiplicity(self):
+        p = 3
+        matrix, cover = element_cover_for_intersection(p)
+        for i, x_label in enumerate(matrix.row_labels):
+            for j, y_label in enumerate(matrix.col_labels):
+                multiplicity = sum(
+                    1 for rect in cover if (i, j) in rect_cells(rect)
+                )
+                assert multiplicity == len(x_label & y_label)
+
+    def test_exponential_gap_vs_disjoint(self):
+        # p overlapping rectangles vs 2^p - 1 disjoint ones — the matrix
+        # mirror of the CFG / uCFG separation.
+        p = 5
+        matrix, cover = element_cover_for_intersection(p)
+        assert len(cover) == p
+        assert rank_over_q(matrix) == 2**p - 1  # every disjoint cover is bigger
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            element_cover_for_intersection(0)
+
+
+class TestVerifier:
+    def test_rejects_zero_cells(self):
+        matrix = matrix_from_function([0, 1], [0, 1], lambda x, y: x == y)
+        bad = [(frozenset({0, 1}), frozenset({0, 1}))]
+        assert not verify_overlapping_cover(matrix, bad)
+
+    def test_rejects_partial_cover(self):
+        matrix, cover = element_cover_for_intersection(3)
+        assert not verify_overlapping_cover(matrix, cover[:-1])
+
+    def test_accepts_redundant_cover(self):
+        matrix, cover = element_cover_for_intersection(2)
+        assert verify_overlapping_cover(matrix, cover + cover)
+
+
+class TestGreedyOverlapping:
+    @pytest.mark.parametrize("p", [1, 2, 3])
+    def test_valid(self, p):
+        matrix = intersection_matrix(p)
+        cover = greedy_overlapping_cover(matrix)
+        assert verify_overlapping_cover(matrix, cover)
+
+    def test_never_larger_than_disjoint_greedy(self):
+        for p in (2, 3, 4):
+            matrix = intersection_matrix(p)
+            assert len(greedy_overlapping_cover(matrix)) <= len(
+                greedy_disjoint_cover(matrix)
+            )
+
+    def test_equality_matrix_needs_full_cover(self):
+        # EQ's 1s are isolated: overlap cannot help; 2^p rectangles needed.
+        matrix = equality_matrix(2)
+        assert len(greedy_overlapping_cover(matrix)) == 4
+
+
+class TestCC:
+    def test_log_of_element_cover(self):
+        assert nondeterministic_cc(8) == 3.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            nondeterministic_cc(0)

@@ -1,0 +1,159 @@
+"""The paper's abstract, as executable assertions.
+
+One test per headline claim, in the paper's own order, each delegating
+to the machinery that implements it.  If this file is green, the
+reproduction stands.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+class TestAbstract:
+    def test_claim_cfgs_can_be_doubly_exponentially_smaller(self):
+        """"representations by general CFGs can be doubly-exponentially
+        smaller than those by unambiguous CFGs" — Theorem 1(1) + 1(3)."""
+        import math
+
+        from repro.core.lower_bound import ucfg_cnf_size_lower_bound
+        from repro.languages.small_grammar import small_ln_grammar
+
+        n = 2**13
+        cfg_size = small_ln_grammar(n).size          # Θ(log n)
+        ucfg_bound = ucfg_cnf_size_lower_bound(n)    # 2^Ω(n)
+        # uCFG size is at least exponential in an exponential of the CFG
+        # size: log2(log2(ucfg_bound)) grows linearly in log2(cfg_size).
+        assert ucfg_bound > 2 ** (2 ** (math.log2(cfg_size) - 4))
+
+    def test_claim_first_exponential_lower_bound(self):
+        """"the first exponential lower bounds for representation by
+        unambiguous CFGs of a finite language that can efficiently be
+        represented by ambiguous CFGs" — Theorem 12, certified."""
+        from repro.core.lower_bound import certificate
+
+        values = [certificate(n).ucfg_bound for n in (1024, 2048, 4096)]
+        # Exponential growth: each doubling of n squares the bound (roughly).
+        assert values[1] > values[0] ** 2 // 2**20
+        assert values[2] > values[1] ** 2 // 2**20
+
+    def test_claim_language_is_the_conjectured_one(self):
+        """"we may take L_n to be exactly the language from the conjecture
+        of Kimelfeld, Martens and Niewerth": two a's at distance n."""
+        from repro.languages.ln import is_in_ln, ln_words
+
+        n = 3
+        for word in ln_words(n):
+            assert any(
+                word[k] == "a" and word[k + n] == "a" for k in range(n)
+            )
+        assert not is_in_ln("b" * (2 * n), n)
+
+    def test_claim_nfa_exponentially_smaller_than_ucfg(self):
+        """"a finite language may admit an exponentially smaller
+        representation as an NFA than as an uCFG"."""
+        from repro.core.lower_bound import ucfg_cnf_size_lower_bound
+        from repro.languages.nfa_ln import ln_match_nfa
+
+        n = 2**13
+        nfa_states = ln_match_nfa(n).n_states            # n + 2
+        assert ucfg_cnf_size_lower_bound(n) > nfa_states**8  # brutally larger
+
+
+class TestTheorem1:
+    N = 4  # machine-checkable instance; growth claims live in the benches
+
+    def test_part1_small_cfg(self):
+        from repro.grammars.language import language
+        from repro.languages.ln import ln_words
+        from repro.languages.small_grammar import small_ln_grammar
+
+        grammar = small_ln_grammar(self.N)
+        assert language(grammar) == ln_words(self.N)
+
+    def test_part2_small_nfa(self):
+        from repro.languages.ln import is_in_ln
+        from repro.languages.nfa_ln import ln_match_nfa
+        from repro.words.alphabet import AB
+        from repro.words.ops import all_words
+
+        nfa = ln_match_nfa(self.N)
+        assert nfa.n_states == self.N + 2
+        for word in all_words(AB, 2 * self.N):
+            assert nfa.accepts(word) == is_in_ln(word, self.N)
+
+    def test_part3_ucfg_lower_bound_chain(self):
+        """Every stage of the Section 3-4 chain holds on the instance."""
+        from repro.core.cover import balanced_rectangle_cover
+        from repro.core.discrepancy import (
+            discrepancy,
+            lemma18_margin,
+            lemma19_bound,
+        )
+        from repro.core.lower_bound import certificate
+        from repro.core.setview import rectangle_to_set_rectangle
+        from repro.grammars.ambiguity import is_unambiguous
+        from repro.languages.unambiguous_grammar import example4_ucfg
+
+        grammar = example4_ucfg(self.N)
+        assert is_unambiguous(grammar)
+        cover = balanced_rectangle_cover(grammar)      # Proposition 7
+        assert cover.disjoint
+        m = self.N // 4
+        total = 0
+        for rect in cover.rectangles:                  # Lemma 19 per piece
+            d = discrepancy(rectangle_to_set_rectangle(rect), m)
+            assert abs(d) <= lemma19_bound(m)
+            total += d
+        assert total == lemma18_margin(m)              # Lemma 18 telescoped
+        cert = certificate(self.N)                     # Theorem 12 assembled
+        cert.verify()
+        assert cert.cover_bound <= cover.n_rectangles
+
+
+class TestConclusionsContext:
+    def test_counting_asymmetry(self):
+        """"counting is in polynomial time for uCFGs, #P-complete for
+        CFGs" — executable as: derivation counting equals |L| exactly for
+        the unambiguous grammar and overshoots for the ambiguous one."""
+        from repro.grammars.language import count_derivations, count_words
+        from repro.languages.example3 import example3_grammar
+        from repro.languages.unambiguous_grammar import example4_ucfg
+
+        ambiguous = example3_grammar(1)
+        unambiguous = example4_ucfg(3)
+        assert count_derivations(ambiguous) > count_words(ambiguous)
+        assert count_derivations(unambiguous) == count_words(unambiguous)
+
+    def test_optimality_of_the_separation(self):
+        """"our doubly exponential separation is optimal": the
+        constructive uCFG (disambiguation pipeline) never exceeds a
+        double exponential of the source size — checked on the L_n
+        family at machine scale."""
+        from repro.grammars.disambiguate import disambiguate
+        from repro.languages.small_grammar import small_ln_grammar
+
+        for n in (3, 5, 7):
+            grammar = small_ln_grammar(n)
+            _ucfg, report = disambiguate(grammar, verify=False)
+            # Compare bit lengths — materialising 2^(2^|G|) would be huge.
+            assert report.result_size.bit_length() < 2**grammar.size
+
+    def test_ln_is_complement_of_set_disjointness(self):
+        """Section 4.1's closing remark, on the nose."""
+        from repro.comm.matrix import disjointness_matrix
+        from repro.core.setview import word_to_zset, zset_in_ln
+        from repro.languages.ln import is_in_ln
+        from repro.words.alphabet import AB
+        from repro.words.ops import all_words
+
+        n = 3
+        matrix = disjointness_matrix(n)
+        index = {label: i for i, label in enumerate(matrix.row_labels)}
+        for word in all_words(AB, 2 * n):
+            zset = word_to_zset(word)
+            x_part = frozenset(e for e in zset if e <= n)
+            y_part = frozenset(e - n for e in zset if e > n)
+            disjoint = matrix[index[x_part], index[y_part]] == 1
+            assert is_in_ln(word, n) == (not disjoint)
+            assert zset_in_ln(zset, n) == (not disjoint)

@@ -1,0 +1,162 @@
+"""Tests for repro.core.partitions: neat partitions, Lemmas 21 and 22."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.discrepancy import Blocks, choice_to_zset, iter_script_l
+from repro.core.partitions import (
+    iter_neat_balanced_partitions,
+    iter_ordered_balanced_partitions,
+    lemma21_neat_split,
+    lemma22_properties,
+)
+from repro.core.setview import OrderedPartition, SetRectangle
+from repro.errors import PartitionError
+
+
+class TestEnumeration:
+    def test_ordered_balanced_all_balanced(self):
+        for p in iter_ordered_balanced_partitions(4):
+            assert p.is_balanced
+
+    def test_ordered_balanced_count_n2(self):
+        # n = 2: |Z| = 4, parts sized in [4/3, 8/3] -> both parts size 2.
+        partitions = list(iter_ordered_balanced_partitions(2))
+        intervals = {(p.lo, p.hi) for p in partitions}
+        assert intervals == {(1, 2), (2, 3), (3, 4)}
+
+    def test_neat_subset_of_balanced(self):
+        m = 2
+        neat = {(p.lo, p.hi) for p in iter_neat_balanced_partitions(m)}
+        balanced = {(p.lo, p.hi) for p in iter_ordered_balanced_partitions(4 * m)}
+        assert neat <= balanced
+
+    def test_neat_are_neat(self):
+        m = 2
+        blocks = Blocks(m)
+        for p in iter_neat_balanced_partitions(m):
+            assert blocks.is_neat(p)
+
+    def test_neat_m1(self):
+        intervals = {(p.lo, p.hi) for p in iter_neat_balanced_partitions(1)}
+        assert intervals == {(1, 4), (5, 8)}
+
+    def test_neat_m2(self):
+        intervals = {(p.lo, p.hi) for p in iter_neat_balanced_partitions(2)}
+        # |interval| must be 8 (balanced window [16/3, 32/3] intersect 4ℤ).
+        assert intervals == {(1, 8), (5, 12), (9, 16)}
+
+
+class TestLemma22:
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_all_neat_balanced_partitions(self, m):
+        for p in iter_neat_balanced_partitions(m):
+            props = lemma22_properties(p, m)
+            assert props["smaller_part_size"] == props["split_pairs"]
+
+    def test_rejects_non_neat(self):
+        with pytest.raises(PartitionError):
+            lemma22_properties(OrderedPartition(n=4, lo=2, hi=5), 1)
+
+    def test_rejects_unbalanced(self):
+        with pytest.raises(PartitionError):
+            lemma22_properties(OrderedPartition(n=8, lo=1, hi=4), 2)
+
+
+def _rectangle_over(partition: OrderedPartition, m: int, n_members: int) -> SetRectangle:
+    """A deterministic rectangle built from the first members of 𝓛."""
+    import itertools
+
+    pi0, _pi1 = partition.parts
+    members = [
+        choice_to_zset(c, m) for c in itertools.islice(iter_script_l(m), n_members)
+    ]
+    s = {z & pi0 for z in members}
+    t = {z - pi0 for z in members}
+    return SetRectangle(partition, s, t)
+
+
+class TestLemma21:
+    def test_neat_input_returned_unchanged(self):
+        m = 1
+        p = OrderedPartition(n=4, lo=1, hi=4)
+        rect = _rectangle_over(p, m, 8)
+        neat, pieces = lemma21_neat_split(rect, m)
+        assert neat == p and pieces == [rect]
+
+    def test_split_covers_members_disjointly(self):
+        # n = 4m = 32 is comfortably above the n >= 24 constant.
+        m = 8
+        p = OrderedPartition(n=32, lo=3, hi=34)  # straddles two blocks
+        pi0, _ = p.parts
+        # A small handcrafted rectangle: a few explicit member projections.
+        import itertools
+
+        members = [
+            choice_to_zset(c, m) for c in itertools.islice(iter_script_l(m), 5)
+        ]
+        s = {z & pi0 for z in members}
+        t = {z - pi0 for z in members}
+        rect = SetRectangle(p, s, t)
+        neat, pieces = lemma21_neat_split(rect, m)
+        assert Blocks(m).is_neat(neat)
+        assert neat.is_balanced
+        assert len(pieces) <= 256
+        union: set = set()
+        total = 0
+        for piece in pieces:
+            piece_members = piece.member_set()
+            total += len(piece_members)
+            union |= piece_members
+        assert union == rect.member_set()
+        assert total == len(union)  # disjoint
+
+    def test_unbalanced_rejected(self):
+        m = 8
+        with pytest.raises(PartitionError):
+            lemma21_neat_split(
+                _rectangle_over(OrderedPartition(n=32, lo=1, hi=4), m, 4), m
+            )
+
+    def test_wrong_block_size_rejected(self):
+        m = 1
+        p = OrderedPartition(n=8, lo=1, hi=8)
+        rect = SetRectangle(p, {frozenset()}, {frozenset()})
+        with pytest.raises(PartitionError):
+            lemma21_neat_split(rect, m)
+
+
+class TestBalanceRole:
+    def test_lemma22_identities_hold_for_all_ordered_partitions(self):
+        # Stronger than the paper states: the two Lemma 22 identities need
+        # only "ordered", not "balanced" — the smaller part (<= n elements)
+        # can never contain a full pair at distance n.  Exhaustive for n=8.
+        n = 8
+        for lo in range(1, 2 * n + 1):
+            for hi in range(lo, 2 * n + 1):
+                p = OrderedPartition(n=n, lo=lo, hi=hi)
+                pi0, pi1 = p.parts
+                smaller = pi0 if len(pi0) <= len(pi1) else pi1
+                split = p.split_pairs()
+                v_g = {e for i in split for e in (i, i + n)}
+                assert smaller <= v_g
+                assert len(smaller) == len(split)
+
+    def test_balance_forces_large_g(self):
+        # What balance actually buys: |G| >= 2n/3 for balanced partitions.
+        from fractions import Fraction
+
+        for m in (1, 2, 3):
+            n = 4 * m
+            for p in iter_ordered_balanced_partitions(n):
+                assert len(p.split_pairs()) >= Fraction(2 * n, 3)
+
+    def test_counterexample_witness(self):
+        from repro.core.partitions import lemma22_balance_counterexample
+
+        for m in (1, 2):
+            p = lemma22_balance_counterexample(m)
+            assert not p.is_balanced
+            assert Blocks(m).is_neat(p)
+            assert p.split_pairs() == frozenset()

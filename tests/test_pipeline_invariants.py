@@ -1,0 +1,93 @@
+"""Whole-pipeline invariants on seeded random grammars.
+
+Each test drives a full multi-stage pipeline (not just one module) and
+asserts an invariant the theory guarantees end to end.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.factorized.convert import cfg_to_drep
+from repro.grammars.ambiguity import is_unambiguous, max_ambiguity
+from repro.grammars.analysis import trim
+from repro.grammars.cnf import to_cnf
+from repro.grammars.disambiguate import disambiguate
+from repro.grammars.gnf import to_gnf
+from repro.grammars.language import count_derivations, language
+from repro.grammars.random_grammars import GrammarShape, random_finite_grammar
+
+SEEDS = st.integers(0, 5000)
+SHAPES = st.sampled_from(
+    [
+        GrammarShape(),
+        GrammarShape(n_layers=2, nts_per_layer=3, rules_per_nt=3, max_body=2),
+        GrammarShape(n_layers=4, nts_per_layer=1, rules_per_nt=2, max_body=4),
+        GrammarShape(epsilon_probability=0.4),
+    ]
+)
+
+
+class TestNormalFormPipelines:
+    @given(SEEDS, SHAPES)
+    @settings(max_examples=30, deadline=None)
+    def test_cnf_then_gnf_chain(self, seed, shape):
+        g = random_finite_grammar(seed, shape)
+        words = language(g)
+        cnf = to_cnf(g)
+        gnf = to_gnf(cnf)
+        assert language(cnf) == words
+        assert language(gnf) == words
+
+    @given(SEEDS, SHAPES)
+    @settings(max_examples=30, deadline=None)
+    def test_trim_then_transform_commutes_on_language(self, seed, shape):
+        g = random_finite_grammar(seed, shape)
+        assert language(to_cnf(trim(g))) == language(to_cnf(g))
+
+
+class TestDisambiguationPipeline:
+    @given(SEEDS, SHAPES)
+    @settings(max_examples=25, deadline=None)
+    def test_disambiguate_then_everything(self, seed, shape):
+        g = random_finite_grammar(seed, shape)
+        words = language(g)
+        if not words:
+            return
+        ucfg, report = disambiguate(g, verify=False)
+        # The result supports the whole unambiguous toolchain.
+        assert is_unambiguous(ucfg)
+        assert count_derivations(ucfg) == len(words)
+        assert max_ambiguity(ucfg) == 1
+        drep = cfg_to_drep(ucfg)
+        assert drep.is_unambiguous()
+        assert drep.language() == words
+        assert report.language_size == len(words)
+
+    @given(SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_disambiguation_idempotent_on_language(self, seed):
+        g = random_finite_grammar(seed)
+        if not language(g):
+            return
+        once, _ = disambiguate(g, verify=False)
+        twice, rep = disambiguate(once, verify=False)
+        assert language(twice) == language(g)
+        # Re-disambiguating a canonical grammar cannot grow the DFA.
+        once_again, rep_prev = disambiguate(once, verify=False)
+        assert rep.dfa_states == rep_prev.dfa_states
+
+
+class TestAmbiguityAccounting:
+    @given(SEEDS, SHAPES)
+    @settings(max_examples=30, deadline=None)
+    def test_derivation_surplus_matches_profile(self, seed, shape):
+        from repro.grammars.ambiguity import ambiguity_profile
+
+        g = random_finite_grammar(seed, shape)
+        profile = ambiguity_profile(g)
+        assert sum(profile.values()) == count_derivations(g)
+        assert set(profile) == set(language(g))
+        if profile:
+            assert (max(profile.values()) == 1) == is_unambiguous(g)

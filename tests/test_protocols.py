@@ -1,0 +1,94 @@
+"""Tests for repro.comm.protocols: deterministic protocol trees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.matrix import equality_matrix, intersection_matrix, matrix_from_function
+from repro.comm.protocols import (
+    Leaf,
+    Node,
+    Protocol,
+    balanced_partition_protocol,
+    protocol_for_equality,
+)
+from repro.comm.rank import rank_over_q
+
+
+class TestBasics:
+    def test_leaf_protocol(self):
+        p = Protocol(Leaf(1), xs=[0], ys=[0])
+        assert p.evaluate(0, 0) == 1
+        assert p.depth == 0 and p.n_leaves == 1
+
+    def test_single_node(self):
+        root = Node("alice", lambda x: x % 2, Leaf(0), Leaf(1))
+        p = Protocol(root, xs=[0, 1, 2, 3], ys=[0])
+        assert p.evaluate(2, 0) == 0 and p.evaluate(3, 0) == 1
+        assert p.depth == 1 and p.n_leaves == 2
+
+    def test_invalid_owner_rejected(self):
+        with pytest.raises(ValueError):
+            Node("carol", lambda x: 0, Leaf(0), Leaf(1))
+
+    def test_non_bit_predicate_detected(self):
+        root = Node("alice", lambda x: 2, Leaf(0), Leaf(1))
+        with pytest.raises(ValueError):
+            Protocol(root, xs=[0], ys=[0]).evaluate(0, 0)
+
+
+class TestEqualityProtocol:
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_correct(self, bits):
+        p = protocol_for_equality(bits)
+        assert p.computes(lambda x, y: x == y)
+
+    def test_cost(self):
+        p = protocol_for_equality(3)
+        assert p.depth == 4  # bits + 1
+
+    def test_leaf_rectangles_partition(self):
+        p = protocol_for_equality(2)
+        m = matrix_from_function(p.xs, p.ys, lambda x, y: x == y)
+        assert p.induced_partition_is_valid(m)
+
+    def test_leaf_count_bounds_partition_number(self):
+        # #monochromatic rectangles from the protocol >= rank of EQ block.
+        p = protocol_for_equality(2)
+        assert p.n_leaves >= rank_over_q(equality_matrix(2))
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            protocol_for_equality(0)
+
+
+class TestTrivialProtocol:
+    def test_correct_on_intersection(self):
+        m = intersection_matrix(2)
+        p = balanced_partition_protocol(
+            m.row_labels, m.col_labels, lambda x, y: bool(x & y)
+        )
+        assert p.computes(lambda x, y: bool(x & y))
+
+    def test_partition_valid(self):
+        m = intersection_matrix(2)
+        p = balanced_partition_protocol(
+            m.row_labels, m.col_labels, lambda x, y: bool(x & y)
+        )
+        assert p.induced_partition_is_valid(m)
+
+    def test_cost_is_log_plus_one(self):
+        m = intersection_matrix(3)  # 8 rows
+        p = balanced_partition_protocol(
+            m.row_labels, m.col_labels, lambda x, y: bool(x & y)
+        )
+        assert p.depth == 4  # ceil(log2 8) + 1
+
+    def test_rank_lower_bound_consistent(self):
+        # 2^depth >= #leaf rectangles >= #monochromatic 1-rectangles >= ...:
+        # the protocol can never beat log2(rank).
+        m = intersection_matrix(3)
+        p = balanced_partition_protocol(
+            m.row_labels, m.col_labels, lambda x, y: bool(x & y)
+        )
+        assert 2**p.depth >= rank_over_q(m)

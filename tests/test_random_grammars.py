@@ -1,0 +1,134 @@
+"""Property-based cross-validation over random finite-language grammars.
+
+The generator of :mod:`repro.grammars.random_grammars` feeds the whole
+toolchain: the three parsing engines must agree, CNF and d-representation
+round-trips must preserve the language, counting identities must hold,
+and the Proposition 7 extraction must cover uniform-length languages.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grammars.ambiguity import is_unambiguous
+from repro.grammars.analysis import has_finite_language, has_unit_or_epsilon_cycle, trim
+from repro.grammars.cnf import to_cnf
+from repro.grammars.cyk import recognises
+from repro.grammars.earley import earley_recognises
+from repro.grammars.generic import GenericParser
+from repro.grammars.language import (
+    count_derivations,
+    count_words,
+    derivations_by_length,
+    language,
+    words_by_length,
+)
+from repro.grammars.random_grammars import GrammarShape, random_finite_grammar
+
+SEEDS = st.integers(0, 10_000)
+
+
+class TestGeneratorInvariants:
+    @given(SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_finite_and_cycle_free(self, seed):
+        g = random_finite_grammar(seed)
+        assert has_finite_language(g)
+        assert not has_unit_or_epsilon_cycle(trim(g))
+
+    @given(SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_per_seed(self, seed):
+        assert random_finite_grammar(seed) == random_finite_grammar(seed)
+
+    def test_shape_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            GrammarShape(n_layers=0)
+        with pytest.raises(ValueError):
+            GrammarShape(max_body=0)
+
+
+class TestEngineAgreement:
+    @given(SEEDS, st.text(alphabet="ab", max_size=6))
+    @settings(max_examples=80, deadline=None)
+    def test_three_engines_agree(self, seed, word):
+        g = random_finite_grammar(seed)
+        generic = GenericParser(g).recognises(word)
+        earley = earley_recognises(g, word)
+        cyk = recognises(to_cnf(g), word)
+        assert generic == earley == cyk
+
+    @given(SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_membership_matches_enumeration(self, seed):
+        g = random_finite_grammar(seed)
+        words = language(g)
+        parser = GenericParser(g)
+        for word in sorted(words)[:10]:
+            assert parser.recognises(word)
+
+
+class TestTransformAgreement:
+    @given(SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_cnf_preserves_language(self, seed):
+        g = random_finite_grammar(seed)
+        assert language(to_cnf(g)) == language(g)
+
+    @given(SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_drep_roundtrip(self, seed):
+        from repro.factorized import cfg_to_drep, drep_to_cfg
+
+        g = random_finite_grammar(seed)
+        drep = cfg_to_drep(g)
+        assert drep.language() == language(g)
+        assert language(drep_to_cfg(drep, g.alphabet)) == language(g)
+
+    @given(SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_counting_identities(self, seed):
+        g = random_finite_grammar(seed)
+        derivations = count_derivations(g)
+        words = count_words(g)
+        assert derivations >= words
+        if is_unambiguous(g):
+            assert derivations == words
+            assert derivations_by_length(g) == words_by_length(g)
+
+    @given(SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_disambiguation_roundtrip(self, seed):
+        from repro.grammars.disambiguate import disambiguate
+
+        g = random_finite_grammar(seed)
+        if not language(g):
+            return
+        result, report = disambiguate(g, verify=False)
+        assert language(result) == language(g)
+        assert is_unambiguous(result)
+        assert report.language_size == len(language(g))
+
+
+class TestCoverOnUniformRandoms:
+    @given(SEEDS)
+    @settings(max_examples=15, deadline=None)
+    def test_prop7_on_uniform_length_randoms(self, seed):
+        from repro.core.cover import balanced_rectangle_cover
+        from repro.core.rectangles import is_rectangle_decomposition
+        from repro.errors import RectangleError
+
+        g = random_finite_grammar(seed)
+        words = language(g)
+        lengths = {len(w) for w in words}
+        if len(lengths) != 1 or next(iter(lengths)) < 2:
+            return  # Prop 7 needs uniform length >= 2
+        cover = balanced_rectangle_cover(g)
+        assert is_rectangle_decomposition(
+            cover.rectangles, words, require_balanced=True
+        )
+        if is_unambiguous(g):
+            assert cover.disjoint

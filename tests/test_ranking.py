@@ -1,0 +1,108 @@
+"""Tests for repro.grammars.ranking: count / rank / unrank / sample."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotUnambiguousError
+from repro.grammars.ambiguity import is_unambiguous
+from repro.grammars.cfg import grammar_from_mapping
+from repro.grammars.language import language
+from repro.grammars.ranking import RankedLanguage
+from repro.languages.unambiguous_grammar import example4_ucfg
+
+
+def ranked_corpus(uniform_corpus) -> list[RankedLanguage]:
+    return [
+        RankedLanguage(grammar)
+        for grammar in uniform_corpus.values()
+        if is_unambiguous(grammar)
+    ]
+
+
+class TestCount:
+    def test_count_matches_language(self, uniform_corpus):
+        for ranked in ranked_corpus(uniform_corpus):
+            assert ranked.count == len(language(ranked.grammar))
+
+    def test_len_protocol(self):
+        ranked = RankedLanguage(grammar_from_mapping("ab", {"S": ["a", "b", "ab"]}, "S"))
+        assert len(ranked) == 3
+
+    def test_ambiguous_rejected(self):
+        g = grammar_from_mapping("ab", {"S": ["a", "X"], "X": ["a"]}, "S")
+        with pytest.raises(NotUnambiguousError):
+            RankedLanguage(g)
+
+    def test_check_can_be_skipped(self):
+        g = grammar_from_mapping("ab", {"S": ["a", "X"], "X": ["a"]}, "S")
+        ranked = RankedLanguage(g, check_unambiguous=False)
+        assert ranked.count == 2  # counts derivations, knowingly
+
+
+class TestUnrankRank:
+    def test_roundtrip_all_words(self, uniform_corpus):
+        for ranked in ranked_corpus(uniform_corpus):
+            for index in range(ranked.count):
+                word = ranked.unrank(index)
+                assert ranked.rank(word) == index
+
+    def test_unrank_bijective(self, uniform_corpus):
+        for ranked in ranked_corpus(uniform_corpus):
+            words = [ranked.unrank(i) for i in range(ranked.count)]
+            assert len(set(words)) == ranked.count
+            assert set(words) == set(language(ranked.grammar))
+
+    def test_unrank_out_of_range(self):
+        ranked = RankedLanguage(grammar_from_mapping("ab", {"S": ["a", "b"]}, "S"))
+        with pytest.raises(IndexError):
+            ranked.unrank(2)
+        with pytest.raises(IndexError):
+            ranked.unrank(-1)
+
+    def test_example4_direct_access(self):
+        ranked = RankedLanguage(example4_ucfg(3))
+        from repro.languages.ln import count_ln
+
+        assert ranked.count == count_ln(3)
+        assert ranked.rank(ranked.unrank(10)) == 10
+
+    @given(st.integers(0, 36))
+    @settings(max_examples=37, deadline=None)
+    def test_roundtrip_property_example4(self, index):
+        ranked = RankedLanguage(example4_ucfg(2), check_unambiguous=False)
+        if index < ranked.count:
+            assert ranked.rank(ranked.unrank(index)) == index
+
+
+class TestSampleIterate:
+    def test_iteration_order_matches_unrank(self):
+        ranked = RankedLanguage(grammar_from_mapping("ab", {"S": ["b", "a", "ab"]}, "S"))
+        assert list(ranked) == [ranked.unrank(i) for i in range(ranked.count)]
+
+    def test_sample_is_member(self):
+        ranked = RankedLanguage(example4_ucfg(2))
+        rng = random.Random(42)
+        words = language(ranked.grammar)
+        for _ in range(20):
+            assert ranked.sample(rng) in words
+
+    def test_sample_deterministic_with_seed(self):
+        ranked = RankedLanguage(example4_ucfg(2))
+        assert ranked.sample(random.Random(1)) == ranked.sample(random.Random(1))
+
+    def test_sample_empty_raises(self):
+        g = grammar_from_mapping("ab", {"S": ["SX"], "X": ["a"]}, "S")
+        ranked = RankedLanguage(g)
+        with pytest.raises(IndexError):
+            ranked.sample(random.Random(0))
+
+    def test_sample_covers_language(self):
+        ranked = RankedLanguage(grammar_from_mapping("ab", {"S": ["a", "b"]}, "S"))
+        rng = random.Random(3)
+        seen = {ranked.sample(rng) for _ in range(64)}
+        assert seen == {"a", "b"}

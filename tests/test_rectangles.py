@@ -1,0 +1,141 @@
+"""Tests for repro.core.rectangles: Definition 5 rectangles."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rectangles import (
+    Rectangle,
+    is_rectangle_decomposition,
+    singleton_rectangle,
+)
+from repro.errors import RectangleError
+from repro.words.alphabet import AB
+
+
+def sample_rectangle() -> Rectangle:
+    return Rectangle(
+        outer={"ab", "bb"}, inner={"aa", "ba"}, n1=1, n2=2, n3=1, alphabet=AB
+    )
+
+
+class TestConstruction:
+    def test_word_count_multiplies(self):
+        assert sample_rectangle().n_words == 4
+
+    def test_words(self):
+        words = sorted(sample_rectangle().words())
+        assert words == sorted(
+            ["a" + m + "b" for m in ("aa", "ba")] + ["b" + m + "b" for m in ("aa", "ba")]
+        )
+
+    def test_contains(self):
+        rect = sample_rectangle()
+        assert "aaab" in rect   # outer 'ab', inner 'aa'
+        assert "abab" in rect   # outer 'ab', inner 'ba'
+        assert "aaaa" not in rect  # outer 'aa' not in L1
+        assert "abbb" not in rect  # inner 'bb' not in L2
+
+    def test_contains_rejects_wrong_length(self):
+        assert "aaa" not in sample_rectangle()
+        assert 42 not in sample_rectangle()
+
+    def test_outer_length_validated(self):
+        with pytest.raises(RectangleError):
+            Rectangle(outer={"abc"}, inner={"aa"}, n1=1, n2=2, n3=1, alphabet=AB)
+
+    def test_inner_length_validated(self):
+        with pytest.raises(RectangleError):
+            Rectangle(outer={"ab"}, inner={"a"}, n1=1, n2=2, n3=1, alphabet=AB)
+
+    def test_negative_lengths_rejected(self):
+        with pytest.raises(RectangleError):
+            Rectangle(outer=set(), inner=set(), n1=-1, n2=2, n3=1, alphabet=AB)
+
+    def test_middle_interval(self):
+        assert sample_rectangle().middle_interval == (2, 3)
+
+    def test_equality_and_hash(self):
+        assert sample_rectangle() == sample_rectangle()
+        assert len({sample_rectangle(), sample_rectangle()}) == 1
+
+
+class TestBalance:
+    def test_balanced_example(self):
+        assert sample_rectangle().is_balanced  # n=4, n2=2 in [4/3, 8/3]
+
+    def test_unbalanced_middle_too_small(self):
+        rect = Rectangle(outer={"abab"}, inner={""}, n1=2, n2=0, n3=2, alphabet=AB)
+        assert not rect.is_balanced
+
+    def test_unbalanced_middle_too_big(self):
+        rect = Rectangle(outer={""}, inner={"aaaa"}, n1=0, n2=4, n3=0, alphabet=AB)
+        assert not rect.is_balanced
+
+    def test_boundary_exact_thirds(self):
+        # n=6, n2=2 = 6/3 exactly: balanced per the closed interval.
+        rect = Rectangle(outer={"aaaa"}, inner={"aa"}, n1=2, n2=2, n3=2, alphabet=AB)
+        assert rect.is_balanced
+
+    @given(st.text(alphabet="ab", min_size=2, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_singleton_always_balanced(self, word):
+        rect = singleton_rectangle(word, AB)
+        assert rect.is_balanced
+        assert rect.word_set() == {word}
+
+
+class TestDecomposition:
+    def test_exact_cover(self):
+        rect = sample_rectangle()
+        assert is_rectangle_decomposition([rect], rect.word_set())
+
+    def test_cover_with_extra_word_fails(self):
+        rect = sample_rectangle()
+        assert not is_rectangle_decomposition([rect], rect.word_set() | {"bbbb"})
+
+    def test_cover_with_missing_word_fails(self):
+        rect = sample_rectangle()
+        target = set(rect.word_set())
+        target.discard("aaab")
+        assert not is_rectangle_decomposition([rect], target)
+
+    def test_disjointness_check(self):
+        rect = sample_rectangle()
+        words = rect.word_set()
+        assert is_rectangle_decomposition([rect, rect], words)
+        assert not is_rectangle_decomposition([rect, rect], words, require_disjoint=True)
+
+    def test_balance_check(self):
+        skinny = Rectangle(outer={"aaaa"}, inner={""}, n1=2, n2=0, n3=2, alphabet=AB)
+        assert is_rectangle_decomposition([skinny], skinny.word_set())
+        assert not is_rectangle_decomposition(
+            [skinny], skinny.word_set(), require_balanced=True
+        )
+
+    def test_example8_union_of_rectangles(self):
+        # Example 8: L_n is the union of n balanced (overlapping) rectangles.
+        from repro.languages.ln import ln_words
+        from repro.words.ops import all_words
+
+        n = 3
+        rects = []
+        for k in range(n):
+            rects.append(
+                Rectangle(
+                    outer=frozenset(all_words(AB, n - 1)),
+                    inner=frozenset("a" + m + "a" for m in all_words(AB, n - 1)),
+                    n1=k,
+                    n2=n + 1,
+                    n3=n - 1 - k,
+                    alphabet=AB,
+                )
+            )
+        assert all(r.is_balanced for r in rects)
+        assert is_rectangle_decomposition(rects, ln_words(n), require_balanced=True)
+        # ... but the union is NOT disjoint (the crux of the paper).
+        assert not is_rectangle_decomposition(
+            rects, ln_words(n), require_disjoint=True
+        )

@@ -1,0 +1,114 @@
+"""Tests for repro.automata.regex: Thompson construction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.regex import (
+    any_symbol,
+    compile_regex,
+    concat,
+    epsilon,
+    repeat,
+    star,
+    sym,
+    union,
+)
+from repro.errors import AutomatonError
+from repro.languages.ln import is_in_ln
+from repro.words.alphabet import AB
+from repro.words.ops import all_words
+
+
+class TestConstructors:
+    def test_sym_validation(self):
+        with pytest.raises(AutomatonError):
+            sym("ab")
+
+    def test_union_needs_operand(self):
+        with pytest.raises(AutomatonError):
+            union()
+
+    def test_concat_empty_is_epsilon(self):
+        nfa = compile_regex(concat(), AB)
+        assert nfa.accepts("") and not nfa.accepts("a")
+
+    def test_repeat_negative_rejected(self):
+        with pytest.raises(AutomatonError):
+            repeat(sym("a"), -1)
+
+    def test_operators(self):
+        expr = (sym("a") | sym("b")) + sym("a") ** 2
+        nfa = compile_regex(expr, AB)
+        assert nfa.accepts("aaa") and nfa.accepts("baa")
+        assert not nfa.accepts("aa") and not nfa.accepts("bba")
+
+
+class TestSemantics:
+    def test_single_symbol(self):
+        nfa = compile_regex(sym("a"), AB)
+        assert nfa.accepts("a") and not nfa.accepts("b") and not nfa.accepts("")
+
+    def test_epsilon(self):
+        nfa = compile_regex(epsilon(), AB)
+        assert nfa.accepts("") and not nfa.accepts("a")
+
+    def test_union(self):
+        nfa = compile_regex(union(sym("a"), sym("b"), epsilon()), AB)
+        assert nfa.accepts("") and nfa.accepts("a") and nfa.accepts("b")
+        assert not nfa.accepts("ab")
+
+    def test_star(self):
+        nfa = compile_regex(star(concat(sym("a"), sym("b"))), AB)
+        for k in range(4):
+            assert nfa.accepts("ab" * k)
+        assert not nfa.accepts("aab")
+
+    def test_nested_star(self):
+        nfa = compile_regex(star(union(sym("a"), star(sym("b")))), AB)
+        # This is just Σ*.
+        for word in all_words(AB, 3):
+            assert nfa.accepts(word)
+
+    def test_any_symbol(self):
+        nfa = compile_regex(any_symbol(AB) ** 3, AB)
+        for word in all_words(AB, 3):
+            assert nfa.accepts(word)
+        assert not nfa.accepts("ab")
+
+    def test_outside_alphabet_rejected(self):
+        with pytest.raises(AutomatonError):
+            compile_regex(sym("c"), AB)
+
+
+class TestPaperLanguages:
+    def test_match_language_regex(self):
+        # Σ* a Σ^{n-1} a Σ* — Theorem 1(2)'s language, in regex notation.
+        n = 3
+        sigma = any_symbol(AB)
+        expr = sigma.star() + sym("a") + sigma ** (n - 1) + sym("a") + sigma.star()
+        nfa = compile_regex(expr, AB)
+        for word in all_words(AB, 2 * n):
+            assert nfa.accepts(word) == is_in_ln(word, n)
+
+    def test_ln_k_slice_regex(self):
+        # The Example 8 rectangle (a+b)^k a (a+b)^{n-1} a (a+b)^{n-1-k}.
+        n, k = 3, 1
+        sigma = any_symbol(AB)
+        expr = sigma**k + sym("a") + sigma ** (n - 1) + sym("a") + sigma ** (n - 1 - k)
+        nfa = compile_regex(expr, AB)
+        for word in all_words(AB, 2 * n):
+            expected = word[k] == "a" and word[k + n] == "a"
+            assert nfa.accepts(word) == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 4), st.data())
+    def test_match_regex_equals_ln_nfa(self, n, data):
+        from repro.languages.nfa_ln import ln_match_nfa
+
+        word = data.draw(st.text(alphabet="ab", max_size=2 * n + 2))
+        sigma = any_symbol(AB)
+        expr = sigma.star() + sym("a") + sigma ** (n - 1) + sym("a") + sigma.star()
+        assert compile_regex(expr, AB).accepts(word) == ln_match_nfa(n).accepts(word)

@@ -1,0 +1,162 @@
+"""Tests for repro.core.setview: the set perspective of Section 4.1."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rectangles import Rectangle
+from repro.core.setview import (
+    OrderedPartition,
+    SetRectangle,
+    rectangle_to_set_rectangle,
+    set_rectangle_to_rectangle,
+    word_to_zset,
+    zset_in_ln,
+    zset_to_word,
+)
+from repro.errors import PartitionError, RectangleError
+from repro.languages.ln import is_in_ln
+from repro.words.alphabet import AB
+
+
+class TestZSets:
+    def test_word_to_zset(self):
+        assert word_to_zset("abba") == {1, 4}
+        assert word_to_zset("bbbb") == frozenset()
+
+    def test_zset_to_word(self):
+        assert zset_to_word({1, 4}, 4) == "abba"
+        assert zset_to_word(set(), 3) == "bbb"
+
+    def test_roundtrip(self):
+        for word in ("", "a", "ab", "baab"):
+            assert zset_to_word(word_to_zset(word), len(word)) == word
+
+    @given(st.text(alphabet="ab", max_size=16))
+    def test_roundtrip_property(self, word):
+        assert zset_to_word(word_to_zset(word), len(word)) == word
+
+    def test_foreign_symbols_rejected(self):
+        with pytest.raises(ValueError):
+            word_to_zset("abc")
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            zset_to_word({5}, 4)
+
+    @given(st.integers(1, 5), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_zset_in_ln_matches_word_view(self, n, data):
+        word = data.draw(st.text(alphabet="ab", min_size=2 * n, max_size=2 * n))
+        assert zset_in_ln(word_to_zset(word), n) == is_in_ln(word, n)
+
+
+class TestOrderedPartition:
+    def test_parts_partition_z(self):
+        p = OrderedPartition(n=3, lo=2, hi=4)
+        pi0, pi1 = p.parts
+        assert pi0 | pi1 == p.universe
+        assert pi0 & pi1 == frozenset()
+        assert pi0 == {2, 3, 4}
+
+    def test_interval_part_flag(self):
+        p = OrderedPartition(n=3, lo=2, hi=4, interval_part=1)
+        assert p.part(1) == {2, 3, 4}
+        assert p.part(0) == {1, 5, 6}
+
+    def test_side_of(self):
+        p = OrderedPartition(n=3, lo=2, hi=4)
+        assert p.side_of(3) == 0 and p.side_of(5) == 1
+
+    def test_side_of_range_checked(self):
+        with pytest.raises(PartitionError):
+            OrderedPartition(n=3, lo=2, hi=4).side_of(7)
+
+    def test_balanced(self):
+        # n = 3: parts must have size in [2, 4].
+        assert OrderedPartition(n=3, lo=1, hi=3).is_balanced
+        assert not OrderedPartition(n=3, lo=1, hi=1).is_balanced
+        assert not OrderedPartition(n=3, lo=1, hi=5).is_balanced
+
+    def test_invalid_interval(self):
+        with pytest.raises(PartitionError):
+            OrderedPartition(n=3, lo=0, hi=2)
+        with pytest.raises(PartitionError):
+            OrderedPartition(n=3, lo=2, hi=7)
+
+    def test_split_pairs(self):
+        # n = 2, interval [1, 2] = X side: every pair is split.
+        assert OrderedPartition(n=2, lo=1, hi=2).split_pairs() == {1, 2}
+        # interval [1, 3]: pair 1 has x1,y1 split? x1=1 in, y1=3 in -> not split.
+        assert OrderedPartition(n=2, lo=1, hi=3).split_pairs() == {2}
+
+
+class TestSetRectangle:
+    def test_members(self):
+        p = OrderedPartition(n=2, lo=1, hi=2)
+        rect = SetRectangle(
+            p,
+            s={frozenset(), frozenset({1})},
+            t={frozenset({3}), frozenset({3, 4})},
+        )
+        assert rect.n_members == 4
+        assert frozenset({1, 3}) in rect
+        assert frozenset({1, 2, 3}) not in rect
+
+    def test_side_discipline_enforced(self):
+        p = OrderedPartition(n=2, lo=1, hi=2)
+        with pytest.raises(RectangleError):
+            SetRectangle(p, s={frozenset({3})}, t=set())
+        with pytest.raises(RectangleError):
+            SetRectangle(p, s=set(), t={frozenset({1})})
+
+    def test_balanced_flag(self):
+        p = OrderedPartition(n=3, lo=1, hi=3)
+        assert SetRectangle(p, s={frozenset()}, t={frozenset()}).is_balanced
+
+
+class TestLemma15:
+    def word_rect(self) -> Rectangle:
+        return Rectangle(
+            outer={"ab", "bb"}, inner={"aa", "ba"}, n1=1, n2=2, n3=1, alphabet=AB
+        )
+
+    def test_forward_preserves_members(self):
+        rect = self.word_rect()
+        set_rect = rectangle_to_set_rectangle(rect)
+        expected = {word_to_zset(w) for w in rect.words()}
+        assert set_rect.member_set() == expected
+
+    def test_forward_partition_is_middle_interval(self):
+        set_rect = rectangle_to_set_rectangle(self.word_rect())
+        assert (set_rect.partition.lo, set_rect.partition.hi) == (2, 3)
+
+    def test_roundtrip(self):
+        rect = self.word_rect()
+        back = set_rectangle_to_rectangle(rectangle_to_set_rectangle(rect))
+        assert back.word_set() == rect.word_set()
+        assert (back.n1, back.n2, back.n3) == (rect.n1, rect.n2, rect.n3)
+
+    def test_odd_length_rejected(self):
+        rect = Rectangle(outer={"ab"}, inner={"a"}, n1=1, n2=1, n3=1, alphabet=AB)
+        with pytest.raises(RectangleError):
+            rectangle_to_set_rectangle(rect)
+
+    def test_example6_is_balanced_set_rectangle(self):
+        from repro.languages.example6 import lstar_rectangle
+
+        set_rect = rectangle_to_set_rectangle(lstar_rectangle(4))
+        assert set_rect.is_balanced
+        assert set_rect.n_members == 16
+
+    @given(
+        st.sets(st.text(alphabet="ab", min_size=2, max_size=2), min_size=1, max_size=3),
+        st.sets(st.text(alphabet="ab", min_size=2, max_size=2), min_size=1, max_size=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, outer, inner):
+        rect = Rectangle(outer=outer, inner=inner, n1=1, n2=2, n3=1, alphabet=AB)
+        back = set_rectangle_to_rectangle(rectangle_to_set_rectangle(rect))
+        assert back.word_set() == rect.word_set()

@@ -1,0 +1,201 @@
+"""Tests for repro.slp: straight-line programs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GrammarError
+from repro.grammars.ambiguity import is_unambiguous
+from repro.grammars.language import language
+from repro.slp import SLP, power_word_slp, slp_from_word_balanced, slp_from_word_repair
+
+
+class TestSLPCore:
+    def test_expand(self):
+        s = SLP("ab", {"X": ("a", "b"), "S": ("X", "X")}, "S")
+        assert s.expand() == "abab"
+
+    def test_length_without_expansion(self):
+        s = power_word_slp(30)
+        assert s.length == 2**30  # expanding this would be a gigabyte
+
+    def test_expand_guard(self):
+        with pytest.raises(GrammarError):
+            power_word_slp(30).expand(max_length=1000)
+
+    def test_access(self):
+        s = SLP("ab", {"X": ("a", "b"), "S": ("X", "X", "a")}, "S")
+        word = s.expand()
+        assert [s.access(i) for i in range(len(word))] == list(word)
+
+    def test_access_out_of_range(self):
+        s = power_word_slp(3)
+        with pytest.raises(IndexError):
+            s.access(8)
+
+    def test_access_into_huge_word(self):
+        s = power_word_slp(40)
+        assert s.access(2**39) == "a"
+
+    def test_size_measure(self):
+        s = SLP("ab", {"X": ("a", "b"), "S": ("X", "X")}, "S")
+        assert s.size == 4 and s.n_variables == 2
+
+    def test_cycle_rejected(self):
+        with pytest.raises(GrammarError):
+            SLP("ab", {"S": ("S",)}, "S")
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(GrammarError):
+            SLP("ab", {"S": ()}, "S")
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(GrammarError):
+            SLP("ab", {"S": ("X",)}, "S")
+
+    def test_missing_axiom_rejected(self):
+        with pytest.raises(GrammarError):
+            SLP("ab", {"X": ("a",)}, "S")
+
+    def test_variable_terminal_collision_rejected(self):
+        with pytest.raises(GrammarError):
+            SLP("ab", {"a": ("b",)}, "a")
+
+    def test_to_cfg_singleton_language(self):
+        s = SLP("ab", {"X": ("a", "b"), "S": ("X", "X")}, "S")
+        cfg = s.to_cfg()
+        assert language(cfg) == {"abab"}
+        assert is_unambiguous(cfg)
+
+
+class TestConstructions:
+    @given(st.text(alphabet="ab", min_size=1, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_balanced_roundtrip(self, word):
+        assert slp_from_word_balanced(word, "ab").expand() == word
+
+    @given(st.text(alphabet="ab", min_size=1, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_repair_roundtrip(self, word):
+        assert slp_from_word_repair(word, "ab").expand() == word
+
+    def test_balanced_compresses_periodic(self):
+        word = "ab" * 1024
+        s = slp_from_word_balanced(word, "ab")
+        assert s.size < 60  # vs 2048 characters
+
+    def test_repair_compresses_periodic(self):
+        word = "ab" * 256
+        s = slp_from_word_repair(word, "ab")
+        assert s.size < 64
+
+    def test_repair_no_compression_on_short(self):
+        s = slp_from_word_repair("ab", "ab")
+        assert s.expand() == "ab"
+
+    def test_empty_word_rejected(self):
+        with pytest.raises(GrammarError):
+            slp_from_word_balanced("", "ab")
+        with pytest.raises(GrammarError):
+            slp_from_word_repair("", "ab")
+
+    def test_power_word(self):
+        s = power_word_slp(6)
+        assert s.expand() == "a" * 64
+        assert s.size == 2 * 6 + 1
+
+    def test_power_word_custom_symbol(self):
+        assert power_word_slp(2, "b").expand() == "bbbb"
+
+    def test_power_word_invalid(self):
+        with pytest.raises(ValueError):
+            power_word_slp(-1)
+
+    def test_logarithmic_size_growth(self):
+        sizes = [power_word_slp(k).size for k in (4, 8, 16)]
+        assert sizes == [9, 17, 33]  # 2k + 1: linear in k = log of length
+
+
+class TestOps:
+    def test_concat(self):
+        from repro.slp import concat_slp, power_word_slp
+
+        s = concat_slp(power_word_slp(3), power_word_slp(2))
+        assert s.expand() == "a" * 12
+        assert s.size == power_word_slp(3).size + power_word_slp(2).size + 2
+
+    def test_concat_alphabet_mismatch(self):
+        from repro.errors import GrammarError
+        from repro.slp import concat_slp, power_word_slp
+
+        with pytest.raises(GrammarError):
+            concat_slp(power_word_slp(1, "a"), power_word_slp(1, "b"))
+
+    @given(st.integers(1, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_repeat_property(self, times):
+        from repro.slp import repeat_slp, slp_from_word_balanced
+
+        base = slp_from_word_balanced("aab", "ab")
+        assert repeat_slp(base, times).expand() == "aab" * times
+
+    def test_repeat_logarithmic_rules(self):
+        from repro.slp import repeat_slp, slp_from_word_balanced
+
+        base = slp_from_word_balanced("ab", "ab")
+        big = repeat_slp(base, 10**6)
+        assert big.length == 2 * 10**6
+        assert big.n_variables < base.n_variables + 25
+
+    def test_repeat_invalid(self):
+        from repro.errors import GrammarError
+        from repro.slp import power_word_slp, repeat_slp
+
+        with pytest.raises(GrammarError):
+            repeat_slp(power_word_slp(1), 0)
+
+    def test_symbol_counts(self):
+        from repro.slp import slp_from_word_repair, symbol_counts
+
+        word = "aabab" * 7
+        assert symbol_counts(slp_from_word_repair(word, "ab")) == {
+            "a": word.count("a"),
+            "b": word.count("b"),
+        }
+
+    def test_symbol_counts_huge_word(self):
+        from repro.slp import power_word_slp, symbol_counts
+
+        assert symbol_counts(power_word_slp(50)) == {"a": 2**50}
+
+    def test_extract_factor(self):
+        from repro.slp import extract_factor, slp_from_word_balanced
+
+        word = "abbabaab" * 4
+        s = slp_from_word_balanced(word, "ab")
+        assert extract_factor(s, 5, 9) == word[5:14]
+        assert extract_factor(s, 0, 0) == ""
+
+    def test_extract_factor_bounds(self):
+        from repro.errors import GrammarError
+        from repro.slp import extract_factor, power_word_slp
+
+        with pytest.raises(GrammarError):
+            extract_factor(power_word_slp(2), 3, 5)
+
+    def test_slp_equal(self):
+        from repro.slp import slp_equal, slp_from_word_balanced, slp_from_word_repair
+
+        word = "abab" * 8
+        a = slp_from_word_balanced(word, "ab")
+        b = slp_from_word_repair(word, "ab")
+        assert slp_equal(a, b)
+        c = slp_from_word_balanced(word[:-1] + "a", "ab")
+        assert not slp_equal(a, c)
+
+    def test_slp_equal_length_filter(self):
+        from repro.slp import power_word_slp, slp_equal
+
+        assert not slp_equal(power_word_slp(3), power_word_slp(4))

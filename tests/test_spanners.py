@@ -1,0 +1,170 @@
+"""Tests for repro.spanners: the CSV column-match scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.grammars.ambiguity import is_unambiguous
+from repro.grammars.language import language
+from repro.languages.ln import is_in_ln, ln_words
+from repro.spanners import (
+    column_match_cfg,
+    decode_ln_word,
+    document_word,
+    encode_ln_word,
+    is_column_match,
+    split_document,
+    transferred_ucfg_lower_bound,
+)
+from repro.words.alphabet import AB
+from repro.words.ops import all_words
+
+
+class TestDocuments:
+    def test_roundtrip(self):
+        row1, row2 = ["aa", "ab"], ["ba", "bb"]
+        word = document_word(row1, row2, 2)
+        assert split_document(word, 2, 2) == (row1, row2)
+
+    def test_width_validation(self):
+        with pytest.raises(ReproError):
+            document_word(["a"], ["ab"], 2)
+
+    def test_row_length_validation(self):
+        with pytest.raises(ReproError):
+            document_word(["aa"], ["aa", "bb"], 2)
+
+    def test_split_length_validation(self):
+        with pytest.raises(ReproError):
+            split_document("aaa", 2, 2)
+
+    def test_is_column_match(self):
+        word = document_word(["aa", "ab"], ["aa", "bb"], 2)
+        assert is_column_match(word, 2, 2, [1])
+        assert not is_column_match(word, 2, 2, [2])
+        assert is_column_match(word, 2, 2, [1, 2])
+
+    def test_column_range_checked(self):
+        word = document_word(["a"], ["a"], 1)
+        with pytest.raises(ReproError):
+            is_column_match(word, 1, 1, [2])
+
+
+class TestGrammar:
+    @pytest.mark.parametrize("c,w,cols", [(2, 1, [1]), (2, 1, [1, 2]), (3, 1, [2]), (2, 2, [1, 2])])
+    def test_language_matches_bruteforce(self, c, w, cols):
+        g = column_match_cfg(c, w, cols)
+        expected = {
+            word
+            for word in all_words(AB, 2 * c * w)
+            if is_column_match(word, c, w, cols)
+        }
+        assert language(g) == expected
+
+    def test_grammar_is_ambiguous_with_two_columns(self):
+        assert not is_unambiguous(column_match_cfg(2, 1, [1, 2]))
+
+    def test_grammar_unambiguous_single_column(self):
+        # One selected column: no overlapping union.
+        assert is_unambiguous(column_match_cfg(2, 1, [1]))
+
+    def test_size_linear_in_columns(self):
+        sizes = [column_match_cfg(64, 1, list(range(1, s + 1))).size for s in (4, 8, 16)]
+        per_column = (sizes[2] - sizes[1]) / 8
+        assert per_column < 20
+        assert sizes[2] - sizes[1] == 2 * (sizes[1] - sizes[0])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ReproError):
+            column_match_cfg(2, 1, [])
+
+    def test_out_of_range_column_rejected(self):
+        with pytest.raises(ReproError):
+            column_match_cfg(2, 1, [3])
+
+
+class TestReduction:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_membership_preserved(self, n):
+        for word in all_words(AB, 2 * n):
+            assert is_in_ln(word, n) == is_column_match(
+                encode_ln_word(word, n), n, 2, range(1, n + 1)
+            )
+
+    def test_decode_inverts_encode(self):
+        for word in ln_words(2):
+            assert decode_ln_word(encode_ln_word(word, 2), 2) == word
+
+    def test_decode_rejects_off_image(self):
+        with pytest.raises(ReproError):
+            decode_ln_word("ba" * 4, 2)  # 'ba' is not a valid row-1 block
+
+    def test_encode_length_checked(self):
+        with pytest.raises(ReproError):
+            encode_ln_word("ab", 2)
+
+    def test_transfer_bound_grows(self):
+        values = [transferred_ucfg_lower_bound(n) for n in (256, 512, 1024)]
+        assert values == sorted(values)
+        assert values[-1] > 1
+
+    def test_transfer_bound_minimum_one(self):
+        assert transferred_ucfg_lower_bound(4) >= 1
+
+
+class TestGeneralisedRelations:
+    def test_leq_language(self):
+        from repro.spanners import column_leq_cfg, is_column_related
+
+        pairs = [("a", "a"), ("a", "b"), ("b", "b")]
+        g = column_leq_cfg(2, 1, [1, 2])
+        expected = {
+            w
+            for w in all_words(AB, 4)
+            if is_column_related(w, 2, 1, [1, 2], pairs)
+        }
+        assert language(g) == expected
+
+    def test_custom_relation(self):
+        from repro.spanners import column_relation_cfg, is_column_related
+
+        pairs = [("ab", "ba"), ("aa", "aa")]
+        g = column_relation_cfg(2, 2, [1], pairs)
+        expected = {
+            w for w in all_words(AB, 8) if is_column_related(w, 2, 2, [1], pairs)
+        }
+        assert language(g) == expected
+
+    def test_equality_is_special_case(self):
+        from repro.spanners import column_relation_cfg
+
+        g_eq = column_match_cfg(3, 1, [1, 3])
+        g_rel = column_relation_cfg(3, 1, [1, 3], [("a", "a"), ("b", "b")])
+        assert language(g_eq) == language(g_rel)
+
+    def test_leq_size_linear_in_columns(self):
+        from repro.spanners import column_leq_cfg
+
+        sizes = [
+            column_leq_cfg(32, 1, list(range(1, s + 1))).size for s in (4, 8, 16)
+        ]
+        assert sizes[2] - sizes[1] <= 3 * (sizes[1] - sizes[0])
+
+    def test_empty_relation_rejected(self):
+        from repro.spanners import column_relation_cfg
+
+        with pytest.raises(ReproError):
+            column_relation_cfg(2, 1, [1], [])
+
+    def test_bad_value_width_rejected(self):
+        from repro.spanners import column_relation_cfg
+
+        with pytest.raises(ReproError):
+            column_relation_cfg(2, 1, [1], [("aa", "a")])
+
+    def test_relation_membership_column_checked(self):
+        from repro.spanners import is_column_related
+
+        with pytest.raises(ReproError):
+            is_column_related("aaaa", 2, 1, [5], [("a", "a")])

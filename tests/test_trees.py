@@ -1,0 +1,85 @@
+"""Tests for repro.grammars.trees: parse-tree structure and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grammars.cfg import CFG, Rule
+from repro.grammars.trees import ParseTree, leaf, node
+from repro.words.alphabet import AB
+
+
+def sample_tree() -> ParseTree:
+    # S -> (A -> a)(B -> b b)
+    return node("S", (node("A", (leaf("a"),)), node("B", (leaf("b"), leaf("b")))))
+
+
+class TestStructure:
+    def test_word_is_yield(self):
+        assert sample_tree().word == "abb"
+
+    def test_leaf_word(self):
+        assert leaf("a").word == "a"
+
+    def test_n_nodes(self):
+        assert sample_tree().n_nodes == 6
+
+    def test_n_leaves_matches_word_length(self):
+        t = sample_tree()
+        assert t.n_leaves == len(t.word) == 3
+
+    def test_height(self):
+        assert sample_tree().height == 2
+        assert leaf("a").height == 0
+
+    def test_epsilon_node(self):
+        t = node("S", ())
+        assert t.word == "" and t.height == 0 and t.n_leaves == 0
+
+    def test_is_leaf(self):
+        assert leaf("a").is_leaf and not sample_tree().is_leaf
+
+    def test_rule_of_inner_node(self):
+        assert sample_tree().rule() == Rule("S", ("A", "B"))
+
+    def test_rule_of_leaf_raises(self):
+        with pytest.raises(ValueError):
+            leaf("a").rule()
+
+    def test_nonterminals_used(self):
+        assert sample_tree().nonterminals_used() == {"S", "A", "B"}
+
+    def test_structural_equality(self):
+        assert sample_tree() == sample_tree()
+        other = node("S", (node("B", (leaf("b"), leaf("b"))), node("A", (leaf("a"),))))
+        assert sample_tree() != other
+
+
+class TestValidation:
+    def grammar(self) -> CFG:
+        return CFG(
+            AB,
+            ["S", "A", "B"],
+            [("S", ("A", "B")), ("A", ("a",)), ("B", ("b", "b"))],
+            "S",
+        )
+
+    def test_valid_tree_passes(self):
+        sample_tree().validate(self.grammar())
+
+    def test_unknown_rule_rejected(self):
+        bad = node("S", (leaf("a"),))
+        with pytest.raises(ValueError):
+            bad.validate(self.grammar())
+
+    def test_nonterminal_leaf_rejected(self):
+        bad = node("S", (ParseTree("A", None), node("B", (leaf("b"), leaf("b")))))
+        with pytest.raises(ValueError):
+            bad.validate(self.grammar())
+
+    def test_pretty_contains_labels(self):
+        text = sample_tree().pretty()
+        assert "S" in text and "A" in text and "b" in text
+
+    def test_pretty_epsilon(self):
+        assert "ε" in node("S", ()).pretty()

@@ -1,0 +1,127 @@
+"""Tests for repro.factorized.updates: relations under updates."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.factorized.updates import FactorisedRelation
+
+
+def fresh() -> FactorisedRelation:
+    return FactorisedRelation(2, "ab", [("aa", "bb"), ("ab", "ba")])
+
+
+class TestUpdates:
+    def test_insert_and_count(self):
+        rel = fresh()
+        assert rel.count == 2
+        assert rel.insert(("bb", "bb"))
+        assert rel.count == 3
+
+    def test_duplicate_insert_noop(self):
+        rel = fresh()
+        assert not rel.insert(("aa", "bb"))
+        assert rel.count == 2
+
+    def test_delete(self):
+        rel = fresh()
+        assert rel.delete(("aa", "bb"))
+        assert not rel.delete(("aa", "bb"))
+        assert rel.count == 1
+
+    def test_delete_to_empty(self):
+        rel = FactorisedRelation(1, "ab", [("a",)])
+        assert rel.delete(("a",))
+        assert rel.count == 0 and len(rel) == 0
+
+    def test_validation_width(self):
+        rel = fresh()
+        with pytest.raises(ReproError):
+            rel.insert(("a", "bb"))
+
+    def test_validation_arity(self):
+        rel = fresh()
+        with pytest.raises(ReproError):
+            rel.insert(("aa",))
+
+    def test_validation_alphabet(self):
+        rel = fresh()
+        with pytest.raises(ReproError):
+            rel.insert(("ac", "bb"))
+
+
+class TestQueries:
+    def test_contains(self):
+        rel = fresh()
+        assert ("aa", "bb") in rel
+        assert ("bb", "bb") not in rel
+        assert "not-a-tuple" not in rel
+
+    def test_access_covers_all(self):
+        rel = fresh()
+        rows = {rel.access(i) for i in range(rel.count)}
+        assert rows == rel.tuples()
+
+    def test_access_empty_raises(self):
+        rel = FactorisedRelation(1, "ab")
+        with pytest.raises(IndexError):
+            rel.access(0)
+
+    def test_sample_member(self):
+        rel = fresh()
+        rng = random.Random(0)
+        for _ in range(10):
+            assert rel.sample(rng) in rel.tuples()
+
+    def test_sample_empty_raises(self):
+        rel = FactorisedRelation(1, "ab")
+        with pytest.raises(IndexError):
+            rel.sample(random.Random(0))
+
+    def test_representation_is_deterministic(self):
+        rel = fresh()
+        assert rel.representation().is_unambiguous()
+
+    def test_representation_size_positive(self):
+        rel = fresh()
+        assert rel.representation_size > 0
+        assert FactorisedRelation(1, "ab").representation_size == 0
+
+    def test_representation_tracks_updates(self):
+        rel = FactorisedRelation(1, "ab", [("a",)])
+        before = rel.representation_size
+        rel.insert(("b",))
+        assert rel.count == 2
+        assert rel.representation_size >= before
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["aa", "ab", "ba", "bb"]),
+                      st.sampled_from(["aa", "ab", "ba", "bb"])),
+            max_size=12,
+        ),
+        st.lists(st.integers(0, 3), max_size=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_a_plain_set(self, inserts, delete_indices):
+        rel = FactorisedRelation(2, "ab")
+        shadow: set[tuple[str, str]] = set()
+        for row in inserts:
+            rel.insert(row)
+            shadow.add(row)
+        ordered = sorted(shadow)
+        for index in delete_indices:
+            if index < len(ordered):
+                rel.delete(ordered[index])
+                shadow.discard(ordered[index])
+        assert rel.tuples() == frozenset(shadow)
+        assert rel.count == len(shadow)
+        if shadow:
+            assert {rel.access(i) for i in range(rel.count)} == shadow

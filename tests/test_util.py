@@ -1,0 +1,208 @@
+"""Tests for repro.util: exact combinatorics, binary decomposition, tables."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import (
+    Table,
+    approx_log2,
+    binary_decomposition,
+    binomial,
+    bit_length_of,
+    format_int,
+    is_power_of_two,
+    iter_subsets,
+    iter_subsets_of_size,
+    popcount,
+    powerset_size,
+)
+
+
+class TestBinomial:
+    def test_small_values(self):
+        assert binomial(5, 2) == 10
+        assert binomial(0, 0) == 1
+        assert binomial(7, 0) == 1
+        assert binomial(7, 7) == 1
+
+    def test_out_of_range_is_zero(self):
+        assert binomial(4, 5) == 0
+        assert binomial(4, -1) == 0
+
+    def test_negative_n_raises(self):
+        with pytest.raises(ValueError):
+            binomial(-1, 0)
+
+    @given(st.integers(0, 60), st.integers(-5, 65))
+    def test_matches_math_comb(self, n, k):
+        expected = math.comb(n, k) if 0 <= k <= n else 0
+        assert binomial(n, k) == expected
+
+    @given(st.integers(1, 40), st.integers(0, 40))
+    def test_pascal_identity(self, n, k):
+        assert binomial(n, k) == binomial(n - 1, k - 1) + binomial(n - 1, k)
+
+
+class TestPopcountAndPowers:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b101101) == 4
+
+    def test_popcount_negative_raises(self):
+        with pytest.raises(ValueError):
+            popcount(-3)
+
+    def test_powerset_size(self):
+        assert powerset_size(0) == 1
+        assert powerset_size(10) == 1024
+
+    def test_powerset_size_negative_raises(self):
+        with pytest.raises(ValueError):
+            powerset_size(-1)
+
+
+class TestSubsetIteration:
+    def test_counts(self):
+        assert len(list(iter_subsets("abc"))) == 8
+
+    def test_contents(self):
+        subsets = set(iter_subsets("ab"))
+        assert subsets == {
+            frozenset(),
+            frozenset("a"),
+            frozenset("b"),
+            frozenset("ab"),
+        }
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_subsets("aa"))
+
+    def test_fixed_size(self):
+        twos = list(iter_subsets_of_size(range(4), 2))
+        assert len(twos) == 6
+        assert all(len(s) == 2 for s in twos)
+
+    def test_fixed_size_zero(self):
+        assert list(iter_subsets_of_size("abc", 0)) == [frozenset()]
+
+    def test_fixed_size_negative_raises(self):
+        with pytest.raises(ValueError):
+            list(iter_subsets_of_size("ab", -1))
+
+    @given(st.integers(0, 10))
+    def test_subset_count_matches_power(self, n):
+        assert len(list(iter_subsets(range(n)))) == 2**n
+
+
+class TestBinaryDecomposition:
+    def test_examples(self):
+        assert binary_decomposition(0) == []
+        assert binary_decomposition(1) == [0]
+        assert binary_decomposition(13) == [0, 2, 3]
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            binary_decomposition(-2)
+
+    @given(st.integers(0, 10**9))
+    def test_roundtrip(self, n):
+        assert sum(2**i for i in binary_decomposition(n)) == n
+
+    @given(st.integers(1, 10**9))
+    def test_sorted_strictly(self, n):
+        decomposition = binary_decomposition(n)
+        assert decomposition == sorted(set(decomposition))
+
+    def test_bit_length(self):
+        assert bit_length_of(0) == 0
+        assert bit_length_of(8) == 4
+
+    def test_is_power_of_two(self):
+        assert [k for k in range(10) if is_power_of_two(k)] == [1, 2, 4, 8]
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+
+
+class TestFormatting:
+    def test_format_small_int(self):
+        assert format_int(1234567) == "1,234,567"
+
+    def test_format_huge_int(self):
+        rendered = format_int(2**100)
+        assert rendered.startswith("~2^")
+
+    def test_format_negative_huge(self):
+        assert format_int(-(10**20)).startswith("-~2^")
+
+    def test_format_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            format_int("12")  # type: ignore[arg-type]
+
+    def test_approx_log2_exact_powers(self):
+        assert approx_log2(1) == 0.0
+        assert approx_log2(2**70) == pytest.approx(70.0)
+
+    def test_approx_log2_huge(self):
+        value = approx_log2(12**500)
+        assert value == pytest.approx(500 * math.log2(12), rel=1e-9)
+
+    def test_approx_log2_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            approx_log2(0)
+
+
+class TestTable:
+    def test_render_basic(self):
+        t = Table(["n", "size"])
+        t.add_row([4, 16])
+        t.add_row([8, 2**80])
+        rendered = t.render()
+        assert "n" in rendered and "size" in rendered
+        assert "16" in rendered and "~2^80" in rendered
+
+    def test_title(self):
+        t = Table(["x"], title="demo")
+        t.add_row([1])
+        assert t.render().startswith("demo\n")
+
+    def test_row_arity_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_n_rows(self):
+        t = Table(["a"])
+        assert t.n_rows == 0
+        t.add_row([1])
+        assert t.n_rows == 1
+
+    def test_bool_not_formatted_as_int(self):
+        t = Table(["flag"])
+        t.add_row([True])
+        assert "True" in t.render()
+
+
+class TestTableMarkdown:
+    def test_to_markdown_shape(self):
+        t = Table(["n", "size"], title="ignored in markdown")
+        t.add_row([4, 16])
+        md = t.to_markdown()
+        lines = md.split("\n")
+        assert lines[0] == "| n | size |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 4 | 16 |"
+
+    def test_to_markdown_escapes_pipes(self):
+        t = Table(["x"])
+        t.add_row(["a|b"])
+        assert "\\|" in t.to_markdown()

@@ -1,0 +1,130 @@
+"""Tests for repro.words: alphabets and word operations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.words import (
+    AB,
+    Alphabet,
+    all_words,
+    complement_word,
+    count_words,
+    is_word_over,
+    random_word,
+    words_of_lengths,
+)
+
+
+class TestAlphabet:
+    def test_order_preserved(self):
+        assert Alphabet("ba").symbols == ("b", "a")
+
+    def test_contains(self):
+        assert "a" in AB and "c" not in AB
+
+    def test_index(self):
+        assert AB.index("a") == 0 and AB.index("b") == 1
+
+    def test_index_unknown_raises(self):
+        with pytest.raises(ValueError):
+            AB.index("c")
+
+    def test_len_and_iter(self):
+        assert len(AB) == 2
+        assert list(AB) == ["a", "b"]
+
+    def test_equality_and_hash(self):
+        assert Alphabet("ab") == AB
+        assert hash(Alphabet("ab")) == hash(AB)
+        assert Alphabet("ba") != AB
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Alphabet("")
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            Alphabet("aa")
+
+    def test_multichar_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            Alphabet(["ab"])
+
+
+class TestWordEnumeration:
+    def test_all_words_lexicographic(self):
+        assert list(all_words(AB, 2)) == ["aa", "ab", "ba", "bb"]
+
+    def test_all_words_zero_length(self):
+        assert list(all_words(AB, 0)) == [""]
+
+    def test_all_words_negative_raises(self):
+        with pytest.raises(ValueError):
+            list(all_words(AB, -1))
+
+    def test_respects_alphabet_order(self):
+        assert list(all_words(Alphabet("ba"), 1)) == ["b", "a"]
+
+    def test_count_words(self):
+        assert count_words(AB, 5) == 32
+
+    def test_count_words_negative_raises(self):
+        with pytest.raises(ValueError):
+            count_words(AB, -1)
+
+    @given(st.integers(0, 8))
+    def test_counts_match_enumeration(self, length):
+        assert len(list(all_words(AB, length))) == count_words(AB, length)
+
+    def test_words_of_lengths_sorted_and_dedup(self):
+        words = list(words_of_lengths(AB, [2, 0, 2]))
+        assert words[0] == ""
+        assert len(words) == 1 + 4
+
+
+class TestComplement:
+    def test_basic(self):
+        assert complement_word("aab", AB) == "bba"
+
+    def test_empty(self):
+        assert complement_word("", AB) == ""
+
+    def test_involution(self):
+        word = "ababbba"
+        assert complement_word(complement_word(word, AB), AB) == word
+
+    @given(st.text(alphabet="ab", max_size=20))
+    def test_involution_property(self, word):
+        assert complement_word(complement_word(word, AB), AB) == word
+
+    def test_foreign_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            complement_word("abc", AB)
+
+    def test_needs_binary_alphabet(self):
+        with pytest.raises(ValueError):
+            complement_word("a", Alphabet("abc"))
+
+
+class TestMisc:
+    def test_is_word_over(self):
+        assert is_word_over("abab", AB)
+        assert not is_word_over("abc", AB)
+        assert is_word_over("", AB)
+
+    def test_random_word_deterministic_with_seed(self):
+        rng1, rng2 = random.Random(7), random.Random(7)
+        assert random_word(AB, 20, rng1) == random_word(AB, 20, rng2)
+
+    def test_random_word_length_and_symbols(self):
+        word = random_word(AB, 50, random.Random(1))
+        assert len(word) == 50 and is_word_over(word, AB)
+
+    def test_random_word_negative_raises(self):
+        with pytest.raises(ValueError):
+            random_word(AB, -1)
