@@ -13,6 +13,12 @@ capture so the rows always reach the terminal).
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.util.tables import Table
@@ -31,3 +37,47 @@ def report(capsys):
                 print()
 
     return _print
+
+
+# ----------------------------------------------------------------------
+# BENCH_engine.json: a machine-readable timing summary of the harness run
+# ----------------------------------------------------------------------
+#
+# Every benchmark session appends wall-clock numbers per test to a JSON
+# artifact (same family as the engine's runs.jsonl; BENCH_* trajectories
+# consume it).  Override the location with $REPRO_BENCH_JSON; set it to
+# the empty string to disable.
+
+_DURATIONS: dict[str, float] = {}
+
+
+def _bench_json_path() -> Path | None:
+    override = os.environ.get("REPRO_BENCH_JSON")
+    if override is not None:
+        return Path(override) if override else None
+    return Path(__file__).resolve().parent / "BENCH_engine.json"
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call" and report.passed:
+        _DURATIONS[report.nodeid] = round(report.duration, 6)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = _bench_json_path()
+    if path is None or not _DURATIONS:
+        return
+    summary = {
+        "kind": "bench_summary",
+        "generated_at": time.time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "exit_status": int(exitstatus),
+        "n_tests": len(_DURATIONS),
+        "total_s": round(sum(_DURATIONS.values()), 6),
+        "tests": dict(sorted(_DURATIONS.items())),
+    }
+    try:
+        path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    except OSError:
+        pass  # a benchmark run must never fail on an unwritable artifact dir

@@ -160,6 +160,38 @@ class NFA:
                     accepted.add(word)
         return frozenset(accepted)
 
+    def to_key(self) -> str:
+        """A canonical, process-stable serialization of this automaton.
+
+        States live in ``frozenset`` containers, so their iteration order
+        varies with the hash seed; the encoding here sorts every state set
+        and the transition relation by canonical encoding, making the key
+        identical across processes.  Used by :mod:`repro.engine` to build
+        disk-cache keys.
+
+        >>> from repro.words import AB
+        >>> x = NFA(AB, {0, 1}, {(0, "a"): {1}}, {0}, {1})
+        >>> y = NFA(AB, {1, 0}, {(0, "a"): {1}}, {0}, {1})
+        >>> x.to_key() == y.to_key()
+        True
+        """
+        from repro.util.canonical import canonical_encode
+
+        return canonical_encode(
+            (
+                "NFA",
+                self._alphabet.symbols,
+                frozenset(canonical_encode(q) for q in self._states),
+                frozenset(
+                    canonical_encode((src, sym, dst))
+                    for (src, sym), targets in self._delta.items()
+                    for dst in targets
+                ),
+                frozenset(canonical_encode(q) for q in self._initial),
+                frozenset(canonical_encode(q) for q in self._accepting),
+            )
+        )
+
     def __repr__(self) -> str:
         return (
             f"NFA(|Q|={self.n_states}, |δ|={self.n_transitions}, "

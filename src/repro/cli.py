@@ -9,47 +9,112 @@ A thin front end over the library for quick exploration::
     python -m repro lemma18 3                # exhaustive Lemma 18 check
     python -m repro member babaab 3          # membership in L_n
     python -m repro zoo --max-n 4            # the representation zoo
+
+and over the execution engine (parallel workers + disk cache;
+see docs/ENGINE.md)::
+
+    python -m repro run certificate -p n=1024 --jobs 2    # any declared job
+    python -m repro run --list                            # list the registry
+    python -m repro sweep sizes --max-exp 12 --jobs 4     # fan out + cache
+    python -m repro sweep zoo --max-n 4 --jobs 4
+    python -m repro cache stats                           # inspect / clear
+
+The table-producing commands (``sizes``, ``zoo``, ``sweep``) all route
+through the engine, so repeated invocations are served from the cache;
+pass ``--no-cache`` to force recomputation.
 """
 
 from __future__ import annotations
 
 import argparse
-import math
+import json
 import sys
 from collections.abc import Sequence
 
 from repro.core.cover import balanced_rectangle_cover
+from repro.errors import ReproError
 from repro.core.discrepancy import verify_lemma18
 from repro.core.lower_bound import certificate
 from repro.languages.ln import is_in_ln, match_positions
-from repro.languages.nfa_ln import ln_match_nfa
 from repro.languages.small_grammar import small_ln_grammar
-from repro.languages.unambiguous_grammar import example4_size, example4_ucfg
+from repro.languages.unambiguous_grammar import example4_ucfg
 from repro.util.tables import Table, format_int
 
 __all__ = ["main", "build_parser"]
 
 
-def _cmd_sizes(args: argparse.Namespace) -> int:
+def _build_engine(args: argparse.Namespace):
+    """Construct an :class:`~repro.engine.Engine` from the shared CLI flags."""
+    from repro.engine import DiskCache, Engine, RunLog
+
+    cache = None if args.no_cache else DiskCache(args.cache_dir)
+    log_path = cache.root / "runs.jsonl" if cache is not None else None
+    return Engine(
+        cache=cache,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        run_log=RunLog(path=log_path),
+    )
+
+
+def _report_engine(engine) -> None:
+    """Print the run summary: cache traffic on stdout, timing on stderr.
+
+    Wall time and worker count vary run to run, so they go to stderr —
+    stdout stays byte-identical between serial and parallel invocations.
+    """
+    summary = engine.last_summary
+    if summary is None:
+        return
+    print(
+        f"engine: {summary['jobs']} jobs, {summary['hits']} cache hits, "
+        f"{summary['misses']} misses"
+    )
+    print(
+        f"engine: wall {summary['wall_ms']:.0f} ms on {summary['workers']} worker(s)",
+        file=sys.stderr,
+    )
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = serial, default)"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="cache directory (default ~/.cache/repro)"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="compute everything, store nothing"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, help="per-job timeout in seconds"
+    )
+
+
+def _sizes_table(rows: list[dict]) -> Table:
     table = Table(
         ["n", "CFG size", "CFG/log2(n)", "NFA states", "uCFG constr.", "uCFG lower bd"],
         title="Theorem 1: representation sizes for L_n",
     )
-    for exponent in range(2, args.max_exp + 1):
-        n = 2**exponent
-        cfg_size = small_ln_grammar(n).size
-        cert = certificate(n)
+    for row in rows:
         table.add_row(
             [
-                n,
-                cfg_size,
-                f"{cfg_size / math.log2(n):.1f}",
-                ln_match_nfa(n).n_states,
-                format_int(example4_size(n)),
-                format_int(cert.ucfg_bound),
+                row["n"],
+                row["cfg_size"],
+                row["cfg_per_log2"],
+                row["nfa_states"],
+                row["ucfg_constr"],
+                row["ucfg_bound"],
             ]
         )
-    table.print()
+    return table
+
+
+def _cmd_sizes(args: argparse.Namespace) -> int:
+    engine = _build_engine(args)
+    result = engine.run_one("sizes.table", {"max_exp": args.max_exp})
+    _sizes_table(result["rows"]).print()
+    _report_engine(engine)
     return 0
 
 
@@ -120,32 +185,92 @@ def _cmd_lemma18(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_zoo(args: argparse.Namespace) -> int:
-    from repro.grammars.disambiguate import disambiguate
-    from repro.languages.dfa_ln import ln_minimal_dfa
-    from repro.languages.ln import count_ln
-    from repro.languages.nfa_ln import ln_nfa_exact
-
+def _zoo_table(rows: list[dict]) -> Table:
     table = Table(
         ["n", "|L_n|", "CFG", "NFA", "exact NFA", "min DFA", "uCFG"],
         title="Exact sizes of every representation of L_n",
     )
-    top = min(max(args.max_n, 2), 5)
-    for n in range(2, top + 1):
-        grammar = small_ln_grammar(n)
-        ucfg, _ = disambiguate(grammar, verify=False)
+    for row in rows:
         table.add_row(
             [
-                n,
-                count_ln(n),
-                grammar.size,
-                ln_match_nfa(n).n_states,
-                ln_nfa_exact(n).n_states,
-                ln_minimal_dfa(n).n_states,
-                ucfg.size,
+                row["n"],
+                row["count_ln"],
+                row["cfg"],
+                row["nfa"],
+                row["exact_nfa"],
+                row["min_dfa"],
+                row["ucfg"],
             ]
         )
-    table.print()
+    return table
+
+
+def _cmd_zoo(args: argparse.Namespace) -> int:
+    engine = _build_engine(args)
+    result = engine.run_one("zoo.table", {"max_n": args.max_n})
+    _zoo_table(result["rows"]).print()
+    _report_engine(engine)
+    return 0
+
+
+def _parse_param(item: str) -> tuple[str, object]:
+    """Parse one ``-p name=value`` item; values try int, float, bool, str."""
+    name, sep, raw = item.partition("=")
+    if not sep or not name:
+        raise ValueError(f"parameter {item!r} is not of the form name=value")
+    for caster in (int, float):
+        try:
+            return name, caster(raw)
+        except ValueError:
+            pass
+    if raw.lower() in ("true", "false"):
+        return name, raw.lower() == "true"
+    return name, raw
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.engine import default_registry
+
+    registry = default_registry()
+    if args.list or args.job is None:
+        for name in registry.names():
+            job = registry.get(name)
+            params = ", ".join(job.param_names) or "-"
+            print(f"{name:16s} ({params:14s}) {job.description}")
+        return 0
+    params = dict(_parse_param(item) for item in args.param)
+    engine = _build_engine(args)
+    result = engine.run_one(args.job, params)
+    print(json.dumps(result, indent=2, sort_keys=True))
+    _report_engine(engine)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    engine = _build_engine(args)
+    if args.target == "sizes":
+        result = engine.run_one("sizes.table", {"max_exp": args.max_exp})
+        _sizes_table(result["rows"]).print()
+    else:
+        result = engine.run_one("zoo.table", {"max_n": args.max_n})
+        _zoo_table(result["rows"]).print()
+    _report_engine(engine)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.engine import DiskCache
+
+    cache = DiskCache(args.cache_dir)
+    if args.action == "path":
+        print(cache.root)
+    elif args.action == "clear":
+        removed = cache.clear()
+        print(f"cache: removed {removed} entries from {cache.root}")
+    else:
+        stats = cache.stats()
+        del stats["session_hits"], stats["session_misses"]
+        print(json.dumps(stats, indent=2, sort_keys=True))
     return 0
 
 
@@ -172,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sizes = sub.add_parser("sizes", help="the Theorem 1 size table")
     sizes.add_argument("--max-exp", type=int, default=10, help="largest n = 2^k (default 10)")
+    _add_engine_options(sizes)
     sizes.set_defaults(func=_cmd_sizes)
 
     cert = sub.add_parser("certificate", help="the Theorem 12 certificate for one n")
@@ -193,12 +319,55 @@ def build_parser() -> argparse.ArgumentParser:
 
     zoo = sub.add_parser("zoo", help="every representation of L_n, exact sizes")
     zoo.add_argument("--max-n", type=int, default=4, help="largest n (2..5)")
+    _add_engine_options(zoo)
     zoo.set_defaults(func=_cmd_zoo)
 
     member = sub.add_parser("member", help="test membership of a word in L_n")
     member.add_argument("word")
     member.add_argument("n", type=int)
     member.set_defaults(func=_cmd_member)
+
+    run = sub.add_parser("run", help="run any declared engine job (see --list)")
+    run.add_argument("job", nargs="?", help="job name, e.g. certificate or sizes.row")
+    run.add_argument(
+        "-p",
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="job parameter (repeatable)",
+    )
+    run.add_argument("--list", action="store_true", help="list all declared jobs")
+    _add_engine_options(run)
+    run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep", help="fan a parameter sweep out across workers, cached"
+    )
+    sweep_sub = sweep.add_subparsers(dest="target", required=True)
+    sweep_sizes = sweep_sub.add_parser("sizes", help="the Theorem 1 size table")
+    sweep_sizes.add_argument(
+        "--max-exp", type=int, default=10, help="largest n = 2^k (default 10)"
+    )
+    _add_engine_options(sweep_sizes)
+    sweep_sizes.set_defaults(func=_cmd_sweep, target="sizes")
+    sweep_zoo = sweep_sub.add_parser("zoo", help="the representation zoo")
+    sweep_zoo.add_argument("--max-n", type=int, default=4, help="largest n (2..5)")
+    _add_engine_options(sweep_zoo)
+    sweep_zoo.set_defaults(func=_cmd_sweep, target="zoo")
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument(
+        "action",
+        nargs="?",
+        default="stats",
+        choices=("stats", "clear", "path"),
+        help="what to do (default: stats)",
+    )
+    cache.add_argument(
+        "--cache-dir", default=None, help="cache directory (default ~/.cache/repro)"
+    )
+    cache.set_defaults(func=_cmd_cache)
 
     return parser
 
@@ -209,6 +378,6 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ValueError as exc:
+    except (ValueError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

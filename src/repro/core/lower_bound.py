@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.core.discrepancy import lemma18_margin, lemma19_bound
 from repro.errors import CertificateError
@@ -169,6 +170,18 @@ class LowerBoundCertificate:
 
         return {key: encode(value) for key, value in asdict(self).items()}
 
+    def to_key(self) -> str:
+        """A canonical, process-stable serialization (for engine cache keys).
+
+        >>> certificate(16).to_key() == certificate(16).to_key()
+        True
+        """
+        from dataclasses import asdict
+
+        from repro.util.canonical import canonical_encode
+
+        return canonical_encode(("LowerBoundCertificate", asdict(self)))
+
     def verify(self) -> None:
         """Re-check the internal identities; raise CertificateError if broken."""
         if self.size_a + self.size_b != self.size_script_l:
@@ -181,6 +194,7 @@ class LowerBoundCertificate:
             raise CertificateError("Lemma 18 threshold flag inconsistent")
 
 
+@lru_cache(maxsize=256)
 def certificate(n: int) -> LowerBoundCertificate:
     """Assemble and verify the full lower-bound certificate for ``L_n``.
 

@@ -1,0 +1,49 @@
+"""repro.engine — the parallel, disk-cached verification & experiment engine.
+
+The reproduction verifies every finite lemma of the paper by brute-force
+enumeration; this subsystem turns those checks into *jobs* that are
+
+* **declared** once, with typed parameters and explicit dependencies
+  (:mod:`repro.engine.jobs`, :mod:`repro.engine.registry`),
+* **scheduled** as a DAG across worker processes
+  (:mod:`repro.engine.scheduler`),
+* **cached** on disk under content-addressed keys — job name, canonical
+  parameters and a code fingerprint (:mod:`repro.engine.cache`,
+  :mod:`repro.engine.keys`) — so no result is ever recomputed,
+* **recorded** as structured JSONL run artifacts
+  (:mod:`repro.engine.artifacts`).
+
+Quickstart::
+
+    from repro.engine import Engine, Request, DiskCache
+
+    engine = Engine(cache=DiskCache(), jobs=4)
+    rows = engine.run([Request.make("sizes.row", {"n": 2**k}) for k in range(2, 13)])
+    cert = engine.run_one("certificate", {"n": 1024})
+
+The ``run``, ``sweep`` and ``cache`` subcommands of ``python -m repro``
+are thin front ends over exactly this API; see docs/ENGINE.md.
+"""
+
+from repro.engine.artifacts import RunLog, RunRecord
+from repro.engine.cache import DiskCache, NullCache, default_cache_dir
+from repro.engine.jobs import default_registry
+from repro.engine.keys import cache_key, canonical_params, code_fingerprint
+from repro.engine.registry import Job, JobRegistry, Request
+from repro.engine.scheduler import Engine
+
+__all__ = [
+    "Engine",
+    "Request",
+    "Job",
+    "JobRegistry",
+    "default_registry",
+    "DiskCache",
+    "NullCache",
+    "default_cache_dir",
+    "RunLog",
+    "RunRecord",
+    "cache_key",
+    "canonical_params",
+    "code_fingerprint",
+]

@@ -1,0 +1,111 @@
+"""Structured run artifacts: one JSON record per executed job.
+
+Every engine run appends machine-readable records to a JSONL run log
+(default ``<cache_dir>/runs.jsonl``), one line per job plus a trailing
+``run_summary`` line.  Benchmark trajectories (``BENCH_*.json``) and any
+future dashboards consume this file; nothing in it is meant for humans
+first.
+
+Record schema (``kind: "job"``)::
+
+    {
+      "kind": "job",
+      "run_id": "a1b2c3…",          # shared by all records of one engine run
+      "job": "certificate",
+      "params": {"n": 16},
+      "key": "5f1d…",               # the content-addressed cache key
+      "cache": "hit" | "miss" | "off",
+      "outcome": "ok" | "error" | "timeout",
+      "error": "…",                 # present only when outcome != ok
+      "wall_ms": 12.3,              # execution time (0.0 for cache hits)
+      "result_bytes": 418,          # size of the JSON-encoded result
+      "started_at": 1754…,          # epoch seconds
+      "pid": 1234                   # worker process id (parent on hits)
+    }
+
+Summary schema (``kind: "run_summary"``)::
+
+    {"kind": "run_summary", "run_id": …, "jobs": 11, "hits": 9,
+     "misses": 2, "errors": 0, "wall_ms": 1834.2, "workers": 4}
+"""
+
+from __future__ import annotations
+
+import json
+import uuid
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["RunRecord", "RunLog"]
+
+
+@dataclass(slots=True)
+class RunRecord:
+    """One executed (or cache-served) job, as recorded in the run log."""
+
+    run_id: str
+    job: str
+    params: dict[str, Any]
+    key: str
+    cache: str
+    outcome: str
+    wall_ms: float
+    result_bytes: int
+    started_at: float
+    pid: int
+    error: str | None = None
+
+    def to_json(self) -> dict[str, Any]:
+        record = {"kind": "job", **asdict(self)}
+        if record["error"] is None:
+            del record["error"]
+        return record
+
+
+@dataclass(slots=True)
+class RunLog:
+    """An append-only JSONL sink for :class:`RunRecord` entries.
+
+    ``path=None`` disables persistence but still accumulates records in
+    memory (so callers can always report a summary).
+    """
+
+    path: Path | None
+    run_id: str = field(default_factory=lambda: uuid.uuid4().hex[:12])
+    records: list[RunRecord] = field(default_factory=list)
+
+    def record(self, record: RunRecord) -> None:
+        self.records.append(record)
+        self._append(record.to_json())
+
+    def summarize(self, wall_ms: float, workers: int) -> dict[str, Any]:
+        """Append and return the ``run_summary`` record for this run."""
+        summary = {
+            "kind": "run_summary",
+            "run_id": self.run_id,
+            "jobs": len(self.records),
+            "hits": sum(1 for r in self.records if r.cache == "hit"),
+            "misses": sum(1 for r in self.records if r.cache != "hit"),
+            "errors": sum(1 for r in self.records if r.outcome != "ok"),
+            "wall_ms": round(wall_ms, 3),
+            "workers": workers,
+        }
+        self._append(summary)
+        return summary
+
+    def _append(self, payload: dict[str, Any]) -> None:
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+    @staticmethod
+    def result_bytes(result: Any) -> int:
+        """The JSON-encoded size of a result (the ``result_bytes`` field)."""
+        try:
+            return len(json.dumps(result, sort_keys=True, separators=(",", ":")))
+        except (TypeError, ValueError):
+            return -1

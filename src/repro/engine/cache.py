@@ -1,0 +1,210 @@
+"""The content-addressed disk cache behind the engine.
+
+Layout (one directory per job, one JSON file per key)::
+
+    <cache_dir>/
+        v1/
+            certificate/
+                 5f1d...c0.json     # {"job": ..., "params": ..., "result": ...}
+            sizes.row/
+                 ...
+
+Every entry is self-describing: alongside the result it records the job
+name, the parameters and the code fingerprint that produced it, so a
+cache directory can be audited with nothing but ``jq``.  Writes are
+atomic (``os.replace`` of a same-directory temp file), which makes the
+cache safe under concurrent writers — the losing writer simply overwrites
+with identical bytes.
+
+The default location is ``$REPRO_CACHE_DIR`` if set, else
+``~/.cache/repro``; every CLI entry point accepts ``--cache-dir``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections.abc import Mapping
+from pathlib import Path
+from typing import Any
+
+__all__ = ["DiskCache", "default_cache_dir", "CACHE_FORMAT"]
+
+#: Bumped when the on-disk entry format changes; old entries are ignored.
+CACHE_FORMAT = "v1"
+
+_MISSING = object()
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+class DiskCache:
+    """A content-addressed JSON store for job results.
+
+    >>> import tempfile
+    >>> cache = DiskCache(tempfile.mkdtemp())
+    >>> cache.get("certificate", "0" * 64) is None
+    True
+    >>> cache.put("certificate", "0" * 64, {"n": 16}, "fp", {"margin": 16640})
+    >>> cache.get("certificate", "0" * 64)["result"]["margin"]
+    16640
+    """
+
+    def __init__(self, directory: str | os.PathLike[str] | None = None) -> None:
+        self._root = Path(directory) if directory is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def root(self) -> Path:
+        """The cache directory (entries live under ``root / CACHE_FORMAT``)."""
+        return self._root
+
+    def _path(self, job_name: str, key: str) -> Path:
+        safe_job = "".join(c if c.isalnum() or c in "._-" else "_" for c in job_name)
+        return self._root / CACHE_FORMAT / safe_job / f"{key}.json"
+
+    def get(self, job_name: str, key: str) -> dict[str, Any] | None:
+        """Return the stored entry (with its metadata) or ``None``.
+
+        Unreadable or corrupt entries count as misses and are ignored.
+        """
+        path = self._path(job_name, key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if not isinstance(entry, dict) or "result" not in entry:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(
+        self,
+        job_name: str,
+        key: str,
+        params: Mapping[str, Any],
+        fingerprint: str,
+        result: Any,
+    ) -> None:
+        """Atomically persist ``result`` under ``key``.
+
+        ``result`` must be JSON-serializable — the engine enforces that
+        every job returns plain data, which is also what makes parallel
+        and serial runs byte-identical.  Storage failures (read-only or
+        full disk) are swallowed: a cache that cannot write degrades to
+        recomputation, it must never fail the computation itself.
+        """
+        try:
+            self._put(job_name, key, params, fingerprint, result)
+        except OSError:
+            pass
+
+    def _put(
+        self,
+        job_name: str,
+        key: str,
+        params: Mapping[str, Any],
+        fingerprint: str,
+        result: Any,
+    ) -> None:
+        path = self._path(job_name, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": CACHE_FORMAT,
+            "job": job_name,
+            "params": dict(params),
+            "fingerprint": fingerprint,
+            "result": result,
+        }
+        payload = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def stats(self) -> dict[str, Any]:
+        """Entry counts and total bytes per job, plus this process's hit/miss."""
+        per_job: dict[str, dict[str, int]] = {}
+        base = self._root / CACHE_FORMAT
+        if base.is_dir():
+            for job_dir in sorted(base.iterdir()):
+                if not job_dir.is_dir():
+                    continue
+                entries = [p for p in job_dir.glob("*.json")]
+                per_job[job_dir.name] = {
+                    "entries": len(entries),
+                    "bytes": sum(p.stat().st_size for p in entries),
+                }
+        return {
+            "dir": str(self._root),
+            "jobs": per_job,
+            "entries": sum(j["entries"] for j in per_job.values()),
+            "bytes": sum(j["bytes"] for j in per_job.values()),
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        base = self._root / CACHE_FORMAT
+        removed = 0
+        if base.is_dir():
+            for job_dir in base.iterdir():
+                if not job_dir.is_dir():
+                    continue
+                for entry in job_dir.glob("*.json"):
+                    entry.unlink()
+                    removed += 1
+                try:
+                    job_dir.rmdir()
+                except OSError:
+                    pass
+        return removed
+
+
+class NullCache(DiskCache):
+    """A cache that stores nothing (``--no-cache``)."""
+
+    def __init__(self) -> None:
+        super().__init__(directory=os.devnull)
+
+    def get(self, job_name: str, key: str) -> dict[str, Any] | None:
+        self.misses += 1
+        return None
+
+    def put(self, job_name, key, params, fingerprint, result) -> None:
+        return None
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "dir": None,
+            "jobs": {},
+            "entries": 0,
+            "bytes": 0,
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+        }
+
+    def clear(self) -> int:
+        return 0
+
+
+__all__.append("NullCache")

@@ -1,0 +1,414 @@
+"""The built-in job registry: every paper check as a declared job.
+
+Each job wraps one verifiable computation from the reproduction — a
+Theorem 1 size-table row, a Theorem 12 certificate, a Proposition 7
+cover, an exhaustive Lemma 18 check, the E7/E8 benchmark cores — behind
+typed parameters and an explicit dependency list.  All results are plain
+JSON data, so they cache on disk and travel between worker processes.
+
+Job functions are module-level (workers resolve them by reference) and
+each declares the ``source_modules`` whose edits must invalidate its
+cached results.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any
+
+from repro.engine.registry import JobRegistry, Request
+from repro.util.tables import format_int
+
+__all__ = ["REGISTRY", "default_registry"]
+
+REGISTRY = JobRegistry()
+
+
+def default_registry() -> JobRegistry:
+    """The registry holding every built-in paper job."""
+    return REGISTRY
+
+
+# ----------------------------------------------------------------------
+# Theorem 1: the size table (E1/E2 cores)
+# ----------------------------------------------------------------------
+
+_SIZE_MODULES = (
+    "repro.languages.small_grammar",
+    "repro.languages.nfa_ln",
+    "repro.languages.unambiguous_grammar",
+    "repro.core.lower_bound",
+    "repro.core.discrepancy",
+)
+
+
+@REGISTRY.job(
+    "sizes.row",
+    params=("n",),
+    source_modules=_SIZE_MODULES,
+    description="One row of the Theorem 1 size table for L_n",
+)
+def sizes_row(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.core.lower_bound import certificate
+    from repro.languages.nfa_ln import ln_match_nfa
+    from repro.languages.small_grammar import small_ln_grammar
+    from repro.languages.unambiguous_grammar import example4_size
+
+    n = params["n"]
+    cfg_size = small_ln_grammar(n).size
+    cert = certificate(n)
+    return {
+        "n": n,
+        "cfg_size": cfg_size,
+        "cfg_per_log2": f"{cfg_size / math.log2(n):.1f}",
+        "nfa_states": ln_match_nfa(n).n_states,
+        "ucfg_constr": format_int(example4_size(n)),
+        "ucfg_bound": format_int(cert.ucfg_bound),
+    }
+
+
+def _sizes_table_deps(params: dict[str, Any]) -> list[Request]:
+    return [
+        Request.make("sizes.row", {"n": 2**exponent})
+        for exponent in range(2, params["max_exp"] + 1)
+    ]
+
+
+@REGISTRY.job(
+    "sizes.table",
+    params=("max_exp",),
+    defaults={"max_exp": 10},
+    deps=_sizes_table_deps,
+    source_modules=_SIZE_MODULES,
+    description="The full Theorem 1 size table (fans out one job per n)",
+)
+def sizes_table(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    return {"max_exp": params["max_exp"], "rows": deps}
+
+
+# ----------------------------------------------------------------------
+# Theorem 12: the lower-bound certificate
+# ----------------------------------------------------------------------
+
+
+@REGISTRY.job(
+    "certificate",
+    params=("n",),
+    source_modules=("repro.core.lower_bound", "repro.core.discrepancy"),
+    description="The verified Theorem 12 certificate for one n",
+)
+def certificate_job(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.core.lower_bound import certificate
+
+    cert = certificate(params["n"])
+    cert.verify()
+    return cert.to_dict()
+
+
+@REGISTRY.job(
+    "grammar",
+    params=("n",),
+    source_modules=("repro.languages.small_grammar", "repro.grammars.cfg"),
+    description="The Θ(log n) Appendix A grammar for L_n",
+)
+def grammar_job(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.languages.small_grammar import small_ln_grammar
+
+    grammar = small_ln_grammar(params["n"])
+    return {
+        "n": params["n"],
+        "size": grammar.size,
+        "n_rules": grammar.n_rules,
+        "rules": grammar.pretty().splitlines(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Proposition 7: rectangle covers (E5 core)
+# ----------------------------------------------------------------------
+
+
+@REGISTRY.job(
+    "cover",
+    params=("n",),
+    source_modules=(
+        "repro.core.cover",
+        "repro.core.rectangles",
+        "repro.languages.unambiguous_grammar",
+    ),
+    description="Proposition 7 on the Example 4 uCFG for L_n (n <= 4)",
+)
+def cover_job(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.core.cover import balanced_rectangle_cover
+    from repro.languages.unambiguous_grammar import example4_ucfg
+
+    n = params["n"]
+    if n > 4:
+        raise ValueError("cover: n > 4 is infeasible (the uCFG explodes); use n <= 4")
+    cover = balanced_rectangle_cover(example4_ucfg(n))
+    return {
+        "n": n,
+        "n_rectangles": cover.n_rectangles,
+        "proposition7_bound": cover.proposition7_bound,
+        "disjoint": cover.disjoint,
+        "steps": [
+            {
+                "nonterminal": str(step.nonterminal),
+                "n1": step.rectangle.n1,
+                "n2": step.rectangle.n2,
+                "n3": step.rectangle.n3,
+                "outer": len(step.rectangle.outer),
+                "inner": len(step.rectangle.inner),
+                "words": step.rectangle.n_words,
+            }
+            for step in cover.steps
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# Section 4: Lemma 18 / discrepancy (E6/E7 cores)
+# ----------------------------------------------------------------------
+
+
+@REGISTRY.job(
+    "lemma18",
+    params=("m",),
+    source_modules=("repro.core.discrepancy",),
+    description="Exhaustive Lemma 18 verification for one m (m <= 5)",
+)
+def lemma18_job(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.core.discrepancy import verify_lemma18
+
+    m = params["m"]
+    if m > 5:
+        raise ValueError("lemma18: m > 5 enumerates over 16^m members; use m <= 5")
+    results = verify_lemma18(m)
+    return {
+        "m": m,
+        "quantities": {
+            name: {"enumerated": enumerated, "formula": formula}
+            for name, (enumerated, formula) in results.items()
+        },
+    }
+
+
+@REGISTRY.job(
+    "discrepancy",
+    params=("m",),
+    source_modules=("repro.core.discrepancy", "repro.core.partitions"),
+    description="Exact max discrepancy per neat balanced partition (m <= 2)",
+)
+def discrepancy_job(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.core.discrepancy import (
+        lemma19_bound,
+        lemma23_bound,
+        max_discrepancy_over_partition,
+    )
+    from repro.core.partitions import iter_neat_balanced_partitions
+
+    m = params["m"]
+    if m > 2:
+        raise ValueError("discrepancy: exact maximisation is feasible only for m <= 2")
+    partitions = []
+    for partition in iter_neat_balanced_partitions(m):
+        value, exact = max_discrepancy_over_partition(partition, m)
+        partitions.append(
+            {"lo": partition.lo, "hi": partition.hi, "max_disc": value, "exact": exact}
+        )
+    return {
+        "m": m,
+        "lemma19_bound": lemma19_bound(m),
+        "lemma23_bound": lemma23_bound(m),
+        "partitions": partitions,
+    }
+
+
+# ----------------------------------------------------------------------
+# The classical communication route (E8 core)
+# ----------------------------------------------------------------------
+
+
+@REGISTRY.job(
+    "rank",
+    params=("p",),
+    source_modules=(
+        "repro.comm.rank",
+        "repro.comm.matrix",
+        "repro.comm.covers",
+        "repro.comm.fooling",
+    ),
+    description="Rank and cover numbers of INTERSECT_p (Theorem 17 route)",
+)
+def rank_job(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.comm import (
+        fooling_set_bound,
+        greedy_disjoint_cover,
+        intersection_matrix,
+        rank_over_gf2,
+        rank_over_q,
+        verify_disjoint_cover,
+    )
+
+    p = params["p"]
+    matrix = intersection_matrix(p)
+    greedy = greedy_disjoint_cover(matrix)
+    if not verify_disjoint_cover(matrix, greedy):
+        raise ValueError(f"greedy cover of INTERSECT_{p} failed verification")
+    return {
+        "p": p,
+        "rank_q": rank_over_q(matrix),
+        "rank_gf2": rank_over_gf2(matrix) if p <= 5 else None,
+        "fooling_bound": fooling_set_bound(matrix),
+        "greedy_cover": len(greedy),
+    }
+
+
+# ----------------------------------------------------------------------
+# Example 3 (E4 core)
+# ----------------------------------------------------------------------
+
+
+@REGISTRY.job(
+    "example3",
+    params=("k",),
+    source_modules=("repro.languages.example3",),
+    description="Example 3: G_k of size Θ(k) for L_{2^k+1}",
+)
+def example3_job(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.languages.example3 import (
+        example3_grammar,
+        example3_language_parameter,
+        example3_size,
+    )
+
+    k = params["k"]
+    grammar = example3_grammar(k)
+    if grammar.size != example3_size(k):
+        raise ValueError(f"example3: measured size {grammar.size} != formula")
+    return {
+        "k": k,
+        "n": example3_language_parameter(k),
+        "size": grammar.size,
+        "n_rules": grammar.n_rules,
+    }
+
+
+# ----------------------------------------------------------------------
+# The representation zoo (E14 core)
+# ----------------------------------------------------------------------
+
+_ZOO_MODULES = (
+    "repro.languages.small_grammar",
+    "repro.languages.nfa_ln",
+    "repro.languages.dfa_ln",
+    "repro.languages.ln",
+    "repro.grammars.disambiguate",
+)
+
+
+@REGISTRY.job(
+    "zoo.row",
+    params=("n",),
+    source_modules=_ZOO_MODULES,
+    description="Exact sizes of every representation of L_n (n <= 5)",
+)
+def zoo_row(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.grammars.disambiguate import disambiguate
+    from repro.languages.dfa_ln import ln_minimal_dfa
+    from repro.languages.ln import count_ln
+    from repro.languages.nfa_ln import ln_match_nfa, ln_nfa_exact
+    from repro.languages.small_grammar import small_ln_grammar
+
+    n = params["n"]
+    if n > 5:
+        raise ValueError("zoo.row: the disambiguated uCFG is infeasible for n > 5")
+    grammar = small_ln_grammar(n)
+    ucfg, _report = disambiguate(grammar, verify=False)
+    return {
+        "n": n,
+        "count_ln": count_ln(n),
+        "cfg": grammar.size,
+        "nfa": ln_match_nfa(n).n_states,
+        "exact_nfa": ln_nfa_exact(n).n_states,
+        "min_dfa": ln_minimal_dfa(n).n_states,
+        "ucfg": ucfg.size,
+    }
+
+
+def _zoo_table_deps(params: dict[str, Any]) -> list[Request]:
+    top = min(max(params["max_n"], 2), 5)
+    return [Request.make("zoo.row", {"n": n}) for n in range(2, top + 1)]
+
+
+@REGISTRY.job(
+    "zoo.table",
+    params=("max_n",),
+    defaults={"max_n": 4},
+    deps=_zoo_table_deps,
+    source_modules=_ZOO_MODULES,
+    description="The representation zoo table (fans out one job per n)",
+)
+def zoo_table(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    return {"max_n": params["max_n"], "rows": deps}
+
+
+# ----------------------------------------------------------------------
+# Membership
+# ----------------------------------------------------------------------
+
+
+@REGISTRY.job(
+    "member",
+    params=("word", "n"),
+    source_modules=("repro.languages.ln",),
+    description="Membership of a word in L_n, with matching positions",
+)
+def member_job(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.languages.ln import is_in_ln, match_positions
+
+    word, n = params["word"], params["n"]
+    member = is_in_ln(word, n)
+    return {
+        "word": word,
+        "n": n,
+        "member": member,
+        "positions": match_positions(word, n) if member else [],
+    }
+
+
+# ----------------------------------------------------------------------
+# Debug jobs (engine smoke tests; also used by the test suite)
+# ----------------------------------------------------------------------
+
+
+@REGISTRY.job(
+    "debug.echo",
+    params=("value",),
+    defaults={"value": None},
+    description="Return the given value unchanged",
+)
+def debug_echo(params: dict[str, Any], deps: list[Any]) -> Any:
+    return params["value"]
+
+
+@REGISTRY.job(
+    "debug.fail",
+    params=("message",),
+    defaults={"message": "debug.fail"},
+    description="Raise RuntimeError (worker-failure propagation tests)",
+)
+def debug_fail(params: dict[str, Any], deps: list[Any]) -> Any:
+    raise RuntimeError(params["message"])
+
+
+@REGISTRY.job(
+    "debug.sleep",
+    params=("seconds",),
+    defaults={"seconds": 0.1},
+    description="Sleep, then return the slept duration (timeout tests)",
+)
+def debug_sleep(params: dict[str, Any], deps: list[Any]) -> Any:
+    time.sleep(params["seconds"])
+    return params["seconds"]

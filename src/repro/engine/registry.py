@@ -1,0 +1,160 @@
+"""The job registry: every paper check/experiment as a declared, named job.
+
+A *job* is a pure function from typed parameters (plus the results of its
+declared dependencies) to a JSON-serializable result.  A *request* is one
+invocation: a job name plus concrete parameters.  The registry maps names
+to jobs and expands a request's dependency edges, giving the scheduler a
+DAG to execute.
+
+Jobs must be module-level functions (so worker processes can resolve them
+by reference) and must return plain data — that restriction is what makes
+results cacheable on disk and byte-identical between serial and parallel
+runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.keys import cache_key, canonical_params, code_fingerprint
+from repro.errors import EngineError, UnknownJobError
+
+__all__ = ["Request", "Job", "JobRegistry"]
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One job invocation: a job name plus canonicalised parameters."""
+
+    job: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @staticmethod
+    def make(job: str, params: Mapping[str, Any] | None = None) -> Request:
+        """Build a request, canonicalising the parameter mapping.
+
+        >>> Request.make("certificate", {"n": 16})
+        Request(job='certificate', params=(('n', 16),))
+        """
+        return Request(job, canonical_params(params or {}))
+
+    def params_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def label(self) -> str:
+        """A compact human-readable rendering, e.g. ``certificate(n=16)``."""
+        inner = ", ".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.job}({inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """A named, typed, dependency-aware unit of verifiable work.
+
+    ``fn(params, deps)`` receives the parameter dict and the list of
+    dependency results (in the order ``deps_fn`` declared them) and must
+    return JSON-serializable data.  ``param_names`` is the full set of
+    accepted parameters; requests with unknown or missing names are
+    rejected up front.  ``source_modules`` feeds the code fingerprint —
+    list every module whose edit should invalidate cached results.
+    """
+
+    name: str
+    fn: Callable[[dict[str, Any], list[Any]], Any]
+    param_names: tuple[str, ...] = ()
+    defaults: tuple[tuple[str, Any], ...] = ()
+    deps_fn: Callable[[dict[str, Any]], Sequence[Request]] | None = None
+    source_modules: tuple[str, ...] = ()
+    description: str = ""
+
+    def resolve_params(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        """Apply defaults and validate parameter names."""
+        allowed = set(self.param_names)
+        unknown = set(params) - allowed
+        if unknown:
+            raise EngineError(
+                f"job {self.name!r} does not accept parameters {sorted(unknown)!r} "
+                f"(accepted: {sorted(allowed)!r})"
+            )
+        resolved = dict(self.defaults)
+        resolved.update(params)
+        missing = allowed - set(resolved)
+        if missing:
+            raise EngineError(
+                f"job {self.name!r} is missing required parameters {sorted(missing)!r}"
+            )
+        return resolved
+
+    def deps(self, params: Mapping[str, Any]) -> list[Request]:
+        if self.deps_fn is None:
+            return []
+        return list(self.deps_fn(dict(params)))
+
+    def key(self, params: Mapping[str, Any]) -> str:
+        return cache_key(self.name, params, self.source_modules)
+
+    def fingerprint(self) -> str:
+        return code_fingerprint(self.source_modules)
+
+
+class JobRegistry:
+    """A name → :class:`Job` mapping with a declaration decorator.
+
+    >>> registry = JobRegistry()
+    >>> @registry.job("double", params=("x",))
+    ... def _double(params, deps):
+    ...     return 2 * params["x"]
+    >>> registry.get("double").name
+    'double'
+    """
+
+    def __init__(self) -> None:
+        self._jobs: dict[str, Job] = {}
+
+    def job(
+        self,
+        name: str,
+        *,
+        params: Iterable[str] = (),
+        defaults: Mapping[str, Any] | None = None,
+        deps: Callable[[dict[str, Any]], Sequence[Request]] | None = None,
+        source_modules: Iterable[str] = (),
+        description: str = "",
+    ) -> Callable[[Callable], Callable]:
+        """Declare ``fn`` as the job ``name`` (decorator)."""
+
+        def register(fn: Callable) -> Callable:
+            if name in self._jobs:
+                raise EngineError(f"job {name!r} is already registered")
+            doc = (fn.__doc__ or "").strip()
+            self._jobs[name] = Job(
+                name=name,
+                fn=fn,
+                param_names=tuple(params),
+                defaults=tuple(sorted((defaults or {}).items())),
+                deps_fn=deps,
+                source_modules=tuple(source_modules),
+                description=description or (doc.splitlines()[0] if doc else ""),
+            )
+            return fn
+
+        return register
+
+    def get(self, name: str) -> Job:
+        try:
+            return self._jobs[name]
+        except KeyError:
+            raise UnknownJobError(
+                f"unknown job {name!r}; known jobs: {', '.join(sorted(self._jobs))}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._jobs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._jobs
+
+    def __len__(self) -> int:
+        return len(self._jobs)

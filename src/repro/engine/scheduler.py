@@ -1,0 +1,349 @@
+"""The DAG scheduler: expand, cache-check, fan out, record.
+
+:class:`Engine` takes a batch of :class:`~repro.engine.registry.Request`
+objects, expands their dependency closure into a DAG, and executes it:
+
+* **serial** (``jobs=1``, the default and the fallback): dependencies-first
+  in a deterministic topological order, in-process;
+* **parallel** (``jobs=N``): independent jobs run concurrently on a
+  ``ProcessPoolExecutor``; a job is submitted the moment its last
+  dependency finishes.  Worker processes resolve job functions by module
+  reference, so only plain data crosses the process boundary.
+
+Before executing any job the engine consults the content-addressed disk
+cache; hits are served in the parent without touching the pool.  Every
+executed or cache-served job appends a structured record to the run log
+(see :mod:`repro.engine.artifacts`).
+
+Determinism: job results are normalised through a JSON round-trip before
+they are stored, returned, or handed to dependents — a result therefore
+looks exactly the same whether it was computed serially, computed in a
+worker, or read back from the cache, which is what makes serial and
+parallel sweeps byte-identical.
+
+Failure semantics: the first failing job aborts the run — the engine
+cancels what it can, shuts the pool down, and raises
+:class:`~repro.errors.JobFailedError` (with the original exception as
+``__cause__``) or :class:`~repro.errors.JobTimeoutError` for jobs that
+exceed ``timeout`` seconds of wall clock.  Per-job timeouts are enforced
+in parallel mode only; a serial run executes in-process where Python
+offers no safe preemption.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from collections.abc import Iterable, Mapping
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from typing import Any
+
+from repro.engine.artifacts import RunLog, RunRecord
+from repro.engine.cache import DiskCache
+from repro.engine.jobs import default_registry
+from repro.engine.keys import canonical_params
+from repro.engine.registry import Job, JobRegistry, Request
+from repro.errors import EngineError, JobFailedError, JobTimeoutError
+
+__all__ = ["Engine"]
+
+
+def _init_worker(path_entries: list[str]) -> None:
+    """Make the parent's import path available in spawned workers."""
+    for entry in reversed(path_entries):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+
+def _normalize(result: Any) -> Any:
+    """Force ``result`` through a JSON round-trip (tuples → lists, sorted keys).
+
+    Raises TypeError eagerly when a job returns non-JSON data, so the
+    failure surfaces at the producing job, not at cache-write time.
+    """
+    return json.loads(json.dumps(result, sort_keys=True))
+
+
+def _call_job(fn, params: dict[str, Any], deps: list[Any]) -> Any:
+    """Worker-side entry point: run the job function and normalise."""
+    return _normalize(fn(params, deps))
+
+
+def _abort_pool(pool: ProcessPoolExecutor) -> None:
+    """Abandon a pool without waiting for in-flight jobs.
+
+    ``cancel_futures`` only drops *queued* work; a job already running
+    (e.g. one that exceeded its timeout) would otherwise block the
+    executor's exit indefinitely, so the worker processes are terminated.
+    """
+    processes = dict(getattr(pool, "_processes", None) or {})
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes.values():
+        process.terminate()
+
+
+class Engine:
+    """Executes job requests over a DAG, a process pool, and a disk cache.
+
+    >>> engine = Engine(cache=None)
+    >>> engine.run_one("debug.echo", {"value": 41})
+    41
+    """
+
+    def __init__(
+        self,
+        registry: JobRegistry | None = None,
+        cache: DiskCache | None = None,
+        jobs: int = 1,
+        timeout: float | None = None,
+        run_log: RunLog | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise EngineError(f"jobs must be >= 1, got {jobs}")
+        self.registry = registry if registry is not None else default_registry()
+        self.cache = cache
+        self.jobs = jobs
+        self.timeout = timeout
+        self.run_log = run_log if run_log is not None else RunLog(path=None)
+        self.last_summary: dict[str, Any] | None = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run_one(self, job: str, params: Mapping[str, Any] | None = None) -> Any:
+        """Run a single request (plus dependencies) and return its result."""
+        request = Request.make(job, params)
+        return self.run([request])[self._canonical(request)[0]]
+
+    def run(self, requests: Iterable[Request]) -> dict[Request, Any]:
+        """Execute all requests and their dependency closures.
+
+        Returns a mapping from *canonicalised* request (defaults applied,
+        parameters sorted) to its normalised result.
+        """
+        started = time.monotonic()
+        roots, order, dep_lists, jobs_by_request = self._expand(requests)
+        results: dict[Request, Any] = {}
+        if self.jobs == 1 or not order:
+            self._run_serial(order, dep_lists, jobs_by_request, results)
+        else:
+            self._run_parallel(order, dep_lists, jobs_by_request, results)
+        wall_ms = (time.monotonic() - started) * 1000.0
+        self.last_summary = self.run_log.summarize(wall_ms, self.jobs)
+        return results
+
+    # ------------------------------------------------------------------
+    # DAG expansion
+    # ------------------------------------------------------------------
+
+    def _canonical(self, request: Request) -> tuple[Request, Job]:
+        job = self.registry.get(request.job)
+        resolved = job.resolve_params(request.params_dict())
+        return Request(request.job, canonical_params(resolved)), job
+
+    def _expand(
+        self, requests: Iterable[Request]
+    ) -> tuple[list[Request], list[Request], dict[Request, list[Request]], dict[Request, Job]]:
+        dep_lists: dict[Request, list[Request]] = {}
+        jobs_by_request: dict[Request, Job] = {}
+        visiting: list[Request] = []
+        order: list[Request] = []
+
+        def visit(request: Request, job: Job) -> None:
+            if request in dep_lists:
+                return
+            if request in visiting:
+                cycle = " -> ".join(r.label() for r in visiting) + f" -> {request.label()}"
+                raise EngineError(f"dependency cycle: {cycle}")
+            visiting.append(request)
+            children: list[Request] = []
+            for declared in job.deps(request.params_dict()):
+                child, child_job = self._canonical(declared)
+                visit(child, child_job)
+                children.append(child)
+            visiting.pop()
+            dep_lists[request] = children
+            jobs_by_request[request] = job
+            order.append(request)  # postorder: dependencies precede dependents
+
+        roots: list[Request] = []
+        for request in requests:
+            canonical, job = self._canonical(request)
+            visit(canonical, job)
+            roots.append(canonical)
+        return roots, order, dep_lists, jobs_by_request
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _cache_lookup(self, job: Job, request: Request) -> tuple[str, Any | None, bool]:
+        key = job.key(request.params_dict())
+        if self.cache is None:
+            return key, None, False
+        entry = self.cache.get(job.name, key)
+        if entry is None:
+            return key, None, False
+        return key, entry["result"], True
+
+    def _record(
+        self,
+        request: Request,
+        key: str,
+        cache_state: str,
+        outcome: str,
+        wall_ms: float,
+        result: Any = None,
+        error: str | None = None,
+        pid: int | None = None,
+    ) -> None:
+        self.run_log.record(
+            RunRecord(
+                run_id=self.run_log.run_id,
+                job=request.job,
+                params=request.params_dict(),
+                key=key,
+                cache=cache_state,
+                outcome=outcome,
+                wall_ms=round(wall_ms, 3),
+                result_bytes=RunLog.result_bytes(result) if outcome == "ok" else 0,
+                started_at=time.time(),
+                pid=pid if pid is not None else os.getpid(),
+                error=error,
+            )
+        )
+
+    def _store(self, job: Job, request: Request, key: str, result: Any) -> None:
+        if self.cache is not None:
+            self.cache.put(job.name, key, request.params_dict(), job.fingerprint(), result)
+
+    def _run_serial(
+        self,
+        order: list[Request],
+        dep_lists: dict[Request, list[Request]],
+        jobs_by_request: dict[Request, Job],
+        results: dict[Request, Any],
+    ) -> None:
+        for request in order:
+            job = jobs_by_request[request]
+            key, cached, hit = self._cache_lookup(job, request)
+            if hit:
+                results[request] = cached
+                self._record(request, key, "hit", "ok", 0.0, cached)
+                continue
+            deps = [results[dep] for dep in dep_lists[request]]
+            started = time.monotonic()
+            try:
+                result = _call_job(job.fn, request.params_dict(), deps)
+            except Exception as exc:
+                wall_ms = (time.monotonic() - started) * 1000.0
+                self._record(
+                    request, key, self._miss_state(), "error", wall_ms, error=str(exc)
+                )
+                raise JobFailedError(f"job {request.label()} failed: {exc}") from exc
+            wall_ms = (time.monotonic() - started) * 1000.0
+            results[request] = result
+            self._store(job, request, key, result)
+            self._record(request, key, self._miss_state(), "ok", wall_ms, result)
+
+    def _miss_state(self) -> str:
+        return "miss" if self.cache is not None else "off"
+
+    def _run_parallel(
+        self,
+        order: list[Request],
+        dep_lists: dict[Request, list[Request]],
+        jobs_by_request: dict[Request, Job],
+        results: dict[Request, Any],
+    ) -> None:
+        pending_deps: dict[Request, set[Request]] = {
+            request: set(deps) for request, deps in dep_lists.items()
+        }
+        dependents: dict[Request, list[Request]] = {request: [] for request in order}
+        for request, deps in dep_lists.items():
+            for dep in set(deps):
+                dependents[dep].append(request)
+
+        ready = [request for request in order if not pending_deps[request]]
+        running: dict[Future, tuple[Request, str, float, float]] = {}
+
+        def mark_done(request: Request) -> None:
+            for dependent in dependents[request]:
+                pending_deps[dependent].discard(request)
+                if not pending_deps[dependent] and dependent not in results:
+                    ready.append(dependent)
+
+        with ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_init_worker,
+            initargs=(list(sys.path),),
+        ) as pool:
+            while len(results) < len(order):
+                while ready:
+                    request = ready.pop(0)
+                    job = jobs_by_request[request]
+                    key, cached, hit = self._cache_lookup(job, request)
+                    if hit:
+                        results[request] = cached
+                        self._record(request, key, "hit", "ok", 0.0, cached)
+                        mark_done(request)
+                        continue
+                    deps = [results[dep] for dep in dep_lists[request]]
+                    started = time.monotonic()
+                    future = pool.submit(
+                        _call_job, job.fn, request.params_dict(), deps
+                    )
+                    deadline = started + self.timeout if self.timeout else float("inf")
+                    running[future] = (request, key, started, deadline)
+                if len(results) >= len(order):
+                    break
+                if not running:
+                    unfinished = [r.label() for r in order if r not in results]
+                    raise EngineError(
+                        f"scheduler stalled with unfinished jobs: {unfinished}"
+                    )
+                tick = min(deadline for (_, _, _, deadline) in running.values())
+                wait_for = None
+                if tick != float("inf"):
+                    wait_for = max(0.0, tick - time.monotonic()) + 0.01
+                done, _ = wait(running, timeout=wait_for, return_when=FIRST_COMPLETED)
+                now = time.monotonic()
+                if not done:
+                    for future, (request, key, started, deadline) in running.items():
+                        if now > deadline:
+                            wall_ms = (now - started) * 1000.0
+                            self._record(
+                                request,
+                                key,
+                                self._miss_state(),
+                                "timeout",
+                                wall_ms,
+                                error=f"exceeded {self.timeout}s",
+                            )
+                            _abort_pool(pool)
+                            raise JobTimeoutError(
+                                f"job {request.label()} exceeded the per-job timeout "
+                                f"of {self.timeout}s"
+                            )
+                    continue
+                for future in done:
+                    request, key, started, _deadline = running.pop(future)
+                    job = jobs_by_request[request]
+                    wall_ms = (now - started) * 1000.0
+                    try:
+                        result = future.result()
+                    except Exception as exc:
+                        self._record(
+                            request, key, self._miss_state(), "error", wall_ms, error=str(exc)
+                        )
+                        _abort_pool(pool)
+                        raise JobFailedError(
+                            f"job {request.label()} failed in worker: {exc}"
+                        ) from exc
+                    results[request] = result
+                    self._store(job, request, key, result)
+                    self._record(request, key, self._miss_state(), "ok", wall_ms, result)
+                    mark_done(request)

@@ -22,6 +22,10 @@ __all__ = [
     "RectangleError",
     "PartitionError",
     "CertificateError",
+    "EngineError",
+    "UnknownJobError",
+    "JobFailedError",
+    "JobTimeoutError",
 ]
 
 
@@ -96,3 +100,22 @@ class CertificateError(ReproError):
     not hold for the given parameters, this error is raised rather than
     reporting a wrong bound.
     """
+
+
+class EngineError(ReproError):
+    """Base class for failures of the :mod:`repro.engine` execution layer."""
+
+
+class UnknownJobError(EngineError):
+    """A job name was requested that no registry declares."""
+
+
+class JobFailedError(EngineError):
+    """A job raised while executing; carries the failing request.
+
+    The original exception is attached as ``__cause__``.
+    """
+
+
+class JobTimeoutError(EngineError):
+    """A job exceeded its per-job wall-clock timeout."""

@@ -264,6 +264,34 @@ class CFG:
     def __iter__(self) -> Iterator[Rule]:
         return iter(self._rules)
 
+    def to_key(self) -> str:
+        """A canonical, process-stable serialization of this grammar.
+
+        Two grammars have equal keys exactly when they are ``==``: the
+        encoding sorts the non-terminal and rule sets by their canonical
+        encodings rather than relying on declaration or hash iteration
+        order, so keys agree across processes and ``PYTHONHASHSEED``
+        values.  Used by :mod:`repro.engine` to build disk-cache keys.
+
+        >>> g = CFG("ab", ["S"], [("S", ("a", "S", "b")), ("S", ())], "S")
+        >>> h = CFG("ab", ["S"], [("S", ()), ("S", ("a", "S", "b"))], "S")
+        >>> g.to_key() == h.to_key()
+        True
+        """
+        from repro.util.canonical import canonical_encode
+
+        return canonical_encode(
+            (
+                "CFG",
+                self._alphabet.symbols,
+                frozenset(canonical_encode(nt) for nt in self._nonterminals),
+                frozenset(
+                    canonical_encode((rule.lhs, rule.rhs)) for rule in self._rules
+                ),
+                canonical_encode(self._start),
+            )
+        )
+
     def __repr__(self) -> str:
         return (
             f"CFG(|Σ|={len(self._alphabet)}, |N|={len(self._nonterminals)}, "

@@ -22,18 +22,23 @@ smaller than the ``2^Ω(n)`` uCFG bound.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.automata.nfa import NFA
 from repro.words.alphabet import AB
 
 __all__ = ["ln_match_nfa", "ln_nfa_exact", "exact_ln_fooling_set"]
 
 
+@lru_cache(maxsize=256)
 def ln_match_nfa(n: int) -> NFA:
     """The ``Θ(n)`` guess-and-verify NFA of Theorem 1(2).
 
     ``n + 2`` states, ``2n + 4`` transitions.  Accepts all words (of any
     length) with two ``a`` symbols at distance exactly ``n``; on inputs of
-    length ``2n`` this is exactly membership in ``L_n``.
+    length ``2n`` this is exactly membership in ``L_n``.  Memoized:
+    :class:`~repro.automata.nfa.NFA` instances are immutable, so repeated
+    calls return the same object.
 
     >>> nfa = ln_match_nfa(2)
     >>> nfa.accepts("abab"), nfa.accepts("bbbb")

@@ -18,6 +18,8 @@ verify language equality with brute-forced ``L_n`` for every ``n ≤ 9``.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.grammars.cfg import CFG, NonTerminal, Rule
 from repro.util.binary import binary_decomposition
 from repro.words.alphabet import AB
@@ -25,14 +27,20 @@ from repro.words.alphabet import AB
 __all__ = ["small_ln_grammar"]
 
 
+@lru_cache(maxsize=256)
 def small_ln_grammar(n: int) -> CFG:
     """Build the Appendix A grammar accepting ``L_n``; size ``Θ(log n)``.
+
+    The construction is pure and :class:`CFG` is immutable, so results are
+    memoized: repeated calls with the same ``n`` return the same object.
 
     >>> from repro.grammars.language import language
     >>> from repro.languages.ln import ln_words
     >>> language(small_ln_grammar(5)) == ln_words(5)
     True
     >>> small_ln_grammar(10**6).size < 400
+    True
+    >>> small_ln_grammar(6) is small_ln_grammar(6)
     True
     """
     if n < 1:

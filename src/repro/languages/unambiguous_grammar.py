@@ -26,6 +26,7 @@ failure of the verbatim paper variant (also provided, as
 from __future__ import annotations
 
 from collections.abc import Iterator
+from functools import lru_cache
 
 from repro.grammars.cfg import CFG, NonTerminal, Rule, Symbol
 from repro.words.alphabet import AB
@@ -148,6 +149,7 @@ def example4_ucfg_verbatim(n: int) -> CFG:
     return _Builder(n).finish(pairs)
 
 
+@lru_cache(maxsize=1024)
 def example4_size(n: int) -> int:
     """Exact size of the corrected grammar: ``2^Θ(n)``.
 

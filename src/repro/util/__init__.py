@@ -13,9 +13,12 @@ from repro.util.combinatorics import (
     powerset_size,
 )
 from repro.util.binary import binary_decomposition, bit_length_of, is_power_of_two
+from repro.util.canonical import canonical_digest, canonical_encode
 from repro.util.tables import Table, format_int, approx_log2
 
 __all__ = [
+    "canonical_encode",
+    "canonical_digest",
     "binomial",
     "iter_subsets",
     "iter_subsets_of_size",
