@@ -5,18 +5,41 @@ dynamic program over states — exactly the factorised-counting idea, one
 level down: determinism plays the role unambiguity plays for grammars.
 For NFAs the same recurrence counts accepting *runs*, which matches the
 word count precisely when the NFA is unambiguous — the UFA story again.
+
+The DP itself is :mod:`repro.kernel.paths` over the counting semiring;
+this module only adapts DFA/NFA transition functions into the kernel's
+``successors`` callable.
 """
 
 from __future__ import annotations
 
 from repro.automata.dfa import DFA
-from repro.automata.nfa import NFA, State
+from repro.automata.nfa import NFA
+from repro.kernel.paths import path_value, path_values_up_to
 
 __all__ = [
     "count_dfa_words_of_length",
     "count_dfa_words_up_to",
     "count_nfa_runs_of_length",
 ]
+
+
+def _dfa_successors(dfa: DFA):
+    def successors(state):
+        for symbol in dfa.alphabet:
+            succ = dfa.successor(state, symbol)
+            if succ is not None:
+                yield succ
+
+    return successors
+
+
+def _nfa_successors(nfa: NFA):
+    def successors(state):
+        for symbol in nfa.alphabet:
+            yield from nfa.successors(state, symbol)
+
+    return successors
 
 
 def count_dfa_words_of_length(dfa: DFA, length: int) -> int:
@@ -31,37 +54,12 @@ def count_dfa_words_of_length(dfa: DFA, length: int) -> int:
     >>> count_dfa_words_of_length(d, 2), count_dfa_words_of_length(d, 1)
     (2, 1)
     """
-    if length < 0:
-        raise ValueError(f"length must be non-negative, got {length}")
-    weights: dict[State, int] = {dfa.initial: 1}
-    for _ in range(length):
-        nxt: dict[State, int] = {}
-        for state, weight in weights.items():
-            for symbol in dfa.alphabet:
-                succ = dfa.successor(state, symbol)
-                if succ is not None:
-                    nxt[succ] = nxt.get(succ, 0) + weight
-        weights = nxt
-    return sum(weight for state, weight in weights.items() if state in dfa.accepting)
+    return path_value(_dfa_successors(dfa), [dfa.initial], dfa.accepting, length)
 
 
 def count_dfa_words_up_to(dfa: DFA, max_length: int) -> dict[int, int]:
     """``{length: #accepted words}`` for every length up to the bound."""
-    if max_length < 0:
-        raise ValueError(f"max_length must be non-negative, got {max_length}")
-    counts: dict[int, int] = {}
-    weights: dict[State, int] = {dfa.initial: 1}
-    counts[0] = sum(w for q, w in weights.items() if q in dfa.accepting)
-    for length in range(1, max_length + 1):
-        nxt: dict[State, int] = {}
-        for state, weight in weights.items():
-            for symbol in dfa.alphabet:
-                succ = dfa.successor(state, symbol)
-                if succ is not None:
-                    nxt[succ] = nxt.get(succ, 0) + weight
-        weights = nxt
-        counts[length] = sum(w for q, w in weights.items() if q in dfa.accepting)
-    return counts
+    return path_values_up_to(_dfa_successors(dfa), [dfa.initial], dfa.accepting, max_length)
 
 
 def count_nfa_runs_of_length(nfa: NFA, length: int) -> int:
@@ -72,14 +70,4 @@ def count_nfa_runs_of_length(nfa: NFA, length: int) -> int:
     general it over-counts by run multiplicity — the automaton analogue
     of parse-tree counting for ambiguous CFGs.
     """
-    if length < 0:
-        raise ValueError(f"length must be non-negative, got {length}")
-    weights: dict[State, int] = {q: 1 for q in nfa.initial}
-    for _ in range(length):
-        nxt: dict[State, int] = {}
-        for state, weight in weights.items():
-            for symbol in nfa.alphabet:
-                for succ in nfa.successors(state, symbol):
-                    nxt[succ] = nxt.get(succ, 0) + weight
-        weights = nxt
-    return sum(weight for state, weight in weights.items() if state in nfa.accepting)
+    return path_value(_nfa_successors(nfa), nfa.initial, nfa.accepting, length)

@@ -258,6 +258,57 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_parsing_table(rows: list[dict]) -> Table:
+    table = Table(
+        ["n", "|w|", "words", "members", "legacy s", "bitset s", "batched s", "speedup"],
+        title="Parsing kernel: per-word counting vs. bitset vs. batched recognition",
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row["n"],
+                row["word_length"],
+                row["n_words"],
+                row["n_members"],
+                f"{row['legacy_s']:.4f}",
+                f"{row['bitset_s']:.4f}",
+                f"{row['batched_s']:.4f}",
+                f"{row['speedup_batched']:.1f}x",
+            ]
+        )
+    return table
+
+
+def _cmd_bench_parsing(args: argparse.Namespace) -> int:
+    # Benchmarks time code, so cached timings from an earlier run would be
+    # stale; always recompute.
+    args.no_cache = True
+    engine = _build_engine(args)
+    result = engine.run_one(
+        "parsing.bench",
+        {"max_n": args.max_n, "n_words": args.n_words, "seed": args.seed},
+    )
+    _bench_parsing_table(result["rows"]).print()
+    if args.out:
+        import platform
+        import time
+        from pathlib import Path
+
+        artifact = {
+            "kind": "parsing_bench",
+            "generated_at": time.time(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            **result,
+        }
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+        print(f"bench: wrote {path}", file=sys.stderr)
+    _report_engine(engine)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.engine import DiskCache
 
@@ -355,6 +406,24 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_zoo.add_argument("--max-n", type=int, default=4, help="largest n (2..5)")
     _add_engine_options(sweep_zoo)
     sweep_zoo.set_defaults(func=_cmd_sweep, target="zoo")
+
+    bench = sub.add_parser("bench", help="benchmark a subsystem against its baseline")
+    bench_sub = bench.add_subparsers(dest="target", required=True)
+    bench_parsing = bench_sub.add_parser(
+        "parsing", help="cold vs. bitset vs. batched chart fill over L_n sweeps"
+    )
+    bench_parsing.add_argument(
+        "--max-n", type=int, default=12, help="largest n in the sweep (default 12)"
+    )
+    bench_parsing.add_argument(
+        "--n-words", type=int, default=24, help="words sampled per n (default 24)"
+    )
+    bench_parsing.add_argument("--seed", type=int, default=0, help="sampling seed")
+    bench_parsing.add_argument(
+        "--out", default=None, metavar="PATH", help="also write BENCH_parsing.json here"
+    )
+    _add_engine_options(bench_parsing)
+    bench_parsing.set_defaults(func=_cmd_bench_parsing)
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument(

@@ -30,6 +30,22 @@ def default_registry() -> JobRegistry:
     return REGISTRY
 
 
+#: The semiring chart-parsing kernel.  Every job whose computation routes
+#: through parsing (covers, the zoo's disambiguation, the parsing bench)
+#: lists these so kernel edits invalidate exactly their cached results.
+_KERNEL_MODULES = (
+    "repro.kernel.semiring",
+    "repro.kernel.forest",
+    "repro.kernel.chart",
+    "repro.kernel.generic",
+    "repro.kernel.earley",
+    "repro.kernel.fold",
+    "repro.kernel.batch",
+    "repro.kernel.prefix",
+    "repro.kernel.paths",
+)
+
+
 # ----------------------------------------------------------------------
 # Theorem 1: the size table (E1/E2 cores)
 # ----------------------------------------------------------------------
@@ -136,7 +152,10 @@ def grammar_job(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
         "repro.core.cover",
         "repro.core.rectangles",
         "repro.languages.unambiguous_grammar",
-    ),
+        "repro.grammars.cyk",
+        "repro.grammars.generic",
+    )
+    + _KERNEL_MODULES,
     description="Proposition 7 on the Example 4 uCFG for L_n (n <= 4)",
 )
 def cover_job(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
@@ -305,7 +324,7 @@ _ZOO_MODULES = (
     "repro.languages.dfa_ln",
     "repro.languages.ln",
     "repro.grammars.disambiguate",
-)
+) + _KERNEL_MODULES
 
 
 @REGISTRY.job(
@@ -352,6 +371,124 @@ def _zoo_table_deps(params: dict[str, Any]) -> list[Request]:
 )
 def zoo_table(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
     return {"max_n": params["max_n"], "rows": deps}
+
+
+# ----------------------------------------------------------------------
+# The parsing kernel benchmark (cold vs. batched chart fill)
+# ----------------------------------------------------------------------
+
+_PARSING_BENCH_MODULES = _KERNEL_MODULES + (
+    "repro.grammars.cnf",
+    "repro.languages.small_grammar",
+    "repro.languages.ln",
+)
+
+
+@REGISTRY.job(
+    "parsing.bench.row",
+    params=("n", "n_words", "seed"),
+    defaults={"n_words": 24, "seed": 0},
+    source_modules=_PARSING_BENCH_MODULES,
+    description="Time cold vs. bitset vs. batched recognition over one L_n",
+)
+def parsing_bench_row(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    """Recognise the same word sample three ways and time each.
+
+    * ``legacy`` — one full counting chart per word (what ``recognises``
+      did before the kernel refactor: count the parse trees, compare > 0);
+    * ``bitset`` — one bitset boolean chart per word, with early exit;
+    * ``batched`` — the shared-prefix batched bitset filler.
+
+    The sample mixes members of ``L_n`` with seeded random words of the
+    right length; all three strategies must agree with the direct
+    ``is_in_ln`` check or the job fails.
+    """
+    import itertools
+    import random
+    from time import perf_counter
+
+    from repro.grammars.cnf import to_cnf
+    from repro.kernel.batch import BatchedRecognizer
+    from repro.kernel.chart import CNFChart, cnf_bitset_tables, recognise_cnf
+    from repro.kernel.semiring import COUNTING
+    from repro.languages.ln import is_in_ln, iter_ln
+    from repro.languages.small_grammar import small_ln_grammar
+
+    n, n_words, seed = params["n"], params["n_words"], params["seed"]
+    grammar = to_cnf(small_ln_grammar(n))
+    rng = random.Random(seed)
+    members = list(itertools.islice(iter_ln(n), n_words // 2))
+    randoms = {
+        "".join(rng.choice("ab") for _ in range(2 * n))
+        for _ in range(n_words - len(members))
+    }
+    words = sorted(set(members) | randoms)
+
+    # Warm the per-grammar rule tables so no strategy pays them in-loop.
+    cnf_bitset_tables(grammar)
+
+    start = perf_counter()
+    legacy = {w: CNFChart(grammar, w, COUNTING).value() > 0 for w in words}
+    legacy_s = perf_counter() - start
+
+    start = perf_counter()
+    bitset = {w: recognise_cnf(grammar, w) for w in words}
+    bitset_s = perf_counter() - start
+
+    start = perf_counter()
+    batched = BatchedRecognizer(grammar).recognise_many(words)
+    batched_s = perf_counter() - start
+
+    for word in words:
+        expected = is_in_ln(word, n)
+        if not (legacy[word] == bitset[word] == batched[word] == expected):
+            raise ValueError(
+                f"parsing.bench.row: strategies disagree on {word!r} "
+                f"(legacy={legacy[word]}, bitset={bitset[word]}, "
+                f"batched={batched[word]}, is_in_ln={expected})"
+            )
+
+    n_members = sum(1 for w in words if legacy[w])
+    return {
+        "n": n,
+        "word_length": 2 * n,
+        "n_words": len(words),
+        "n_members": n_members,
+        "legacy_s": round(legacy_s, 6),
+        "bitset_s": round(bitset_s, 6),
+        "batched_s": round(batched_s, 6),
+        "speedup_bitset": round(legacy_s / bitset_s, 2) if bitset_s else None,
+        "speedup_batched": round(legacy_s / batched_s, 2) if batched_s else None,
+    }
+
+
+def _parsing_bench_deps(params: dict[str, Any]) -> list[Request]:
+    max_n = params["max_n"]
+    ns = sorted({n for n in (2, 4, 8) if n < max_n} | {max_n})
+    return [
+        Request.make(
+            "parsing.bench.row",
+            {"n": n, "n_words": params["n_words"], "seed": params["seed"]},
+        )
+        for n in ns
+    ]
+
+
+@REGISTRY.job(
+    "parsing.bench",
+    params=("max_n", "n_words", "seed"),
+    defaults={"max_n": 12, "n_words": 24, "seed": 0},
+    deps=_parsing_bench_deps,
+    source_modules=_PARSING_BENCH_MODULES,
+    description="The parsing-kernel benchmark sweep (fans out one row per n)",
+)
+def parsing_bench(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    return {
+        "max_n": params["max_n"],
+        "n_words": params["n_words"],
+        "seed": params["seed"],
+        "rows": deps,
+    }
 
 
 # ----------------------------------------------------------------------

@@ -8,18 +8,20 @@ language and count the parse trees of every word.  A grammar is
 
 The counting runs on the original grammar (no normal-form conversion), so
 witnesses like Figure 1's two parse trees of ``aaaaaa`` under the
-Example 3 grammar come out verbatim.
+Example 3 grammar come out verbatim.  Each word is parsed exactly once:
+the packed-forest chart built to count trees is the same chart the
+witness trees are enumerated from.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 from repro.errors import NotUnambiguousError
 from repro.grammars.generic import GenericParser
 from repro.grammars.language import language
 from repro.grammars.cfg import CFG
 from repro.grammars.trees import ParseTree
+from repro.kernel.forest import FOREST
+from repro.kernel.semiring import COUNTING
 
 __all__ = [
     "ambiguity_profile",
@@ -35,9 +37,10 @@ def ambiguity_profile(grammar: CFG) -> dict[str, int]:
     """Return ``{word: number of parse trees}`` over the whole language.
 
     Every count is ≥ 1 by construction; a count ≥ 2 witnesses ambiguity.
+    One counting chart is built per word and serves its single count query.
     """
     parser = GenericParser(grammar)
-    return {word: parser.count(word) for word in language(grammar)}
+    return {word: parser.chart(word, COUNTING).value() for word in language(grammar)}
 
 
 def is_unambiguous(grammar: CFG) -> bool:
@@ -49,7 +52,7 @@ def is_unambiguous(grammar: CFG) -> bool:
     False
     """
     parser = GenericParser(grammar)
-    return all(parser.count(word) == 1 for word in language(grammar))
+    return all(parser.chart(word, COUNTING).value() == 1 for word in language(grammar))
 
 
 def require_unambiguous(grammar: CFG, operation: str) -> None:
@@ -62,17 +65,32 @@ def require_unambiguous(grammar: CFG, operation: str) -> None:
         )
 
 
-def find_ambiguous_word(grammar: CFG) -> str | None:
-    """Return some word with ≥ 2 parse trees, or ``None`` if unambiguous.
+def _first_ambiguous_forest(grammar: CFG):
+    """``(word, forest)`` for the first ambiguous word, or ``None``.
 
-    Words are tried shortest-first, so the returned witness is one of the
-    shortest ambiguous words.
+    One forest chart per word answers both the count and — for the
+    witness — the tree enumeration, so no word is ever parsed twice.
     """
     parser = GenericParser(grammar)
     for word in sorted(language(grammar), key=lambda w: (len(w), w)):
-        if parser.count(word) >= 2:
-            return word
+        forest = parser.chart(word, FOREST).value()
+        if forest.count() >= 2:
+            return word, forest
     return None
+
+
+def find_ambiguous_word(grammar: CFG) -> str | None:
+    """Return some word with ≥ 2 parse trees, or ``None`` if unambiguous.
+
+    Words are tried shortest-first (then lexicographically), so the
+    returned witness is the length-lex least ambiguous word.  The search
+    is exhaustive and terminates because the grammar has a finite
+    language: it is bounded by the longest derivable word — equivalently
+    ``max(derivable_lengths(grammar))`` — after which no witness can
+    exist, so ``None`` is a proof of unambiguity, not a timeout.
+    """
+    found = _first_ambiguous_forest(grammar)
+    return None if found is None else found[0]
 
 
 def ambiguity_witness(grammar: CFG) -> tuple[str, ParseTree, ParseTree] | None:
@@ -81,11 +99,14 @@ def ambiguity_witness(grammar: CFG) -> tuple[str, ParseTree, ParseTree] | None:
     This reproduces Figure 1 of the paper programmatically: applied to the
     Example 3 grammar it yields a word together with two structurally
     different parse trees.  Returns ``None`` for unambiguous grammars.
+    The two trees come from the same packed forest that established the
+    count, so the witness word is parsed exactly once.
     """
-    word = find_ambiguous_word(grammar)
-    if word is None:
+    found = _first_ambiguous_forest(grammar)
+    if found is None:
         return None
-    trees = GenericParser(grammar).iter_trees(word)
+    word, forest = found
+    trees = forest.trees()
     first = next(trees)
     second = next(trees)
     return word, first, second
@@ -94,7 +115,10 @@ def ambiguity_witness(grammar: CFG) -> tuple[str, ParseTree, ParseTree] | None:
 def max_ambiguity(grammar: CFG) -> int:
     """Return the largest parse-tree count over all words of the language.
 
-    ``1`` for unambiguous grammars, ``0`` for the empty language.
+    ``1`` for unambiguous grammars, ``0`` for the empty language.  Like
+    :func:`find_ambiguous_word`, the scan covers the whole (finite)
+    language — every word up to the longest derivable length — with one
+    chart per word.
     """
     profile = ambiguity_profile(grammar)
     return max(profile.values(), default=0)

@@ -5,125 +5,18 @@ the generic engine (:mod:`repro.grammars.generic`) is exponential in the
 worst case; Earley's algorithm recognises directly on the original rules
 in ``O(|G|² · n³)`` and, for unambiguous grammars, ``O(n²)`` — the right
 tool for the long words the ``Θ(log n)`` grammars of Appendix A produce.
-This implementation supports ε-rules via the standard nullable-advance
-fix (Aycock & Horspool) and exposes per-position completion sets so
-tests can cross-validate against the other two engines.
+
+The item-set machinery now lives in :mod:`repro.kernel.earley` (where it
+also powers the Earley-style semiring chart); this module re-exports it
+under its historical names and keeps the function-level entry points.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.grammars.analysis import nullable_nonterminals
-from repro.grammars.cfg import CFG, NonTerminal, Rule
+from repro.grammars.cfg import CFG, NonTerminal
+from repro.kernel.earley import EarleyChart, EarleyItem
 
 __all__ = ["EarleyItem", "EarleyChart", "earley_recognises", "earley_parse_positions"]
-
-
-@dataclass(frozen=True, slots=True)
-class EarleyItem:
-    """A dotted rule ``A -> α • β`` started at input position ``origin``."""
-
-    rule: Rule
-    dot: int
-    origin: int
-
-    @property
-    def is_complete(self) -> bool:
-        return self.dot == len(self.rule.rhs)
-
-    @property
-    def next_symbol(self):
-        if self.is_complete:
-            return None
-        return self.rule.rhs[self.dot]
-
-    def advanced(self) -> "EarleyItem":
-        return EarleyItem(self.rule, self.dot + 1, self.origin)
-
-    def __str__(self) -> str:
-        body = list(map(str, self.rule.rhs))
-        body.insert(self.dot, "•")
-        return f"[{self.rule.lhs} -> {' '.join(body)}, {self.origin}]"
-
-
-class EarleyChart:
-    """The item sets ``S_0 ... S_n`` for one grammar/word pair."""
-
-    def __init__(self, grammar: CFG, word: str) -> None:
-        self.grammar = grammar
-        self.word = word
-        self.nullable = nullable_nonterminals(grammar)
-        n = len(word)
-        self.sets: list[set[EarleyItem]] = [set() for _ in range(n + 1)]
-        self._run()
-
-    def _predict(self, position: int, symbol: NonTerminal, agenda: list[EarleyItem]) -> None:
-        for rule in self.grammar.rules_for(symbol):
-            item = EarleyItem(rule, 0, position)
-            if item not in self.sets[position]:
-                self.sets[position].add(item)
-                agenda.append(item)
-
-    def _run(self) -> None:
-        n = len(self.word)
-        agenda: list[EarleyItem] = []
-        self._predict(0, self.grammar.start, agenda)
-        for position in range(n + 1):
-            if position > 0:
-                # Scan from the previous set.
-                ch = self.word[position - 1]
-                for item in self.sets[position - 1]:
-                    if item.next_symbol == ch:
-                        advanced = item.advanced()
-                        if advanced not in self.sets[position]:
-                            self.sets[position].add(advanced)
-                            agenda.append(advanced)
-            # Exhaust predictions/completions at this position.
-            agenda = [i for i in self.sets[position]]
-            while agenda:
-                item = agenda.pop()
-                symbol = item.next_symbol
-                if symbol is None:
-                    # Complete: advance everything waiting on item.rule.lhs.
-                    for waiting in list(self.sets[item.origin]):
-                        if waiting.next_symbol == item.rule.lhs:
-                            advanced = waiting.advanced()
-                            if advanced not in self.sets[position]:
-                                self.sets[position].add(advanced)
-                                agenda.append(advanced)
-                elif self.grammar.is_nonterminal(symbol):
-                    self._predict(position, symbol, agenda)
-                    # Nullable advance (Aycock-Horspool): skip over ε.
-                    if symbol in self.nullable:
-                        advanced = item.advanced()
-                        if advanced not in self.sets[position]:
-                            self.sets[position].add(advanced)
-                            agenda.append(advanced)
-                # Terminals are handled by the scan of the next set.
-
-    def accepts(self) -> bool:
-        """Whether the full word derives from the start symbol."""
-        return any(
-            item.is_complete
-            and item.rule.lhs == self.grammar.start
-            and item.origin == 0
-            for item in self.sets[len(self.word)]
-        )
-
-    def completed_spans(self) -> set[tuple[NonTerminal, int, int]]:
-        """All ``(A, i, j)`` with ``A ⇒* word[i:j]`` recognised by the run.
-
-        (Earley only materialises spans reachable in context, so this is a
-        subset of the CYK table's content but always contains every span
-        of every actual parse.)
-        """
-        spans: set[tuple[NonTerminal, int, int]] = set()
-        for j, items in enumerate(self.sets):
-            for item in items:
-                if item.is_complete:
-                    spans.add((item.rule.lhs, item.origin, j))
-        return spans
 
 
 def earley_recognises(grammar: CFG, word: str) -> bool:

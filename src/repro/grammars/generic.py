@@ -4,12 +4,17 @@ The paper's concrete grammars (Example 3, Example 4, Appendix A) are not
 in Chomsky normal form, and converting them first would obscure statements
 like "Figure 1: two different parse trees for the word ``aaaaaa`` for the
 grammar of Example 3".  This module therefore counts and enumerates parse
-trees directly on the original grammar with a memoised span recursion.
+trees directly on the original grammar.
 
 A word can have infinitely many parse trees only if the grammar has a
 derivation cycle ``A ⇒+ A`` through useful non-terminals; this is detected
 up front (see :func:`repro.grammars.analysis.has_unit_or_epsilon_cycle`)
 and reported as :class:`~repro.errors.InfiniteAmbiguityError`.
+
+The span recursion itself lives in :class:`repro.kernel.generic.GenericChart`;
+this module instantiates it over the counting semiring for counts, the
+boolean semiring (with absorbing early exit) for membership, and the
+forest semiring for tree enumeration.
 """
 
 from __future__ import annotations
@@ -18,44 +23,21 @@ from collections.abc import Iterator
 
 from repro.errors import InfiniteAmbiguityError, NotInLanguageError
 from repro.grammars.analysis import has_unit_or_epsilon_cycle, trim
-from repro.grammars.cfg import CFG, NonTerminal, Symbol
-from repro.grammars.trees import ParseTree, leaf, node
+from repro.grammars.cfg import CFG, NonTerminal
+from repro.grammars.trees import ParseTree
+from repro.kernel.forest import FOREST
+from repro.kernel.generic import GenericChart, symbol_min_lengths
+from repro.kernel.semiring import BOOLEAN, COUNTING, Semiring
 
 __all__ = ["GenericParser", "count_parse_trees_generic", "iter_parse_trees_generic", "recognises_generic"]
-
-
-def _min_lengths(grammar: CFG) -> dict[NonTerminal, int | None]:
-    """Shortest derivable word length per non-terminal (None = unproductive)."""
-    best: dict[NonTerminal, int | None] = {nt: None for nt in grammar.nonterminals}
-    changed = True
-    while changed:
-        changed = False
-        for rule in grammar.rules:
-            total = 0
-            feasible = True
-            for sym in rule.rhs:
-                if grammar.is_terminal(sym):
-                    total += 1
-                else:
-                    sub = best[sym]
-                    if sub is None:
-                        feasible = False
-                        break
-                    total += sub
-            if not feasible:
-                continue
-            current = best[rule.lhs]
-            if current is None or total < current:
-                best[rule.lhs] = total
-                changed = True
-    return best
 
 
 class GenericParser:
     """Memoised span parser for one grammar (any rule shapes, ε included).
 
-    Construction performs the infinite-ambiguity check once; the parser
-    can then be reused across many words.
+    Construction performs the infinite-ambiguity check and the min-length
+    pruning analysis once; the parser can then be reused across many
+    words, each query building a kernel chart that shares those tables.
     """
 
     def __init__(self, grammar: CFG) -> None:
@@ -65,74 +47,27 @@ class GenericParser:
                 "has infinitely many parse trees; parse-tree counting refuses to run"
             )
         self.grammar = grammar
-        self._min_len = _min_lengths(grammar)
+        self._min_len = symbol_min_lengths(grammar)
 
-    def _sym_min(self, symbol: Symbol) -> int | None:
-        if self.grammar.is_terminal(symbol):
-            return 1
-        return self._min_len[symbol]
+    def chart(self, word: str, semiring: Semiring) -> GenericChart:
+        """A kernel chart for ``word`` sharing this parser's pruning tables.
 
-    def _seq_min(self, seq: tuple[Symbol, ...]) -> int | None:
-        total = 0
-        for sym in seq:
-            m = self._sym_min(sym)
-            if m is None:
-                return None
-            total += m
-        return total
+        Build one chart per word and reuse it across queries — the memo is
+        per chart, so repeated questions about the same word are free.
+        """
+        return GenericChart(self.grammar, word, semiring, min_lengths=self._min_len)
 
     def count(self, word: str, symbol: NonTerminal | None = None) -> int:
         """Exact number of parse trees of ``word`` from ``symbol`` (default: start)."""
-        symbol = symbol if symbol is not None else self.grammar.start
-        memo_sym: dict[tuple[NonTerminal, int, int], int] = {}
-        memo_seq: dict[tuple[tuple[Symbol, ...], int, int], int] = {}
-        in_progress: set[tuple[NonTerminal, int, int]] = set()
-
-        def count_sym(nt: NonTerminal, i: int, j: int) -> int:
-            key = (nt, i, j)
-            if key in memo_sym:
-                return memo_sym[key]
-            if key in in_progress:  # pragma: no cover - excluded by the cycle check
-                raise InfiniteAmbiguityError(f"unexpected derivation cycle at {key!r}")
-            in_progress.add(key)
-            total = 0
-            for rule in self.grammar.rules_for(nt):
-                total += count_seq(rule.rhs, i, j)
-            in_progress.discard(key)
-            memo_sym[key] = total
-            return total
-
-        def count_seq(seq: tuple[Symbol, ...], i: int, j: int) -> int:
-            if not seq:
-                return 1 if i == j else 0
-            key = (seq, i, j)
-            if key in memo_seq:
-                return memo_seq[key]
-            head, rest = seq[0], seq[1:]
-            rest_min = self._seq_min(rest)
-            total = 0
-            if rest_min is not None:
-                if self.grammar.is_terminal(head):
-                    if i < j and word[i] == head:
-                        total = count_seq(rest, i + 1, j)
-                else:
-                    head_min = self._sym_min(head)
-                    if head_min is not None:
-                        # head derives word[i:k]; prune to feasible k only —
-                        # this is what keeps same-span recursion on the
-                        # acyclic nullable-unit graph (see module docstring).
-                        for k in range(i + head_min, j - rest_min + 1):
-                            c_head = count_sym(head, i, k)
-                            if c_head:
-                                total += c_head * count_seq(rest, k, j)
-            memo_seq[key] = total
-            return total
-
-        return count_sym(symbol, 0, len(word))
+        return self.chart(word, COUNTING).value(symbol)
 
     def recognises(self, word: str, symbol: NonTerminal | None = None) -> bool:
-        """Whether ``word`` is derivable from ``symbol`` (default: start)."""
-        return self.count(word, symbol) > 0
+        """Whether ``word`` is derivable from ``symbol`` (default: start).
+
+        Runs over the boolean semiring, which stops exploring splits as
+        soon as a derivation is found — no counting work is done.
+        """
+        return self.chart(word, BOOLEAN).value(symbol)
 
     def iter_trees(self, word: str, symbol: NonTerminal | None = None) -> Iterator[ParseTree]:
         """Lazily yield every parse tree of ``word`` from ``symbol``.
@@ -140,36 +75,7 @@ class GenericParser:
         The yield order is deterministic: rule declaration order, then
         split positions left to right.
         """
-        symbol = symbol if symbol is not None else self.grammar.start
-
-        def trees_sym(nt: NonTerminal, i: int, j: int) -> Iterator[ParseTree]:
-            for rule in self.grammar.rules_for(nt):
-                for children in trees_seq(rule.rhs, i, j):
-                    yield node(nt, children)
-
-        def trees_seq(seq: tuple[Symbol, ...], i: int, j: int) -> Iterator[tuple[ParseTree, ...]]:
-            if not seq:
-                if i == j:
-                    yield ()
-                return
-            head, rest = seq[0], seq[1:]
-            rest_min = self._seq_min(rest)
-            if rest_min is None:
-                return
-            if self.grammar.is_terminal(head):
-                if i < j and word[i] == head:
-                    for tail in trees_seq(rest, i + 1, j):
-                        yield (leaf(head), *tail)
-                return
-            head_min = self._sym_min(head)
-            if head_min is None:
-                return
-            for k in range(i + head_min, j - rest_min + 1):
-                for head_tree in trees_sym(head, i, k):
-                    for tail in trees_seq(rest, k, j):
-                        yield (head_tree, *tail)
-
-        return trees_sym(symbol, 0, len(word))
+        return self.chart(word, FOREST).value(symbol).trees()
 
     def one_tree(self, word: str, symbol: NonTerminal | None = None) -> ParseTree:
         """Return some parse tree of ``word``; raise if not in the language."""

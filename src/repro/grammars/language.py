@@ -15,12 +15,13 @@ algorithmic heart of the CFG/uCFG contrast:
 
 from __future__ import annotations
 
-import graphlib
 from collections.abc import Iterator
 
 from repro.errors import InfiniteLanguageError
 from repro.grammars.analysis import require_finite_language, trim
 from repro.grammars.cfg import CFG, NonTerminal
+from repro.kernel.fold import fold_grammar, topological_nonterminals
+from repro.kernel.semiring import COUNTING, SPECTRUM
 
 __all__ = [
     "languages_by_nonterminal",
@@ -40,19 +41,7 @@ DEFAULT_MAX_WORDS = 5_000_000
 
 def _topological_nonterminals(grammar: CFG) -> list[NonTerminal]:
     """Non-terminals of a trimmed finite-language grammar, dependencies first."""
-    sorter: graphlib.TopologicalSorter = graphlib.TopologicalSorter()
-    for nt in grammar.nonterminals:
-        deps = {
-            sym
-            for rule in grammar.rules_for(nt)
-            for sym in rule.rhs
-            if grammar.is_nonterminal(sym)
-        }
-        sorter.add(nt, *deps)
-    try:
-        return list(sorter.static_order())
-    except graphlib.CycleError as exc:  # pragma: no cover - guarded by finiteness check
-        raise InfiniteLanguageError(f"unexpected dependency cycle: {exc}") from exc
+    return topological_nonterminals(grammar)
 
 
 def languages_by_nonterminal(
@@ -116,52 +105,28 @@ def count_derivations(grammar: CFG) -> int:
     """Return the number of parse trees from the start symbol.
 
     Computed by the classic product-sum dynamic program
-    ``t(A) = Σ_{A→W} Π_{B ∈ W} t(B)`` over the trimmed grammar, in time
-    polynomial in ``|G|``.  For an unambiguous grammar this equals
-    ``|L(G)|``; in general it over-counts words by their ambiguity
-    multiplicity (counting words exactly for general CFGs is #P-complete,
-    as recalled in the paper's introduction).
+    ``t(A) = Σ_{A→W} Π_{B ∈ W} t(B)`` over the trimmed grammar — the
+    kernel fold over the counting semiring — in time polynomial in
+    ``|G|``.  For an unambiguous grammar this equals ``|L(G)|``; in
+    general it over-counts words by their ambiguity multiplicity
+    (counting words exactly for general CFGs is #P-complete, as recalled
+    in the paper's introduction).
     """
     require_finite_language(grammar, "count_derivations")
     g = trim(grammar)
-    counts: dict[NonTerminal, int] = {}
-    for nt in _topological_nonterminals(g):
-        total = 0
-        for rule in g.rules_for(nt):
-            prod = 1
-            for sym in rule.rhs:
-                if g.is_nonterminal(sym):
-                    prod *= counts[sym]
-            total += prod
-        counts[nt] = total
-    return counts.get(g.start, 0)
+    return fold_grammar(g, COUNTING).get(g.start, 0)
 
 
 def derivations_by_length(grammar: CFG) -> dict[int, int]:
     """Return ``{length: #parse trees of words of that length}``.
 
-    The dynamic program carries a length-indexed polynomial per
-    non-terminal; for unambiguous grammars this is the exact word-count
-    spectrum of the language.
+    The kernel fold over the length-spectrum semiring (a length-indexed
+    polynomial per non-terminal); for unambiguous grammars this is the
+    exact word-count spectrum of the language.
     """
     require_finite_language(grammar, "derivations_by_length")
     g = trim(grammar)
-    spectra: dict[NonTerminal, dict[int, int]] = {}
-    for nt in _topological_nonterminals(g):
-        spectrum: dict[int, int] = {}
-        for rule in g.rules_for(nt):
-            partial: dict[int, int] = {0: 1}
-            for sym in rule.rhs:
-                sym_spec = {1: 1} if g.is_terminal(sym) else spectra[sym]
-                combined: dict[int, int] = {}
-                for l1, c1 in partial.items():
-                    for l2, c2 in sym_spec.items():
-                        combined[l1 + l2] = combined.get(l1 + l2, 0) + c1 * c2
-                partial = combined
-            for length, cnt in partial.items():
-                spectrum[length] = spectrum.get(length, 0) + cnt
-        spectra[nt] = spectrum
-    return spectra.get(g.start, {})
+    return dict(fold_grammar(g, SPECTRUM).get(g.start, {}))
 
 
 def words_by_length(grammar: CFG, max_words: int = DEFAULT_MAX_WORDS) -> dict[int, int]:

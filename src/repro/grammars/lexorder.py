@@ -5,9 +5,10 @@ derivations — cheap, but the order is grammar-dependent.  Database-style
 enumeration ([4]'s "aggregation and ordering in factorised databases",
 [24]-style direct access) wants a *data* order: length-lexicographic.
 This module provides it for finite unambiguous grammars: exact counting
-of words with a given prefix (a memoised sentential-form DP), and on top
-of it rank / unrank / ordered iteration — without materialising the
-language.
+of words with a given prefix (the sentential-form DP of
+:class:`repro.kernel.prefix.PrefixDP`, over the counting semiring), and
+on top of it rank / unrank / ordered iteration — without materialising
+the language.
 
 Order used throughout: first by word length, then lexicographically in
 the grammar's alphabet order.
@@ -20,7 +21,8 @@ from collections.abc import Iterator
 from repro.errors import NotInLanguageError
 from repro.grammars.ambiguity import require_unambiguous
 from repro.grammars.analysis import require_finite_language, trim
-from repro.grammars.cfg import CFG, Symbol
+from repro.grammars.cfg import CFG
+from repro.kernel.prefix import PrefixDP
 
 __all__ = ["LexRankedLanguage"]
 
@@ -42,40 +44,10 @@ class LexRankedLanguage:
         if check_unambiguous:
             require_unambiguous(grammar, "LexRankedLanguage")
         self.grammar = trim(grammar)
-        self._prefix_counts: dict[tuple[tuple[Symbol, ...], str, int], int] = {}
+        # The kernel DP holds the (form, prefix, length) memo, shared by
+        # every rank/unrank call against this language.
+        self._prefix_dp = PrefixDP(self.grammar)
         self._lengths = sorted(self._length_spectrum())
-
-    # ------------------------------------------------------------------
-    # The core DP: words from a sentential form with a fixed prefix
-    # ------------------------------------------------------------------
-
-    def _count(self, form: tuple[Symbol, ...], prefix: str, length: int) -> int:
-        """Number of length-``length`` words derivable from ``form`` that
-        start with ``prefix`` (derivation count — equals word count for
-        unambiguous grammars)."""
-        if length < len(prefix):
-            return 0
-        key = (form, prefix, length)
-        cached = self._prefix_counts.get(key)
-        if cached is not None:
-            return cached
-        if not form:
-            result = 1 if (not prefix and length == 0) else 0
-        else:
-            head, rest = form[0], form[1:]
-            if self.grammar.is_terminal(head):
-                if not prefix:
-                    result = self._count(rest, "", length - 1)
-                elif prefix[0] == head:
-                    result = self._count(rest, prefix[1:], length - 1)
-                else:
-                    result = 0
-            else:
-                result = 0
-                for rule in self.grammar.rules_for(head):
-                    result += self._count(rule.rhs + rest, prefix, length)
-        self._prefix_counts[key] = result
-        return result
 
     def _length_spectrum(self) -> dict[int, int]:
         from repro.grammars.language import derivations_by_length
@@ -92,8 +64,12 @@ class LexRankedLanguage:
         return sum(self._length_spectrum().values())
 
     def count_with_prefix(self, prefix: str, length: int) -> int:
-        """Words of the given length starting with ``prefix`` — exact."""
-        return self._count((self.grammar.start,), prefix, length)
+        """Words of the given length starting with ``prefix`` — exact.
+
+        (A derivation count from the kernel's sentential-form prefix DP —
+        equal to the word count because the grammar is unambiguous.)
+        """
+        return self._prefix_dp.value((self.grammar.start,), prefix, length)
 
     def unrank(self, index: int) -> str:
         """The ``index``-th word (0-based) in length-lex order."""

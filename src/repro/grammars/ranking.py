@@ -23,8 +23,9 @@ from repro.grammars.ambiguity import require_unambiguous
 from repro.grammars.analysis import require_finite_language, trim
 from repro.grammars.cfg import CFG, NonTerminal, Rule
 from repro.grammars.generic import GenericParser
-from repro.grammars.language import _topological_nonterminals
 from repro.grammars.trees import ParseTree
+from repro.kernel.fold import fold_grammar
+from repro.kernel.semiring import COUNTING
 
 __all__ = ["RankedLanguage"]
 
@@ -49,11 +50,9 @@ class RankedLanguage:
             require_unambiguous(grammar, "RankedLanguage")
         self.grammar = trim(grammar)
         self._parser = GenericParser(self.grammar)
-        self._counts: dict[NonTerminal, int] = {}
-        for nt in _topological_nonterminals(self.grammar):
-            self._counts[nt] = sum(
-                self._rule_count(rule) for rule in self.grammar.rules_for(nt)
-            )
+        # One kernel fold over the counting semiring gives |L(A)| per
+        # non-terminal (= derivation counts, since the grammar is uCFG).
+        self._counts: dict[NonTerminal, int] = fold_grammar(self.grammar, COUNTING)
 
     def _rule_count(self, rule: Rule) -> int:
         prod = 1

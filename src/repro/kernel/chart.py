@@ -1,0 +1,190 @@
+"""The CNF chart filler: one bottom-up loop, any semiring.
+
+This is the single CYK-style inner loop of the repository.  Filled over
+the counting semiring it is exact parse-tree counting; over the forest
+semiring, a packed parse forest; over a :class:`MinLengthSemiring`, the
+shortest derivation; over the boolean semiring, recognition — for which
+:func:`recognise_cnf` provides a bitset-packed fast path that represents
+a whole chart cell as one machine integer and exits as soon as the
+queried symbol is known to cover the queried span.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import NotInChomskyNormalFormError
+from repro.grammars.cfg import CFG, NonTerminal, Rule
+from repro.kernel.semiring import Semiring
+
+__all__ = ["CNFChart", "require_cnf", "recognise_cnf", "cnf_bitset_tables"]
+
+
+def require_cnf(grammar: CFG) -> None:
+    """Raise unless ``grammar`` is in Chomsky normal form."""
+    if not grammar.is_in_cnf():
+        raise NotInChomskyNormalFormError(
+            "the CNF chart kernel requires a grammar in Chomsky normal form; "
+            "use repro.grammars.cnf.to_cnf"
+        )
+
+
+class CNFChart:
+    """The chart ``cell(i, j) = {A: ⊕ over derivations of word[i:j]}``.
+
+    One fill, shared by every query: :meth:`value` answers for any symbol
+    and span, :meth:`cell` exposes a whole span's accumulator.  Cells
+    store only non-zero values, so sparsity is preserved across semirings
+    exactly as in the hand-rolled predecessors.
+    """
+
+    __slots__ = ("grammar", "word", "semiring", "_cells")
+
+    def __init__(self, grammar: CFG, word: str, semiring: Semiring) -> None:
+        require_cnf(grammar)
+        self.grammar = grammar
+        self.word = word
+        self.semiring = semiring
+        sr = semiring
+        n = len(word)
+        cells: dict[tuple[int, int], dict[NonTerminal, object]] = {}
+        binary_rules = [r for r in grammar.rules if len(r.rhs) == 2]
+        unary_rules = [r for r in grammar.rules if len(r.rhs) == 1]
+        for i in range(n):
+            cell: dict[NonTerminal, object] = {}
+            for rule in unary_rules:
+                if rule.rhs[0] == word[i]:
+                    value = sr.finish(rule, sr.terminal(word[i]))
+                    prior = cell.get(rule.lhs)
+                    cell[rule.lhs] = value if prior is None else sr.add(prior, value)
+            cells[(i, i + 1)] = cell
+        for width in range(2, n + 1):
+            for i in range(0, n - width + 1):
+                j = i + width
+                cell = {}
+                for split in range(i + 1, j):
+                    left = cells[(i, split)]
+                    right = cells[(split, j)]
+                    if not left or not right:
+                        continue
+                    for rule in binary_rules:
+                        prior = cell.get(rule.lhs)
+                        if prior is not None and sr.is_absorbing(prior):
+                            continue
+                        b, c = rule.rhs
+                        lb = left.get(b)
+                        if lb is None:
+                            continue
+                        rc = right.get(c)
+                        if rc is None:
+                            continue
+                        value = sr.finish(rule, sr.mul(lb, rc))
+                        if sr.is_zero(value):
+                            continue
+                        cell[rule.lhs] = value if prior is None else sr.add(prior, value)
+                cells[(i, j)] = cell
+        self._cells = cells
+
+    def value(self, symbol: NonTerminal | None = None, span: tuple[int, int] | None = None):
+        """The accumulated value for ``symbol`` over ``word[span]``.
+
+        Defaults to the start symbol over the whole word.  The empty span
+        is derivable only through a CNF-relaxed ``S -> ε`` rule, handled
+        here so adapters agree on the empty word.
+        """
+        sr = self.semiring
+        symbol = symbol if symbol is not None else self.grammar.start
+        span = span if span is not None else (0, len(self.word))
+        if span[0] == span[1]:
+            total = sr.zero
+            for rule in self.grammar.rules_for(symbol):
+                if len(rule.rhs) == 0:
+                    total = sr.add(total, sr.finish(rule, sr.one))
+            return total
+        value = self._cells[span].get(symbol)
+        return sr.zero if value is None else value
+
+    def cell(self, span: tuple[int, int]) -> dict[NonTerminal, object]:
+        """The (non-zero) accumulators of one span, keyed by non-terminal."""
+        return dict(self._cells[span])
+
+    def symbols_at(self, span: tuple[int, int]) -> frozenset[NonTerminal]:
+        """The non-terminals with a non-zero value over ``word[span]``."""
+        return frozenset(self._cells[span])
+
+
+# ----------------------------------------------------------------------
+# The boolean bitset fast path
+# ----------------------------------------------------------------------
+
+
+@lru_cache(maxsize=512)
+def cnf_bitset_tables(grammar: CFG):
+    """Per-grammar tables for the bitset recogniser (memoised).
+
+    Returns ``(index, unary, binary, epsilon_mask)`` where ``index`` maps
+    non-terminals to bit positions, ``unary`` maps each terminal to the
+    mask of non-terminals deriving it, ``binary`` lists
+    ``(lhs_mask, rhs1_mask, rhs2_mask)`` triples, and ``epsilon_mask`` is
+    the mask of non-terminals with an ε-rule.
+    """
+    require_cnf(grammar)
+    index = {nt: position for position, nt in enumerate(grammar.nonterminals)}
+    unary: dict[str, int] = {}
+    binary: list[tuple[int, int, int]] = []
+    epsilon_mask = 0
+    for rule in grammar.rules:
+        if len(rule.rhs) == 1:
+            ch = rule.rhs[0]
+            unary[ch] = unary.get(ch, 0) | (1 << index[rule.lhs])
+        elif len(rule.rhs) == 2:
+            b, c = rule.rhs
+            binary.append((1 << index[rule.lhs], 1 << index[b], 1 << index[c]))
+        else:
+            epsilon_mask |= 1 << index[rule.lhs]
+    return index, unary, binary, epsilon_mask
+
+
+def recognise_cnf(grammar: CFG, word: str, symbol: NonTerminal | None = None) -> bool:
+    """Boolean-semiring membership with bitset cells and early exit.
+
+    Each chart cell is a single integer whose bits are the non-terminals
+    covering the span — the boolean semiring vectorised across all
+    non-terminals.  The final (target) cell stops accumulating as soon as
+    the queried symbol's bit appears, and inner cells stop once every
+    possible left-hand side is present (the absorbing element of the
+    vectorised semiring).
+    """
+    index, unary, binary, epsilon_mask = cnf_bitset_tables(grammar)
+    symbol = symbol if symbol is not None else grammar.start
+    target_bit = 1 << index[symbol]
+    n = len(word)
+    if n == 0:
+        return bool(epsilon_mask & target_bit)
+    all_lhs = 0
+    for lhs_mask, _, _ in binary:
+        all_lhs |= lhs_mask
+    cells: dict[tuple[int, int], int] = {}
+    for i in range(n):
+        cells[(i, i + 1)] = unary.get(word[i], 0)
+    for width in range(2, n + 1):
+        for i in range(0, n - width + 1):
+            j = i + width
+            is_target = (i, j) == (0, n)
+            mask = 0
+            for split in range(i + 1, j):
+                left = cells[(i, split)]
+                if not left:
+                    continue
+                right = cells[(split, j)]
+                if not right:
+                    continue
+                for lhs_mask, b_mask, c_mask in binary:
+                    if left & b_mask and right & c_mask:
+                        mask |= lhs_mask
+                if is_target and mask & target_bit:
+                    return True  # early exit: the query is answered
+                if mask == all_lhs:
+                    break  # absorbing: no split can add a new bit
+            cells[(i, j)] = mask
+    return bool(cells[(0, n)] & target_bit)

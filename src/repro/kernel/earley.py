@@ -1,0 +1,164 @@
+"""Earley item sets and the Earley-style semiring chart.
+
+The item-set machinery (``O(|G|² · n³)`` recognition on grammars in any
+form, ε-rules handled by the Aycock–Horspool nullable-advance) lives here
+so all chart-style loops share one home.  On top of it,
+:class:`EarleySemiringChart` turns the item sets into a *weighted* chart:
+the boolean Earley run first narrows the chart to the spans it completed
+— a superset of every span of every actual parse — and the generic
+semiring filler then evaluates values only on those spans.  This is the
+classic "Earley forest" construction phrased semiring-generically: for
+the boolean semiring it degenerates to plain recognition; for counting,
+forest, or min-length semirings it inherits Earley's top-down filtering,
+which is what makes long words of the ``Θ(log n)`` Appendix A grammars
+tractable without a CNF conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.grammars.analysis import nullable_nonterminals
+from repro.grammars.cfg import CFG, NonTerminal, Rule
+from repro.kernel.generic import GenericChart
+from repro.kernel.semiring import BOOLEAN, Semiring
+
+__all__ = ["EarleyItem", "EarleyChart", "EarleySemiringChart"]
+
+
+@dataclass(frozen=True, slots=True)
+class EarleyItem:
+    """A dotted rule ``A -> α • β`` started at input position ``origin``."""
+
+    rule: Rule
+    dot: int
+    origin: int
+
+    @property
+    def is_complete(self) -> bool:
+        return self.dot == len(self.rule.rhs)
+
+    @property
+    def next_symbol(self):
+        if self.is_complete:
+            return None
+        return self.rule.rhs[self.dot]
+
+    def advanced(self) -> "EarleyItem":
+        return EarleyItem(self.rule, self.dot + 1, self.origin)
+
+    def __str__(self) -> str:
+        body = list(map(str, self.rule.rhs))
+        body.insert(self.dot, "•")
+        return f"[{self.rule.lhs} -> {' '.join(body)}, {self.origin}]"
+
+
+class EarleyChart:
+    """The item sets ``S_0 ... S_n`` for one grammar/word pair."""
+
+    def __init__(self, grammar: CFG, word: str) -> None:
+        self.grammar = grammar
+        self.word = word
+        self.nullable = nullable_nonterminals(grammar)
+        n = len(word)
+        self.sets: list[set[EarleyItem]] = [set() for _ in range(n + 1)]
+        self._run()
+
+    def _predict(self, position: int, symbol: NonTerminal, agenda: list[EarleyItem]) -> None:
+        for rule in self.grammar.rules_for(symbol):
+            item = EarleyItem(rule, 0, position)
+            if item not in self.sets[position]:
+                self.sets[position].add(item)
+                agenda.append(item)
+
+    def _run(self) -> None:
+        n = len(self.word)
+        agenda: list[EarleyItem] = []
+        self._predict(0, self.grammar.start, agenda)
+        for position in range(n + 1):
+            if position > 0:
+                # Scan from the previous set.
+                ch = self.word[position - 1]
+                for item in self.sets[position - 1]:
+                    if item.next_symbol == ch:
+                        advanced = item.advanced()
+                        if advanced not in self.sets[position]:
+                            self.sets[position].add(advanced)
+                            agenda.append(advanced)
+            # Exhaust predictions/completions at this position.
+            agenda = [i for i in self.sets[position]]
+            while agenda:
+                item = agenda.pop()
+                symbol = item.next_symbol
+                if symbol is None:
+                    # Complete: advance everything waiting on item.rule.lhs.
+                    for waiting in list(self.sets[item.origin]):
+                        if waiting.next_symbol == item.rule.lhs:
+                            advanced = waiting.advanced()
+                            if advanced not in self.sets[position]:
+                                self.sets[position].add(advanced)
+                                agenda.append(advanced)
+                elif self.grammar.is_nonterminal(symbol):
+                    self._predict(position, symbol, agenda)
+                    # Nullable advance (Aycock-Horspool): skip over ε.
+                    if symbol in self.nullable:
+                        advanced = item.advanced()
+                        if advanced not in self.sets[position]:
+                            self.sets[position].add(advanced)
+                            agenda.append(advanced)
+                # Terminals are handled by the scan of the next set.
+
+    def accepts(self) -> bool:
+        """Whether the full word derives from the start symbol."""
+        return any(
+            item.is_complete
+            and item.rule.lhs == self.grammar.start
+            and item.origin == 0
+            for item in self.sets[len(self.word)]
+        )
+
+    def completed_spans(self) -> set[tuple[NonTerminal, int, int]]:
+        """All ``(A, i, j)`` with ``A ⇒* word[i:j]`` recognised by the run.
+
+        (Earley only materialises spans reachable in context, so this is a
+        subset of the CYK table's content but always contains every span
+        of every actual parse.)
+        """
+        spans: set[tuple[NonTerminal, int, int]] = set()
+        for j, items in enumerate(self.sets):
+            for item in items:
+                if item.is_complete:
+                    spans.add((item.rule.lhs, item.origin, j))
+        return spans
+
+
+class EarleySemiringChart:
+    """Semiring-valued Earley: item sets narrow, the generic filler weighs.
+
+    Construction runs the boolean item-set pass; :meth:`value` evaluates
+    the requested semiring only over completed spans, so the weighted pass
+    never touches a span Earley's top-down filtering ruled out.  Both
+    passes are memoised per chart — build one chart per word and reuse it
+    across queries.
+    """
+
+    __slots__ = ("grammar", "word", "semiring", "items", "_spans", "_chart")
+
+    def __init__(self, grammar: CFG, word: str, semiring: Semiring = BOOLEAN) -> None:
+        self.grammar = grammar
+        self.word = word
+        self.semiring = semiring
+        self.items = EarleyChart(grammar, word)
+        self._spans = self.items.completed_spans()
+        self._chart = GenericChart(grammar, word, semiring, allowed_spans=self._spans)
+
+    def accepts(self) -> bool:
+        """Boolean acceptance, straight from the item sets (no second pass)."""
+        return self.items.accepts()
+
+    def completed_spans(self) -> set[tuple[NonTerminal, int, int]]:
+        return set(self._spans)
+
+    def value(self, symbol: NonTerminal | None = None, span: tuple[int, int] | None = None):
+        """The semiring value for ``symbol`` over ``word[span]``."""
+        return self._chart.value(symbol, span)

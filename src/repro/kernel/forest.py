@@ -1,0 +1,203 @@
+"""Packed derivation forests: the semiring of "all parse trees at once".
+
+A chart cell over this semiring holds a *shared-packed parse forest* — a
+DAG whose alternatives mirror the ``⊕`` structure of the chart and whose
+concatenations mirror ``⊗``.  Sub-forests are shared between cells, so
+the forest is polynomial-sized even when it encodes exponentially many
+trees (the situation Figure 1 of the paper illustrates: an ambiguous
+grammar whose words have many parse trees).
+
+Forests support exact counting (agreeing with the counting semiring by
+construction) and lazy, deterministic enumeration of the encoded trees —
+which is how ``count ≥ 2`` is turned into a two-tree ambiguity witness
+without re-parsing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.grammars.cfg import Rule
+from repro.grammars.trees import ParseTree, leaf, node
+from repro.kernel.semiring import Semiring
+
+__all__ = ["Forest", "ForestSemiring", "FOREST", "EMPTY_FOREST", "EPSILON_FOREST"]
+
+
+class Forest:
+    """A node of a packed forest; iterates as tuples of parse trees.
+
+    Each enumeration element is a *sequence* of trees (the children built
+    so far for some rule body); a completed non-terminal occurrence is a
+    one-element sequence.  Enumeration order is deterministic: alternative
+    insertion order, concatenations left-major.
+    """
+
+    __slots__ = ("_count",)
+
+    def __init__(self) -> None:
+        self._count: int | None = None
+
+    def count(self) -> int:
+        """The exact number of encoded sequences (memoised, big-int)."""
+        if self._count is None:
+            self._count = self._compute_count()
+        return self._count
+
+    def _compute_count(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[tuple[ParseTree, ...]]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def trees(self) -> Iterator[ParseTree]:
+        """Yield the encoded parse trees (one-element sequences unpacked)."""
+        for sequence in self:
+            (tree,) = sequence
+            yield tree
+
+
+class _Empty(Forest):
+    """The zero forest: no sequences at all."""
+
+    __slots__ = ()
+
+    def _compute_count(self) -> int:
+        return 0
+
+    def __iter__(self) -> Iterator[tuple[ParseTree, ...]]:
+        return iter(())
+
+
+class _Epsilon(Forest):
+    """The unit forest: exactly the empty sequence."""
+
+    __slots__ = ()
+
+    def _compute_count(self) -> int:
+        return 1
+
+    def __iter__(self) -> Iterator[tuple[ParseTree, ...]]:
+        yield ()
+
+
+class _Leaf(Forest):
+    """One terminal leaf."""
+
+    __slots__ = ("symbol",)
+
+    def __init__(self, symbol: str) -> None:
+        super().__init__()
+        self.symbol = symbol
+
+    def _compute_count(self) -> int:
+        return 1
+
+    def __iter__(self) -> Iterator[tuple[ParseTree, ...]]:
+        yield (leaf(self.symbol),)
+
+
+class _Apply(Forest):
+    """A rule application: every body sequence becomes one rooted tree."""
+
+    __slots__ = ("rule", "body")
+
+    def __init__(self, rule: Rule, body: Forest) -> None:
+        super().__init__()
+        self.rule = rule
+        self.body = body
+
+    def _compute_count(self) -> int:
+        return self.body.count()
+
+    def __iter__(self) -> Iterator[tuple[ParseTree, ...]]:
+        for sequence in self.body:
+            yield (node(self.rule.lhs, sequence),)
+
+
+class _Cat(Forest):
+    """Concatenation of two forests (left-major enumeration order)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Forest, right: Forest) -> None:
+        super().__init__()
+        self.left = left
+        self.right = right
+
+    def _compute_count(self) -> int:
+        return self.left.count() * self.right.count()
+
+    def __iter__(self) -> Iterator[tuple[ParseTree, ...]]:
+        for head in self.left:
+            for tail in self.right:
+                yield head + tail
+
+
+class _Alt(Forest):
+    """Union of alternatives, enumerated in insertion order."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: tuple[Forest, ...]) -> None:
+        super().__init__()
+        self.parts = parts
+
+    def _compute_count(self) -> int:
+        return sum(part.count() for part in self.parts)
+
+    def __iter__(self) -> Iterator[tuple[ParseTree, ...]]:
+        for part in self.parts:
+            yield from part
+
+
+#: The two structural constants, shared across all charts.
+EMPTY_FOREST = _Empty()
+EPSILON_FOREST = _Epsilon()
+
+
+class ForestSemiring(Semiring):
+    """The chart semiring whose values are packed derivation forests.
+
+    ``⊕`` unions alternatives (flattening nested unions so enumeration
+    order matches chart accumulation order), ``⊗`` concatenates child
+    sequences, and ``finish`` roots a completed body in a tree node.  All
+    identity cases short-circuit, so forests contain no degenerate nodes
+    and sharing is maximal: a chart cell's forest references the child
+    cells' forests directly.
+    """
+
+    zero = EMPTY_FOREST
+    one = EPSILON_FOREST
+
+    def add(self, a: Forest, b: Forest) -> Forest:
+        if a is EMPTY_FOREST:
+            return b
+        if b is EMPTY_FOREST:
+            return a
+        left = a.parts if isinstance(a, _Alt) else (a,)
+        right = b.parts if isinstance(b, _Alt) else (b,)
+        return _Alt(left + right)
+
+    def mul(self, a: Forest, b: Forest) -> Forest:
+        if a is EMPTY_FOREST or b is EMPTY_FOREST:
+            return EMPTY_FOREST
+        if a is EPSILON_FOREST:
+            return b
+        if b is EPSILON_FOREST:
+            return a
+        return _Cat(a, b)
+
+    def terminal(self, symbol: str) -> Forest:
+        return _Leaf(symbol)
+
+    def finish(self, rule: Rule, value: Forest) -> Forest:
+        if value is EMPTY_FOREST:
+            return EMPTY_FOREST
+        return _Apply(rule, value)
+
+    def is_zero(self, value: Forest) -> bool:
+        return value is EMPTY_FOREST
+
+
+FOREST = ForestSemiring()

@@ -1,0 +1,169 @@
+"""The generic chart filler: any rule shape, any semiring.
+
+The paper's concrete grammars (Example 3, Example 4, Appendix A) are not
+in Chomsky normal form; this filler evaluates the chart recursion
+directly on the original rules with a memoised span recursion, pruned by
+per-symbol minimum derivable lengths.  It is the engine under
+:class:`repro.grammars.generic.GenericParser` and — restricted to the
+spans an Earley run completes — under the Earley-style semiring chart of
+:mod:`repro.kernel.earley`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Container
+
+from repro.errors import InfiniteAmbiguityError
+from repro.grammars.cfg import CFG, NonTerminal, Symbol
+from repro.kernel.semiring import Semiring
+
+__all__ = ["GenericChart", "symbol_min_lengths"]
+
+
+def symbol_min_lengths(grammar: CFG) -> dict[NonTerminal, int | None]:
+    """Shortest derivable word length per non-terminal (None = unproductive).
+
+    This is the pruning table of every generic chart: a span can only be
+    derived by a sentential suffix whose minimum length fits inside it,
+    which is also what keeps same-span recursion on the acyclic
+    nullable-unit graph.
+    """
+    best: dict[NonTerminal, int | None] = {nt: None for nt in grammar.nonterminals}
+    changed = True
+    while changed:
+        changed = False
+        for rule in grammar.rules:
+            total = 0
+            feasible = True
+            for sym in rule.rhs:
+                if grammar.is_terminal(sym):
+                    total += 1
+                else:
+                    sub = best[sym]
+                    if sub is None:
+                        feasible = False
+                        break
+                    total += sub
+            if not feasible:
+                continue
+            current = best[rule.lhs]
+            if current is None or total < current:
+                best[rule.lhs] = total
+                changed = True
+    return best
+
+
+class GenericChart:
+    """A memoised semiring chart for one grammar/word pair, any rule shape.
+
+    ``value(A, (i, j))`` is the ``⊕``-sum over all derivations of
+    ``word[i:j]`` from ``A`` of the semiring value of the derivation.
+    The memo is per chart, so repeated queries against the same word
+    share all work — callers that ask several questions about one word
+    should build one chart and reuse it.
+
+    ``allowed_spans`` optionally restricts which ``(A, i, j)`` triples may
+    be explored (anything outside is ``0̄``); the Earley bridge uses this
+    to evaluate only spans its item sets completed.  The caller is
+    responsible for ruling out derivation cycles ``A ⇒+ A`` (see
+    :func:`repro.grammars.analysis.has_unit_or_epsilon_cycle`); the chart
+    guards against them defensively.
+    """
+
+    __slots__ = ("grammar", "word", "semiring", "_min_len", "_allowed", "_memo_sym", "_memo_seq", "_in_progress")
+
+    def __init__(
+        self,
+        grammar: CFG,
+        word: str,
+        semiring: Semiring,
+        *,
+        min_lengths: dict[NonTerminal, int | None] | None = None,
+        allowed_spans: Container[tuple[NonTerminal, int, int]] | None = None,
+    ) -> None:
+        self.grammar = grammar
+        self.word = word
+        self.semiring = semiring
+        self._min_len = min_lengths if min_lengths is not None else symbol_min_lengths(grammar)
+        self._allowed = allowed_spans
+        self._memo_sym: dict[tuple[NonTerminal, int, int], object] = {}
+        self._memo_seq: dict[tuple[tuple[Symbol, ...], int, int], object] = {}
+        self._in_progress: set[tuple[NonTerminal, int, int]] = set()
+
+    def _sym_min(self, symbol: Symbol) -> int | None:
+        if self.grammar.is_terminal(symbol):
+            return 1
+        return self._min_len[symbol]
+
+    def _seq_min(self, seq: tuple[Symbol, ...]) -> int | None:
+        total = 0
+        for sym in seq:
+            minimum = self._sym_min(sym)
+            if minimum is None:
+                return None
+            total += minimum
+        return total
+
+    def value(self, symbol: NonTerminal | None = None, span: tuple[int, int] | None = None):
+        """The chart value for ``symbol`` over ``word[span]`` (defaults: whole word)."""
+        symbol = symbol if symbol is not None else self.grammar.start
+        span = span if span is not None else (0, len(self.word))
+        return self._value_sym(symbol, span[0], span[1])
+
+    def _value_sym(self, nt: NonTerminal, i: int, j: int):
+        sr = self.semiring
+        key = (nt, i, j)
+        memo = self._memo_sym
+        if key in memo:
+            return memo[key]
+        if self._allowed is not None and key not in self._allowed:
+            memo[key] = sr.zero
+            return sr.zero
+        if key in self._in_progress:
+            raise InfiniteAmbiguityError(
+                f"derivation cycle at {key!r}: some word has infinitely many parse trees"
+            )
+        self._in_progress.add(key)
+        total = sr.zero
+        for rule in self.grammar.rules_for(nt):
+            body = self._value_seq(rule.rhs, i, j)
+            if sr.is_zero(body):
+                continue
+            total = sr.add(total, sr.finish(rule, body))
+        self._in_progress.discard(key)
+        memo[key] = total
+        return total
+
+    def _value_seq(self, seq: tuple[Symbol, ...], i: int, j: int):
+        sr = self.semiring
+        if not seq:
+            return sr.one if i == j else sr.zero
+        key = (seq, i, j)
+        memo = self._memo_seq
+        if key in memo:
+            return memo[key]
+        head, rest = seq[0], seq[1:]
+        rest_min = self._seq_min(rest)
+        total = sr.zero
+        if rest_min is not None:
+            if self.grammar.is_terminal(head):
+                if i < j and self.word[i] == head:
+                    tail = self._value_seq(rest, i + 1, j)
+                    if not sr.is_zero(tail):
+                        total = sr.mul(sr.terminal(head), tail)
+            else:
+                head_min = self._sym_min(head)
+                if head_min is not None:
+                    # head derives word[i:k]; only feasible k are explored.
+                    for k in range(i + head_min, j - rest_min + 1):
+                        head_value = self._value_sym(head, i, k)
+                        if sr.is_zero(head_value):
+                            continue
+                        tail = self._value_seq(rest, k, j)
+                        if sr.is_zero(tail):
+                            continue
+                        total = sr.add(total, sr.mul(head_value, tail))
+                        if sr.is_absorbing(total):
+                            break
+        memo[key] = total
+        return total

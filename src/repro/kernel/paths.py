@@ -1,0 +1,88 @@
+"""Layered path values in automata: the transfer-matrix DP, any semiring.
+
+Counting accepted words with a DFA, counting accepting runs of an NFA
+(which over-counts words exactly by run ambiguity — the UFA story of
+Theorem 1, one level below grammars), and plain reachability are all the
+same forward dynamic program over states; the semiring decides which.
+The automaton is presented abstractly as a ``successors`` callable so
+DFAs (one successor per defined symbol) and NFAs (a set per symbol) share
+the loop.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable
+
+from repro.kernel.semiring import COUNTING, Semiring
+
+__all__ = ["step_layer", "path_value", "path_values_up_to"]
+
+State = Hashable
+
+
+def step_layer(
+    weights: dict[State, object],
+    successors: Callable[[State], Iterable[State]],
+    semiring: Semiring,
+) -> dict[State, object]:
+    """Push one layer of weights across the transition relation.
+
+    ``successors(state)`` yields successor states *with multiplicity*
+    (one occurrence per transition), which is what makes the counting
+    semiring count runs rather than reachable states.
+    """
+    sr = semiring
+    nxt: dict[State, object] = {}
+    for state, weight in weights.items():
+        for succ in successors(state):
+            prior = nxt.get(succ)
+            nxt[succ] = weight if prior is None else sr.add(prior, weight)
+    return nxt
+
+
+def _accepting_total(weights: dict[State, object], accepting, semiring: Semiring):
+    total = semiring.zero
+    for state, weight in weights.items():
+        if state in accepting:
+            total = semiring.add(total, weight)
+    return total
+
+
+def path_value(
+    successors: Callable[[State], Iterable[State]],
+    initial: Iterable[State],
+    accepting,
+    length: int,
+    semiring: Semiring = COUNTING,
+):
+    """The ``⊕``-sum over all length-``length`` initial→accepting paths.
+
+    With the counting semiring this is the number of such paths; with the
+    boolean semiring, whether one exists.
+    """
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    sr = semiring
+    weights: dict[State, object] = {state: sr.one for state in initial}
+    for _ in range(length):
+        weights = step_layer(weights, successors, sr)
+    return _accepting_total(weights, accepting, sr)
+
+
+def path_values_up_to(
+    successors: Callable[[State], Iterable[State]],
+    initial: Iterable[State],
+    accepting,
+    max_length: int,
+    semiring: Semiring = COUNTING,
+) -> dict[int, object]:
+    """``{length: path value}`` for every length up to the bound."""
+    if max_length < 0:
+        raise ValueError(f"max_length must be non-negative, got {max_length}")
+    sr = semiring
+    weights: dict[State, object] = {state: sr.one for state in initial}
+    values = {0: _accepting_total(weights, accepting, sr)}
+    for length in range(1, max_length + 1):
+        weights = step_layer(weights, successors, sr)
+        values[length] = _accepting_total(weights, accepting, sr)
+    return values

@@ -1,0 +1,68 @@
+"""The sentential-form prefix DP, semiring-parameterized.
+
+Length-lexicographic ranked access (the database-style direct access of
+[4]/[24] on unambiguous grammars) reduces to one question: how many
+length-``ℓ`` words derivable from a sentential form start with a given
+prefix?  That is a chart-style DP over (form, prefix, length) triples,
+and — like every other DP in the repository — it is semiring-generic:
+the counting semiring gives exact ranks, the boolean semiring gives a
+cheap "does any word continue this prefix" pruning test.
+
+Only *unlabelled* semirings (``finish`` = identity) are supported: rule
+bodies are spliced into the sentential form rather than evaluated in
+isolation, so there is no completed body to wrap.
+"""
+
+from __future__ import annotations
+
+from repro.grammars.cfg import CFG, Symbol
+from repro.kernel.semiring import COUNTING, Semiring
+
+__all__ = ["PrefixDP"]
+
+
+class PrefixDP:
+    """Memoised prefix-constrained derivation values for one grammar.
+
+    ``value(form, prefix, length)`` is the ``⊕``-sum over derivations of
+    length-``length`` words from ``form`` that start with ``prefix``
+    (with the counting semiring: the number of such derivations, which
+    equals the word count for unambiguous grammars).  The memo is held by
+    the instance and shared across queries — one ``PrefixDP`` per ranked
+    language, reused by every rank/unrank call.
+    """
+
+    __slots__ = ("grammar", "semiring", "_memo")
+
+    def __init__(self, grammar: CFG, semiring: Semiring = COUNTING) -> None:
+        self.grammar = grammar
+        self.semiring = semiring
+        self._memo: dict[tuple[tuple[Symbol, ...], str, int], object] = {}
+
+    def value(self, form: tuple[Symbol, ...], prefix: str, length: int):
+        sr = self.semiring
+        if length < len(prefix):
+            return sr.zero
+        key = (form, prefix, length)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        if not form:
+            result = sr.one if (not prefix and length == 0) else sr.zero
+        else:
+            head, rest = form[0], form[1:]
+            if self.grammar.is_terminal(head):
+                if not prefix:
+                    result = sr.mul(sr.terminal(head), self.value(rest, "", length - 1))
+                elif prefix[0] == head:
+                    result = sr.mul(sr.terminal(head), self.value(rest, prefix[1:], length - 1))
+                else:
+                    result = sr.zero
+            else:
+                result = sr.zero
+                for rule in self.grammar.rules_for(head):
+                    result = sr.add(result, self.value(rule.rhs + rest, prefix, length))
+                    if sr.is_absorbing(result):
+                        break
+        self._memo[key] = result
+        return result

@@ -1,0 +1,137 @@
+"""Pre-kernel parser implementations, kept verbatim as test oracles.
+
+When the chart loops moved into ``repro.kernel``, the hand-rolled dynamic
+programs they replaced were preserved here (and only here) so property
+tests can prove the kernel agrees with them on every input.  These
+functions are frozen reference code: do not refactor them onto the
+kernel, that would make the cross-check circular.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NotInChomskyNormalFormError
+from repro.grammars.cfg import CFG, NonTerminal, Symbol
+
+
+def legacy_cyk_count(grammar: CFG, word: str, symbol: NonTerminal | None = None) -> int:
+    """The original CYK counting chart (dict cells, no semirings)."""
+    if not grammar.is_in_cnf():
+        raise NotInChomskyNormalFormError("legacy CYK requires CNF")
+    n = len(word)
+    counts: dict[tuple[int, int], dict[NonTerminal, int]] = {}
+    binary_rules = [r for r in grammar.rules if len(r.rhs) == 2]
+    unary_rules = [r for r in grammar.rules if len(r.rhs) == 1]
+    for i in range(n):
+        cell: dict[NonTerminal, int] = {}
+        for rule in unary_rules:
+            if rule.rhs[0] == word[i]:
+                cell[rule.lhs] = cell.get(rule.lhs, 0) + 1
+        counts[(i, i + 1)] = cell
+    for width in range(2, n + 1):
+        for i in range(0, n - width + 1):
+            j = i + width
+            cell = {}
+            for split in range(i + 1, j):
+                left = counts[(i, split)]
+                right = counts[(split, j)]
+                if not left or not right:
+                    continue
+                for rule in binary_rules:
+                    b, c = rule.rhs
+                    lb = left.get(b)
+                    if not lb:
+                        continue
+                    rc = right.get(c)
+                    if not rc:
+                        continue
+                    cell[rule.lhs] = cell.get(rule.lhs, 0) + lb * rc
+            counts[(i, j)] = cell
+    symbol = symbol if symbol is not None else grammar.start
+    if n == 0:
+        has_eps = any(
+            r.lhs == symbol and len(r.rhs) == 0 for r in grammar.rules_for(symbol)
+        )
+        return 1 if has_eps else 0
+    return counts[(0, n)].get(symbol, 0)
+
+
+def _legacy_min_lengths(grammar: CFG) -> dict[NonTerminal, int | None]:
+    best: dict[NonTerminal, int | None] = {nt: None for nt in grammar.nonterminals}
+    changed = True
+    while changed:
+        changed = False
+        for rule in grammar.rules:
+            total = 0
+            feasible = True
+            for sym in rule.rhs:
+                if grammar.is_terminal(sym):
+                    total += 1
+                else:
+                    sub = best[sym]
+                    if sub is None:
+                        feasible = False
+                        break
+                    total += sub
+            if not feasible:
+                continue
+            current = best[rule.lhs]
+            if current is None or total < current:
+                best[rule.lhs] = total
+                changed = True
+    return best
+
+
+def legacy_generic_count(grammar: CFG, word: str, symbol: NonTerminal | None = None) -> int:
+    """The original memoised span recursion for grammars in any form."""
+    symbol = symbol if symbol is not None else grammar.start
+    min_len = _legacy_min_lengths(grammar)
+
+    def sym_min(s: Symbol) -> int | None:
+        return 1 if grammar.is_terminal(s) else min_len[s]
+
+    def seq_min(seq: tuple[Symbol, ...]) -> int | None:
+        total = 0
+        for s in seq:
+            m = sym_min(s)
+            if m is None:
+                return None
+            total += m
+        return total
+
+    memo_sym: dict[tuple[NonTerminal, int, int], int] = {}
+    memo_seq: dict[tuple[tuple[Symbol, ...], int, int], int] = {}
+
+    def count_sym(nt: NonTerminal, i: int, j: int) -> int:
+        key = (nt, i, j)
+        if key in memo_sym:
+            return memo_sym[key]
+        total = 0
+        for rule in grammar.rules_for(nt):
+            total += count_seq(rule.rhs, i, j)
+        memo_sym[key] = total
+        return total
+
+    def count_seq(seq: tuple[Symbol, ...], i: int, j: int) -> int:
+        if not seq:
+            return 1 if i == j else 0
+        key = (seq, i, j)
+        if key in memo_seq:
+            return memo_seq[key]
+        head, rest = seq[0], seq[1:]
+        rest_min = seq_min(rest)
+        total = 0
+        if rest_min is not None:
+            if grammar.is_terminal(head):
+                if i < j and word[i] == head:
+                    total = count_seq(rest, i + 1, j)
+            else:
+                head_min = sym_min(head)
+                if head_min is not None:
+                    for k in range(i + head_min, j - rest_min + 1):
+                        c_head = count_sym(head, i, k)
+                        if c_head:
+                            total += c_head * count_seq(rest, k, j)
+        memo_seq[key] = total
+        return total
+
+    return count_sym(symbol, 0, len(word))
