@@ -309,6 +309,79 @@ def _cmd_bench_parsing(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_comm_table(rows: list[dict]) -> Table:
+    table = Table(
+        ["p", "side", "rank", "greedy cover", "min cover", "fooling"],
+        title="Communication substrate: legacy (sets/Fractions) vs. packed bitmasks",
+    )
+    for row in rows:
+        cells: list[str] = [str(row["p"]), str(row["matrix_side"])]
+        for name in ("rank_q", "greedy_cover", "min_cover", "fooling"):
+            op = row["ops"][name]
+            if op.get("skipped"):
+                cells.append("-")
+            elif op["packed"]["value"] is None:
+                cells.append("budget out")
+            elif op["legacy"]["value"] is None:
+                cells.append(f"{op['packed']['seconds']:.4f}s (legacy gave up)")
+            else:
+                cells.append(f"{op['packed']['seconds']:.4f}s ({op['speedup']:.1f}x)")
+        table.add_row(cells)
+    return table
+
+
+def _cmd_bench_comm(args: argparse.Namespace) -> int:
+    # Benchmarks time code, so cached timings from an earlier run would be
+    # stale; always recompute.
+    args.no_cache = True
+    engine = _build_engine(args)
+    result = engine.run_one(
+        "comm.bench",
+        {
+            "max_p": args.max_p,
+            "max_m": args.max_m,
+            "node_budget": args.node_budget,
+            "budget_s": args.budget_s,
+        },
+    )
+    _bench_comm_table(result["rows"]).print()
+    for row in result["disc_rows"]:
+        print(
+            f"discrepancy (split sign matrix, m={row['m']}, "
+            f"{row['matrix_side']}x{row['matrix_side']}): "
+            f"{row['packed']['seconds']:.4f}s ({row['speedup']:.1f}x), "
+            f"max_disc={row['max_disc']}"
+        )
+    summary = result["summary"]["ops"]
+    for name in sorted(summary):
+        op = summary[name]
+        frontier = op["largest_p_within_budget"]
+        parts = [f"legacy reaches p={frontier['legacy']}", f"packed p={frontier['packed']}"]
+        if op.get("speedup_at_largest_common") is not None:
+            parts.append(
+                f"{op['speedup_at_largest_common']:.1f}x at p={op['largest_common_p']}"
+            )
+        print(f"{name}: " + ", ".join(parts))
+    if args.out:
+        import platform
+        import time
+        from pathlib import Path
+
+        artifact = {
+            "kind": "comm_bench",
+            "generated_at": time.time(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            **result,
+        }
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+        print(f"bench: wrote {path}", file=sys.stderr)
+    _report_engine(engine)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.engine import DiskCache
 
@@ -424,6 +497,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_options(bench_parsing)
     bench_parsing.set_defaults(func=_cmd_bench_parsing)
+    bench_comm = bench_sub.add_parser(
+        "comm", help="legacy vs. packed communication substrate over INTERSECT_p"
+    )
+    bench_comm.add_argument(
+        "--max-p", type=int, default=6, help="largest p in the sweep (default 6)"
+    )
+    bench_comm.add_argument(
+        "--max-m",
+        type=int,
+        default=2,
+        help="largest m for the sign-matrix discrepancy rows (<= 2, default 2)",
+    )
+    bench_comm.add_argument(
+        "--node-budget",
+        type=int,
+        default=2_000_000,
+        help="branch-and-bound node cap for the exact cover (default 2000000)",
+    )
+    bench_comm.add_argument(
+        "--budget-s",
+        type=float,
+        default=5.0,
+        help="per-op time budget defining the reachability frontier (default 5.0)",
+    )
+    bench_comm.add_argument(
+        "--out", default=None, metavar="PATH", help="also write BENCH_comm.json here"
+    )
+    _add_engine_options(bench_comm)
+    bench_comm.set_defaults(func=_cmd_bench_comm)
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument(

@@ -23,6 +23,7 @@ from repro.comm.matrix import (
     intersection_matrix,
     matrix_from_function,
 )
+from repro.comm.packed import PackedMatrix, as_packed
 from repro.comm.nondeterministic import (
     element_cover_for_intersection,
     greedy_overlapping_cover,
@@ -44,6 +45,8 @@ from repro.comm.rank import (
 
 __all__ = [
     "CommMatrix",
+    "PackedMatrix",
+    "as_packed",
     "matrix_from_function",
     "intersection_matrix",
     "disjointness_matrix",

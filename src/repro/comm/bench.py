@@ -1,0 +1,409 @@
+"""Legacy-vs-packed benchmark cores for the communication substrate.
+
+Each timing row pits the bit-parallel implementations (packed matrices,
+Bareiss rank, mask-based covers) against the implementations they
+replaced — Fraction Gaussian elimination and frozenset rectangle search,
+preserved below as module-level baselines so engine workers can import
+them.  The baselines duplicate the test oracles in
+``tests/legacy_comm.py`` on purpose: the test suite is not importable
+from worker processes, and the oracles must not depend on benchmark
+code.  Results are plain JSON, produced by the ``comm.bench.row`` /
+``comm.bench`` jobs and the ``python -m repro bench comm`` front end.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from fractions import Fraction
+from time import perf_counter
+from typing import Any
+
+from repro.comm.matrix import CommMatrix, intersection_matrix
+from repro.comm.packed import PackedMatrix
+
+__all__ = [
+    "OPS",
+    "bench_comm_row",
+    "bench_disc_row",
+    "summarise_rows",
+    "legacy_rank_over_q",
+    "legacy_greedy_disjoint_cover",
+    "legacy_minimum_disjoint_cover",
+    "legacy_greedy_fooling_set",
+    "legacy_max_bilinear_form_exact",
+]
+
+_Rect = tuple[frozenset[int], frozenset[int]]
+
+
+# ----------------------------------------------------------------------
+# Frozen baselines (the pre-packed algorithms, verbatim)
+# ----------------------------------------------------------------------
+
+
+def legacy_rank_over_q(matrix: CommMatrix) -> int:
+    """Gaussian elimination over ``Fraction`` (pre-Bareiss ``rank_over_q``)."""
+    work = [[Fraction(v) for v in row] for row in matrix.entries]
+    if not work:
+        return 0
+    n_cols = len(work[0])
+    rank = 0
+    pivot_row = 0
+    for col in range(n_cols):
+        pivot = next((r for r in range(pivot_row, len(work)) if work[r][col] != 0), None)
+        if pivot is None:
+            continue
+        work[pivot_row], work[pivot] = work[pivot], work[pivot_row]
+        head = work[pivot_row][col]
+        for r in range(pivot_row + 1, len(work)):
+            if work[r][col] != 0:
+                factor = work[r][col] / head
+                row_r, row_p = work[r], work[pivot_row]
+                for c in range(col, n_cols):
+                    row_r[c] -= factor * row_p[c]
+        pivot_row += 1
+        rank += 1
+        if pivot_row == len(work):
+            break
+    return rank
+
+
+def _legacy_rect_cells(rect: _Rect) -> frozenset[tuple[int, int]]:
+    rows, cols = rect
+    return frozenset((i, j) for i in rows for j in cols)
+
+
+def _legacy_grow_rectangle(
+    matrix: CommMatrix,
+    seed: tuple[int, int],
+    allowed: frozenset[tuple[int, int]],
+    column_first: bool,
+) -> _Rect:
+    i0, j0 = seed
+    n_rows, n_cols = matrix.shape
+
+    def row_ok(i: int, cols: Iterable[int]) -> bool:
+        return all(matrix[i, j] == 1 and (i, j) in allowed for j in cols)
+
+    def col_ok(j: int, rows: Iterable[int]) -> bool:
+        return all(matrix[i, j] == 1 and (i, j) in allowed for i in rows)
+
+    rows = {i0}
+    cols = {j0}
+    if column_first:
+        cols |= {j for j in range(n_cols) if j != j0 and col_ok(j, rows)}
+        rows |= {i for i in range(n_rows) if i != i0 and row_ok(i, cols)}
+    else:
+        rows |= {i for i in range(n_rows) if i != i0 and row_ok(i, cols)}
+        cols |= {j for j in range(n_cols) if j != j0 and col_ok(j, rows)}
+    return frozenset(rows), frozenset(cols)
+
+
+def _legacy_maximal_rectangles_at(
+    matrix: CommMatrix,
+    seed: tuple[int, int],
+    allowed: frozenset[tuple[int, int]],
+) -> list[_Rect]:
+    i0, j0 = seed
+    n_rows, n_cols = matrix.shape
+    candidate_cols = [
+        j for j in range(n_cols) if matrix[i0, j] == 1 and (i0, j) in allowed
+    ]
+    seen: set[_Rect] = set()
+    results: list[_Rect] = []
+    for mask in range(1 << len(candidate_cols)):
+        cols = {j0} | {
+            candidate_cols[b] for b in range(len(candidate_cols)) if mask >> b & 1
+        }
+        rows = frozenset(
+            i
+            for i in range(n_rows)
+            if all(matrix[i, j] == 1 and (i, j) in allowed for j in cols)
+        )
+        if not rows:
+            continue
+        closed_cols = frozenset(
+            j
+            for j in range(n_cols)
+            if all(matrix[i, j] == 1 and (i, j) in allowed for i in rows)
+        )
+        rect = (rows, closed_cols)
+        if rect not in seen:
+            seen.add(rect)
+            results.append(rect)
+    return results
+
+
+def legacy_greedy_disjoint_cover(matrix: CommMatrix) -> list[_Rect]:
+    """The frozenset-based greedy disjoint cover (pre-packed)."""
+    uncovered = set(matrix.ones())
+    cover: list[_Rect] = []
+    while uncovered:
+        seed = min(uncovered)
+        allowed = frozenset(uncovered)
+        best = max(
+            (
+                _legacy_grow_rectangle(matrix, seed, allowed, column_first)
+                for column_first in (False, True)
+            ),
+            key=lambda r: len(r[0]) * len(r[1]),
+        )
+        cover.append(best)
+        uncovered -= _legacy_rect_cells(best)
+    return cover
+
+
+def legacy_minimum_disjoint_cover(
+    matrix: CommMatrix, node_budget: int = 2_000_000
+) -> list[_Rect]:
+    """The frozenset branch-and-bound (pre-packed; no memoization)."""
+    ones = frozenset(matrix.ones())
+    if not ones:
+        return []
+    best_cover = legacy_greedy_disjoint_cover(matrix)
+    nodes = 0
+
+    def search(uncovered: frozenset[tuple[int, int]], chosen: list[_Rect]) -> None:
+        nonlocal best_cover, nodes
+        nodes += 1
+        if nodes > node_budget:
+            raise RuntimeError("minimum_disjoint_cover: node budget exhausted")
+        if not uncovered:
+            if len(chosen) < len(best_cover):
+                best_cover = list(chosen)
+            return
+        if len(chosen) + 1 >= len(best_cover):
+            return
+        seed = min(uncovered)
+        for rect in _legacy_maximal_rectangles_at(matrix, seed, uncovered):
+            chosen.append(rect)
+            search(uncovered - _legacy_rect_cells(rect), chosen)
+            chosen.pop()
+
+    search(ones, [])
+    return best_cover
+
+
+def legacy_greedy_fooling_set(matrix: CommMatrix) -> list[tuple[int, int]]:
+    """The entry-by-entry greedy fooling scan (pre-packed)."""
+    chosen: list[tuple[int, int]] = []
+    for i, j in matrix.ones():
+        if all(matrix[i, j2] == 0 or matrix[i2, j] == 0 for (i2, j2) in chosen):
+            chosen.append((i, j))
+    return chosen
+
+
+def legacy_max_bilinear_form_exact(matrix: list[list[int]]) -> int:
+    """The pre-SWAR exact Gray-code sweep with per-column Python sums."""
+    if not matrix or not matrix[0]:
+        return 0
+    n_rows, n_cols = len(matrix), len(matrix[0])
+    base = (
+        matrix
+        if n_rows <= n_cols
+        else [[matrix[i][j] for i in range(n_rows)] for j in range(n_cols)]
+    )
+    dim = len(base)
+    width = len(base[0])
+    column_sums = [0] * width
+    in_set = [False] * dim
+    best = 0
+    for step in range(1, 1 << dim):
+        flip = (step & -step).bit_length() - 1
+        sign = -1 if in_set[flip] else 1
+        in_set[flip] = not in_set[flip]
+        row = base[flip]
+        for j in range(width):
+            column_sums[j] += sign * row[j]
+        positive = sum(s for s in column_sums if s > 0)
+        negative = sum(s for s in column_sums if s < 0)
+        best = max(best, positive, -negative)
+    return best
+
+
+# ----------------------------------------------------------------------
+# The timed operations
+# ----------------------------------------------------------------------
+
+
+def _timed(fn, *args) -> tuple[float, Any]:
+    start = perf_counter()
+    result = fn(*args)
+    return perf_counter() - start, result
+
+
+def _run_rank(matrix: CommMatrix, packed: PackedMatrix, node_budget: int) -> dict:
+    from repro.comm.rank import rank_over_q
+
+    legacy_s, legacy_rank = _timed(legacy_rank_over_q, matrix)
+    packed_s, packed_rank = _timed(rank_over_q, packed)
+    return {
+        "legacy": {"seconds": legacy_s, "value": legacy_rank},
+        "packed": {"seconds": packed_s, "value": packed_rank},
+        "agree": legacy_rank == packed_rank,
+    }
+
+
+def _run_greedy_cover(matrix: CommMatrix, packed: PackedMatrix, node_budget: int) -> dict:
+    from repro.comm.covers import greedy_disjoint_cover
+
+    legacy_s, legacy_cover = _timed(legacy_greedy_disjoint_cover, matrix)
+    packed_s, packed_cover = _timed(greedy_disjoint_cover, packed)
+    return {
+        "legacy": {"seconds": legacy_s, "value": len(legacy_cover)},
+        "packed": {"seconds": packed_s, "value": len(packed_cover)},
+        "agree": legacy_cover == packed_cover,
+    }
+
+
+def _run_min_cover(matrix: CommMatrix, packed: PackedMatrix, node_budget: int) -> dict:
+    from repro.comm.covers import minimum_disjoint_cover
+    from repro.errors import CoverBudgetExceeded
+
+    start = perf_counter()
+    try:
+        legacy_value: int | None = len(legacy_minimum_disjoint_cover(matrix, node_budget))
+    except RuntimeError:
+        legacy_value = None
+    legacy_s = perf_counter() - start
+
+    start = perf_counter()
+    try:
+        packed_value: int | None = len(minimum_disjoint_cover(packed, node_budget))
+    except CoverBudgetExceeded:
+        packed_value = None
+    packed_s = perf_counter() - start
+
+    return {
+        "legacy": {"seconds": legacy_s, "value": legacy_value},
+        "packed": {"seconds": packed_s, "value": packed_value},
+        "agree": legacy_value is None or packed_value is None or legacy_value == packed_value,
+    }
+
+
+def _run_fooling(matrix: CommMatrix, packed: PackedMatrix, node_budget: int) -> dict:
+    from repro.comm.fooling import greedy_fooling_set
+
+    legacy_s, legacy_set = _timed(legacy_greedy_fooling_set, matrix)
+    packed_s, packed_set = _timed(greedy_fooling_set, packed)
+    return {
+        "legacy": {"seconds": legacy_s, "value": len(legacy_set)},
+        "packed": {"seconds": packed_s, "value": len(packed_set)},
+        "agree": legacy_set == packed_set,
+    }
+
+
+#: op name -> (runner, max p at which the op stays feasible for *both*
+#: implementations).  The exact cover is exponential; past its cap both
+#: sides only burn the node budget without producing a comparison.
+OPS: dict[str, tuple[Any, int]] = {
+    "rank_q": (_run_rank, 99),
+    "greedy_cover": (_run_greedy_cover, 99),
+    "min_cover": (_run_min_cover, 4),
+    "fooling": (_run_fooling, 99),
+}
+
+
+def bench_comm_row(p: int, node_budget: int = 2_000_000) -> dict[str, Any]:
+    """Time every operation pair on ``INTERSECT_p``; all values cross-checked.
+
+    A ``None`` value means the implementation exhausted the node budget
+    (exact cover only); the recorded seconds are then the time burnt
+    discovering that, and the op does not count as completed.
+    """
+    matrix = intersection_matrix(p)
+    packed = PackedMatrix.from_comm(matrix)
+    ops: dict[str, Any] = {}
+    for name, (runner, max_p) in OPS.items():
+        if p > max_p:
+            ops[name] = {"skipped": True}
+            continue
+        result = runner(matrix, packed, node_budget)
+        if not result["agree"]:
+            raise ValueError(f"comm bench: legacy and packed disagree on {name} at p={p}")
+        for side in ("legacy", "packed"):
+            result[side]["seconds"] = round(result[side]["seconds"], 6)
+        legacy_s, packed_s = result["legacy"]["seconds"], result["packed"]["seconds"]
+        if (
+            packed_s > 0
+            and result["legacy"]["value"] is not None
+            and result["packed"]["value"] is not None
+        ):
+            result["speedup"] = round(legacy_s / packed_s, 2)
+        ops[name] = result
+    return {"p": p, "matrix_side": 2**p, "node_budget": node_budget, "ops": ops}
+
+
+def bench_disc_row(m: int) -> dict[str, Any]:
+    """Time the exact discrepancy sweep on the paper's split sign matrix.
+
+    Pits the SWAR :func:`~repro.core.discrepancy.max_bilinear_form`
+    against the pre-SWAR per-column sweep on the ``±1`` sign matrix of
+    the ``[1, n] | [n+1, 2n]`` partition (Lemma 19's object).  Exact only
+    for ``m ≤ 2`` (a ``4^m × 4^m`` matrix; beyond that the exact branch
+    is out of reach for both implementations).
+    """
+    from repro.core.discrepancy import (
+        max_bilinear_form,
+        sign_matrix_for_partition,
+        split_partition,
+    )
+
+    if m > 2:
+        raise ValueError("bench_disc_row: the exact sweep is feasible only for m <= 2")
+    matrix, _side0, _side1 = sign_matrix_for_partition(split_partition(m), m)
+    legacy_s, legacy_value = _timed(legacy_max_bilinear_form_exact, matrix)
+    packed_s, (packed_value, exact) = _timed(max_bilinear_form, matrix)
+    if not exact or legacy_value != packed_value:
+        raise ValueError(f"comm bench: discrepancy sweeps disagree at m={m}")
+    result = {
+        "m": m,
+        "matrix_side": 4**m,
+        "max_disc": packed_value,
+        "legacy": {"seconds": round(legacy_s, 6), "value": legacy_value},
+        "packed": {"seconds": round(packed_s, 6), "value": packed_value},
+        "agree": True,
+    }
+    if packed_s > 0:
+        result["speedup"] = round(legacy_s / packed_s, 2)
+    return result
+
+
+def _completed(op_result: dict, side: str) -> bool:
+    return not op_result.get("skipped") and op_result[side]["value"] is not None
+
+
+def summarise_rows(rows: list[dict], budget_s: float) -> dict[str, Any]:
+    """Per-op frontier summary over a sweep of :func:`bench_comm_row` rows.
+
+    * ``largest_common_p`` — largest ``p`` where *both* implementations
+      completed, and the speedup measured there;
+    * ``largest_p_within_budget`` — per side, largest ``p`` completed in
+      at most ``budget_s`` seconds: the "how far can you push it"
+      frontier, whose difference is the parameter gain of the packed
+      engine.
+    """
+    ops_summary: dict[str, Any] = {}
+    op_names = sorted({name for row in rows for name in row["ops"]})
+    for name in op_names:
+        common = [r for r in rows if _completed(r["ops"][name], "legacy") and _completed(r["ops"][name], "packed")]
+        in_budget = {
+            side: [
+                r["p"]
+                for r in rows
+                if _completed(r["ops"][name], side)
+                and r["ops"][name][side]["seconds"] <= budget_s
+            ]
+            for side in ("legacy", "packed")
+        }
+        summary: dict[str, Any] = {
+            "largest_p_within_budget": {
+                side: max(ps, default=None) for side, ps in in_budget.items()
+            },
+        }
+        if common:
+            at = max(common, key=lambda r: r["p"])
+            summary["largest_common_p"] = at["p"]
+            summary["speedup_at_largest_common"] = at["ops"][name].get("speedup")
+        ops_summary[name] = summary
+    return {"budget_s": budget_s, "ops": ops_summary}

@@ -3,9 +3,17 @@
 The *partition number* (minimum number of pairwise disjoint all-ones
 rectangles covering all 1-entries) is the fixed-partition analogue of the
 quantity Proposition 16 bounds for ``L_n``.  Exact computation is
-NP-hard, so :func:`minimum_disjoint_cover` is a branch-and-bound search
-for genuinely tiny matrices (used in benchmark E8 for ``p ≤ 2``); the
-greedy variant scales further and upper-bounds the truth.
+NP-hard, so :func:`minimum_disjoint_cover` is a branch-and-bound search;
+the greedy variant scales further and upper-bounds the truth.
+
+All algorithms here run on the bit-parallel representation of
+:mod:`repro.comm.packed`: the uncovered 1-entries are one row-major cell
+bitmask, rectangle growth is an AND-chain over row masks, disjointness is
+``cells & ~remaining``, and the branch-and-bound memoises visited
+uncovered-states by their (hashable, O(1)) cell mask.  Public signatures
+are unchanged from the list-of-lists era and accept :class:`CommMatrix`
+and :class:`PackedMatrix` alike; the frozen pre-packed implementations
+survive as test oracles in ``tests/legacy_comm.py``.
 """
 
 from __future__ import annotations
@@ -13,7 +21,8 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.comm.matrix import CommMatrix
-from repro.comm.rank import rank_over_q
+from repro.comm.packed import PackedMatrix, as_packed, cells_of_rect, iter_bits, mask_of
+from repro.errors import CoverBudgetExceeded
 
 __all__ = [
     "Rect",
@@ -27,6 +36,9 @@ __all__ = [
 #: A rectangle as (row-index frozenset, column-index frozenset).
 Rect = tuple[frozenset[int], frozenset[int]]
 
+#: A rectangle as (row bitmask, column bitmask) — the internal currency.
+MaskRect = tuple[int, int]
+
 
 def rect_cells(rect: Rect) -> frozenset[tuple[int, int]]:
     """All cells of a rectangle."""
@@ -34,142 +46,229 @@ def rect_cells(rect: Rect) -> frozenset[tuple[int, int]]:
     return frozenset((i, j) for i in rows for j in cols)
 
 
-def _grow_rectangle(matrix: CommMatrix, seed: tuple[int, int], allowed: frozenset[tuple[int, int]], column_first: bool) -> Rect:
-    """Grow a maximal all-ones rectangle around ``seed`` within ``allowed``."""
-    i0, j0 = seed
-    n_rows, n_cols = matrix.shape
+def _rect_from_masks(rows_mask: int, cols_mask: int) -> Rect:
+    return frozenset(iter_bits(rows_mask)), frozenset(iter_bits(cols_mask))
 
-    def row_ok(i: int, cols: Iterable[int]) -> bool:
-        return all(matrix[i, j] == 1 and (i, j) in allowed for j in cols)
 
-    def col_ok(j: int, rows: Iterable[int]) -> bool:
-        return all(matrix[i, j] == 1 and (i, j) in allowed for i in rows)
+def _allow_rows(matrix: PackedMatrix, allowed: Iterable[tuple[int, int]]) -> list[int]:
+    """Per-row masks of cells that are both 1-entries and in ``allowed``."""
+    by_row = [0] * matrix.n_rows
+    for i, j in allowed:
+        if 0 <= i < matrix.n_rows:
+            by_row[i] |= 1 << j
+    return [by_row[i] & matrix.row_masks[i] for i in range(matrix.n_rows)]
 
-    rows = {i0}
-    cols = {j0}
+
+def _grow_masks(
+    allow: list[int], i0: int, j0: int, column_first: bool
+) -> MaskRect:
+    """Grow a maximal all-ones rectangle around the seed within ``allow``.
+
+    ``allow[i]`` must already be intersected with the 1-entries of row
+    ``i``; growth is then pure mask arithmetic: a column joins when its
+    bit survives the AND of every member row, a row joins when it
+    contains every member column.
+    """
+    n_rows = len(allow)
+    seed_row = 1 << i0
+    seed_col = 1 << j0
     if column_first:
-        cols |= {j for j in range(n_cols) if j != j0 and col_ok(j, rows)}
-        rows |= {i for i in range(n_rows) if i != i0 and row_ok(i, cols)}
+        cols = allow[i0] | seed_col
+        rows = seed_row
+        for i in range(n_rows):
+            if i != i0 and allow[i] & cols == cols:
+                rows |= 1 << i
     else:
-        rows |= {i for i in range(n_rows) if i != i0 and row_ok(i, cols)}
-        cols |= {j for j in range(n_cols) if j != j0 and col_ok(j, rows)}
-    return frozenset(rows), frozenset(cols)
+        rows = seed_row
+        for i in range(n_rows):
+            if i != i0 and (allow[i] >> j0) & 1:
+                rows |= 1 << i
+        inter = -1
+        for i in iter_bits(rows):
+            inter &= allow[i]
+        cols = seed_col | inter
+    return rows, cols
 
 
-def maximal_rectangles_at(
-    matrix: CommMatrix,
+def _grow_rectangle(
+    matrix: CommMatrix | PackedMatrix,
     seed: tuple[int, int],
     allowed: frozenset[tuple[int, int]],
-) -> list[Rect]:
-    """All inclusion-maximal all-ones rectangles through ``seed``.
-
-    Enumerated by choosing each subset of compatible columns' closure —
-    exponential in the worst case, so callers cap the matrix size.  The
-    enumeration works column-set-first: every maximal rectangle is the
-    closure of its column set, and its column set is a subset of the
-    columns compatible with the seed row.
-    """
+    column_first: bool,
+) -> Rect:
+    """Grow a maximal all-ones rectangle around ``seed`` within ``allowed``."""
+    pm = as_packed(matrix)
     i0, j0 = seed
-    n_rows, n_cols = matrix.shape
-    candidate_cols = [
-        j
-        for j in range(n_cols)
-        if matrix[i0, j] == 1 and (i0, j) in allowed
-    ]
-    seen: set[Rect] = set()
-    results: list[Rect] = []
-    for mask in range(1 << len(candidate_cols)):
-        cols = {j0} | {
-            candidate_cols[b] for b in range(len(candidate_cols)) if mask >> b & 1
-        }
-        rows = frozenset(
-            i
-            for i in range(n_rows)
-            if all(matrix[i, j] == 1 and (i, j) in allowed for j in cols)
-        )
+    rows, cols = _grow_masks(_allow_rows(pm, allowed), i0, j0, column_first)
+    return _rect_from_masks(rows, cols)
+
+
+def _maximal_masks(allow: list[int], i0: int, j0: int) -> list[MaskRect]:
+    """All inclusion-maximal allowed rectangles through the seed, as masks.
+
+    Column-set-first enumeration: every maximal rectangle is the row
+    closure of its column set, and its column set extends the seed column
+    within the seed row's allowed columns.  Exponential in the number of
+    candidate columns, as the exact cover search requires.
+    """
+    n_rows = len(allow)
+    candidates = list(iter_bits(allow[i0]))
+    seed_col = 1 << j0
+    seen: set[MaskRect] = set()
+    results: list[MaskRect] = []
+    for subset in range(1 << len(candidates)):
+        cols = seed_col
+        bits = subset
+        while bits:
+            low = bits & -bits
+            cols |= 1 << candidates[low.bit_length() - 1]
+            bits ^= low
+        rows = 0
+        for i in range(n_rows):
+            if allow[i] & cols == cols:
+                rows |= 1 << i
         if not rows:
             continue
         # Close the columns against the rows for maximality.
-        closed_cols = frozenset(
-            j
-            for j in range(n_cols)
-            if all(matrix[i, j] == 1 and (i, j) in allowed for i in rows)
-        )
-        rect = (rows, closed_cols)
+        closed = -1
+        for i in iter_bits(rows):
+            closed &= allow[i]
+        rect = (rows, closed)
         if rect not in seen:
             seen.add(rect)
             results.append(rect)
     return results
 
 
-def greedy_disjoint_cover(matrix: CommMatrix) -> list[Rect]:
-    """A disjoint cover of the 1s by repeatedly growing maximal rectangles.
+def maximal_rectangles_at(
+    matrix: CommMatrix | PackedMatrix,
+    seed: tuple[int, int],
+    allowed: frozenset[tuple[int, int]],
+) -> list[Rect]:
+    """All inclusion-maximal all-ones rectangles through ``seed``.
 
-    Upper-bounds the partition number; exactness is not claimed.
+    Enumerated by choosing each subset of compatible columns' closure —
+    exponential in the worst case, so callers cap the matrix size.
     """
-    uncovered = set(matrix.ones())
-    cover: list[Rect] = []
-    while uncovered:
-        seed = min(uncovered)
-        allowed = frozenset(uncovered)
-        best = max(
-            (
-                _grow_rectangle(matrix, seed, allowed, column_first)
-                for column_first in (False, True)
-            ),
-            key=lambda r: len(r[0]) * len(r[1]),
-        )
+    pm = as_packed(matrix)
+    i0, j0 = seed
+    allow = _allow_rows(pm, allowed)
+    return [
+        _rect_from_masks(rows, cols) for rows, cols in _maximal_masks(allow, i0, j0)
+    ]
+
+
+def _greedy_masks(pm: PackedMatrix) -> list[MaskRect]:
+    """The greedy disjoint cover as mask rectangles (the packed hot loop)."""
+    n_rows = pm.n_rows
+    allow = list(pm.row_masks)
+    cover: list[MaskRect] = []
+    while True:
+        i0 = next((i for i in range(n_rows) if allow[i]), None)
+        if i0 is None:
+            break
+        j0 = (allow[i0] & -allow[i0]).bit_length() - 1
+        best = _grow_masks(allow, i0, j0, False)
+        other = _grow_masks(allow, i0, j0, True)
+        if other[0].bit_count() * other[1].bit_count() > best[0].bit_count() * best[1].bit_count():
+            best = other
         cover.append(best)
-        uncovered -= rect_cells(best)
+        not_cols = ~best[1]
+        for i in iter_bits(best[0]):
+            allow[i] &= not_cols
     return cover
 
 
-def minimum_disjoint_cover(matrix: CommMatrix, node_budget: int = 2_000_000) -> list[Rect]:
+def greedy_disjoint_cover(matrix: CommMatrix | PackedMatrix) -> list[Rect]:
+    """A disjoint cover of the 1s by repeatedly growing maximal rectangles.
+
+    Upper-bounds the partition number; exactness is not claimed.  Seeds
+    are the smallest uncovered cell in row-major order, so the result is
+    deterministic (and identical to the pre-packed implementation).
+    """
+    return [_rect_from_masks(r, c) for r, c in _greedy_masks(as_packed(matrix))]
+
+
+def minimum_disjoint_cover(
+    matrix: CommMatrix | PackedMatrix, node_budget: int = 2_000_000
+) -> list[Rect]:
     """Exact minimum disjoint rectangle cover of the 1-entries.
 
-    Branch and bound: branch on the smallest uncovered 1-entry over all
-    maximal rectangles containing it (restricted to uncovered cells —
-    disjointness makes this restriction sound), pruned by the greedy
-    upper bound and the depth.  ``node_budget`` caps the search; the
-    budget is generous for the ``p ≤ 2`` matrices the benchmarks use and
-    a ``RuntimeError`` signals exhaustion rather than a wrong answer.
-    """
-    ones = frozenset(matrix.ones())
-    if not ones:
-        return []
-    best_cover = greedy_disjoint_cover(matrix)
-    nodes = 0
+    Branch and bound on bitmask state: branch on the smallest uncovered
+    1-entry over all maximal rectangles containing it (restricted to
+    uncovered cells — disjointness makes this restriction sound), pruned
+    by the greedy upper bound, a popcount lower bound (uncovered cells
+    divided by the largest possible rectangle area) and memoization of
+    visited uncovered-states.  ``node_budget`` caps the search; on
+    exhaustion :class:`~repro.errors.CoverBudgetExceeded` is raised
+    carrying the best valid cover found so far instead of discarding the
+    progress.
 
-    def search(uncovered: frozenset[tuple[int, int]], chosen: list[Rect]) -> None:
-        nonlocal best_cover, nodes
+    >>> from repro.comm.matrix import intersection_matrix
+    >>> len(minimum_disjoint_cover(intersection_matrix(2)))
+    3
+    """
+    pm = as_packed(matrix)
+    n_rows, n_cols = pm.shape
+    full_cols = (1 << n_cols) - 1
+    ones_cells = pm.cells_mask()
+    if not ones_cells:
+        return []
+    best = _greedy_masks(pm)
+    # Any all-ones rectangle fits under (densest row) x (densest column).
+    max_row = max((m.bit_count() for m in pm.row_masks), default=0)
+    max_col = max((m.bit_count() for m in pm.col_masks), default=0)
+    area_cap = max(1, max_row * max_col)
+    nodes = 0
+    visited: dict[int, int] = {}
+
+    def search(uncovered: int, chosen: list[MaskRect]) -> None:
+        nonlocal best, nodes
         nodes += 1
         if nodes > node_budget:
-            raise RuntimeError("minimum_disjoint_cover: node budget exhausted")
+            raise CoverBudgetExceeded(
+                f"minimum_disjoint_cover: node budget {node_budget} exhausted "
+                f"(best cover so far: {len(best)} rectangles)",
+                best_cover=[_rect_from_masks(r, c) for r, c in best],
+                nodes_expanded=nodes - 1,
+            )
         if not uncovered:
-            if len(chosen) < len(best_cover):
-                best_cover = list(chosen)
+            if len(chosen) < len(best):
+                best = list(chosen)
             return
-        if len(chosen) + 1 >= len(best_cover):
+        depth = len(chosen)
+        previous = visited.get(uncovered)
+        if previous is not None and previous <= depth:
             return
-        seed = min(uncovered)
-        for rect in maximal_rectangles_at(matrix, seed, uncovered):
-            chosen.append(rect)
-            search(uncovered - rect_cells(rect), chosen)
+        visited[uncovered] = depth
+        needed = -(-uncovered.bit_count() // area_cap)
+        if depth + max(1, needed) >= len(best):
+            return
+        low_bit = (uncovered & -uncovered).bit_length() - 1
+        i0, j0 = divmod(low_bit, n_cols)
+        allow = [(uncovered >> (i * n_cols)) & full_cols for i in range(n_rows)]
+        for rows, cols in _maximal_masks(allow, i0, j0):
+            cells = cells_of_rect(rows, cols, n_cols)
+            chosen.append((rows, cols))
+            search(uncovered & ~cells, chosen)
             chosen.pop()
 
-    search(ones, [])
-    return best_cover
+    search(ones_cells, [])
+    return [_rect_from_masks(r, c) for r, c in best]
 
 
-def verify_disjoint_cover(matrix: CommMatrix, cover: Iterable[Rect]) -> bool:
+def verify_disjoint_cover(
+    matrix: CommMatrix | PackedMatrix, cover: Iterable[Rect]
+) -> bool:
     """Check a claimed disjoint cover: all-ones blocks, disjoint, exhaustive."""
-    remaining = set(matrix.ones())
-    for rect in cover:
-        cells = rect_cells(rect)
-        for i, j in cells:
-            if matrix[i, j] != 1:
-                return False
-        if not cells <= remaining:
-            return False  # overlap or stray cell
-        remaining -= cells
+    pm = as_packed(matrix)
+    remaining = pm.cells_mask()
+    for rows, cols in cover:
+        rows_mask, cols_mask = mask_of(rows), mask_of(cols)
+        if not pm.is_all_ones_rect(rows_mask, cols_mask):
+            return False
+        cells = cells_of_rect(rows_mask, cols_mask, pm.n_cols)
+        if cells & ~remaining:
+            return False  # overlap (every stray 0-cell already failed above)
+        remaining &= ~cells
     return not remaining

@@ -7,6 +7,11 @@ of them fit into a common all-ones rectangle: for any two entries
 rectangle per fooling entry.  The same argument applied to the
 prefix/suffix matrix of a regular language gives the NFA state bound used
 by :func:`repro.languages.nfa_ln.exact_ln_fooling_set`.
+
+Membership tests run on the packed representation: entry ``(i, j')`` is a
+single shift-and-mask of row ``i``'s bitmask, and the greedy scan checks
+a candidate against all chosen entries with one row-mask intersection per
+chosen-occupied row of the candidate's column.
 """
 
 from __future__ import annotations
@@ -14,11 +19,14 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.comm.matrix import CommMatrix
+from repro.comm.packed import PackedMatrix, as_packed, iter_bits
 
 __all__ = ["is_fooling_set", "greedy_fooling_set", "fooling_set_bound"]
 
 
-def is_fooling_set(matrix: CommMatrix, entries: Iterable[tuple[int, int]]) -> bool:
+def is_fooling_set(
+    matrix: CommMatrix | PackedMatrix, entries: Iterable[tuple[int, int]]
+) -> bool:
     """Verify the fooling property for a set of index pairs.
 
     >>> from repro.comm.matrix import equality_matrix
@@ -26,35 +34,52 @@ def is_fooling_set(matrix: CommMatrix, entries: Iterable[tuple[int, int]]) -> bo
     >>> is_fooling_set(m, [(i, i) for i in range(4)])
     True
     """
+    pm = as_packed(matrix)
+    rows = pm.row_masks
     pairs = list(entries)
     for i, j in pairs:
-        if matrix[i, j] != 1:
+        if not (rows[i] >> j) & 1:
             return False
     for idx, (i, j) in enumerate(pairs):
+        row_i = rows[i]
         for i2, j2 in pairs[idx + 1 :]:
-            if matrix[i, j2] == 1 and matrix[i2, j] == 1:
+            if (row_i >> j2) & 1 and (rows[i2] >> j) & 1:
                 return False
     return True
 
 
-def greedy_fooling_set(matrix: CommMatrix) -> list[tuple[int, int]]:
+def greedy_fooling_set(matrix: CommMatrix | PackedMatrix) -> list[tuple[int, int]]:
     """Build a (maximal, not necessarily maximum) fooling set greedily.
 
     Scans the 1-entries in row-major order and keeps an entry whenever it
-    stays compatible with everything kept so far.  The result is verified
-    before being returned.
+    stays compatible with everything kept so far.  A candidate ``(i, j)``
+    conflicts with a chosen ``(i', j')`` iff ``M[i', j] = 1`` and
+    ``M[i, j'] = 1`` — i.e. iff some row ``i'`` of column ``j``'s mask
+    holds a chosen entry whose column mask intersects row ``i`` — so the
+    check is one AND per chosen-occupied row of column ``j``.  The result
+    is verified before being returned.
     """
+    pm = as_packed(matrix)
     chosen: list[tuple[int, int]] = []
-    for i, j in matrix.ones():
-        if all(
-            matrix[i, j2] == 0 or matrix[i2, j] == 0 for (i2, j2) in chosen
-        ):
-            chosen.append((i, j))
-    if not is_fooling_set(matrix, chosen):  # pragma: no cover - greedy is sound
+    chosen_in_row = [0] * pm.n_rows  # columns of chosen entries, per row
+    chosen_rows = 0  # rows holding at least one chosen entry
+    for i in range(pm.n_rows):
+        row_i = pm.row_masks[i]
+        for j in iter_bits(row_i):
+            conflict = False
+            for i2 in iter_bits(pm.col_masks[j] & chosen_rows):
+                if chosen_in_row[i2] & row_i:
+                    conflict = True
+                    break
+            if not conflict:
+                chosen.append((i, j))
+                chosen_in_row[i] |= 1 << j
+                chosen_rows |= 1 << i
+    if not is_fooling_set(pm, chosen):  # pragma: no cover - greedy is sound
         raise AssertionError("greedy produced a non-fooling set")
     return chosen
 
 
-def fooling_set_bound(matrix: CommMatrix) -> int:
+def fooling_set_bound(matrix: CommMatrix | PackedMatrix) -> int:
     """A lower bound on the 1-cover number via the greedy fooling set."""
     return len(greedy_fooling_set(matrix))

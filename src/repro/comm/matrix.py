@@ -51,6 +51,51 @@ class CommMatrix:
         self.col_labels = list(col_labels)
         self.entries = rows
 
+    @classmethod
+    def _from_validated(
+        cls,
+        row_labels: list[Hashable],
+        col_labels: list[Hashable],
+        entries: list[list[int]],
+    ) -> "CommMatrix":
+        """Trusted constructor: adopt the arguments without re-validation.
+
+        ``__init__`` costs ``O(rows · cols)`` per call; internal callers
+        that build entries 0/1 by construction (:func:`matrix_from_function`,
+        :meth:`transpose`, the packed converters) skip that sweep.  The
+        lists are adopted, not copied — callers must hand over ownership.
+        """
+        matrix = cls.__new__(cls)
+        matrix.row_labels = row_labels
+        matrix.col_labels = col_labels
+        matrix.entries = entries
+        return matrix
+
+    @classmethod
+    def from_bitrows(
+        cls,
+        row_labels: Sequence[Hashable],
+        col_labels: Sequence[Hashable],
+        bitrows: Sequence[int],
+    ) -> "CommMatrix":
+        """Build from per-row bitmasks (bit ``j`` of ``bitrows[i]`` = entry ``(i, j)``).
+
+        The unpacking direction of :class:`repro.comm.packed.PackedMatrix`;
+        masks are validated to fit the column count, entries need no scan.
+
+        >>> CommMatrix.from_bitrows(["r0", "r1"], ["c0", "c1"], [0b01, 0b11]).entries
+        [[1, 0], [1, 1]]
+        """
+        if len(bitrows) != len(row_labels):
+            raise ValueError(f"{len(bitrows)} bitrows but {len(row_labels)} row labels")
+        n_cols = len(col_labels)
+        limit = 1 << n_cols
+        for i, mask in enumerate(bitrows):
+            if not 0 <= mask < limit:
+                raise ValueError(f"bitrow {i} = {mask:#x} does not fit in {n_cols} columns")
+        entries = [[(mask >> j) & 1 for j in range(n_cols)] for mask in bitrows]
+        return cls._from_validated(list(row_labels), list(col_labels), entries)
+
     @property
     def shape(self) -> tuple[int, int]:
         return len(self.row_labels), len(self.col_labels)
@@ -81,9 +126,9 @@ class CommMatrix:
 
     def transpose(self) -> "CommMatrix":
         rows, cols = self.shape
-        return CommMatrix(
-            self.col_labels,
-            self.row_labels,
+        return CommMatrix._from_validated(
+            list(self.col_labels),
+            list(self.row_labels),
             [[self.entries[i][j] for i in range(rows)] for j in range(cols)],
         )
 
@@ -104,7 +149,7 @@ def matrix_from_function(
     [[1, 0], [0, 1]]
     """
     entries = [[1 if f(x, y) else 0 for y in ys] for x in xs]
-    return CommMatrix(xs, ys, entries)
+    return CommMatrix._from_validated(list(xs), list(ys), entries)
 
 
 def _subsets(p: int) -> list[frozenset[int]]:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.comm.covers import Rect, rect_cells
 from repro.comm.matrix import CommMatrix, intersection_matrix
+from repro.comm.packed import PackedMatrix, as_packed
 from repro.util.tables import approx_log2
 
 __all__ = [
@@ -67,29 +68,37 @@ def verify_overlapping_cover(matrix: CommMatrix, cover: list[Rect]) -> bool:
     return covered == set(matrix.ones())
 
 
-def greedy_overlapping_cover(matrix: CommMatrix) -> list[Rect]:
+def greedy_overlapping_cover(matrix: "CommMatrix | PackedMatrix") -> list[Rect]:
     """A greedy overlapping 1-cover (no disjointness constraint).
 
     Repeatedly grows a maximal rectangle around the smallest uncovered
     1-entry, but — unlike the disjoint variant — may reuse already
-    covered cells, which can make it much smaller.
+    covered cells, which can make it much smaller.  Runs entirely on
+    bitmasks: growth is restricted to the (static) 1-entries while the
+    progress metric counts freshly covered cells by popcount.
     """
-    from repro.comm.covers import _grow_rectangle
+    from repro.comm.covers import _grow_masks, _rect_from_masks
+    from repro.comm.packed import cells_of_rect, iter_bits
 
-    all_ones = frozenset(matrix.ones())
-    uncovered = set(all_ones)
+    pm = as_packed(matrix)
+    n_rows, n_cols = pm.shape
+    allow = list(pm.row_masks)  # growth may reuse covered cells: keep static
+    uncovered = pm.cells_mask()
     cover: list[Rect] = []
     while uncovered:
-        seed = min(uncovered)
-        best = max(
-            (
-                _grow_rectangle(matrix, seed, all_ones, column_first)
-                for column_first in (False, True)
-            ),
-            key=lambda r: len(rect_cells(r) & uncovered),
-        )
-        cover.append(best)
-        uncovered -= rect_cells(best)
+        low_bit = (uncovered & -uncovered).bit_length() - 1
+        i0, j0 = divmod(low_bit, n_cols)
+        best_rect = None
+        best_gain = -1
+        for column_first in (False, True):
+            rows, cols = _grow_masks(allow, i0, j0, column_first)
+            gain = (cells_of_rect(rows, cols, n_cols) & uncovered).bit_count()
+            if gain > best_gain:
+                best_gain = gain
+                best_rect = (rows, cols)
+        rows, cols = best_rect
+        cover.append(_rect_from_masks(rows, cols))
+        uncovered &= ~cells_of_rect(rows, cols, n_cols)
     return cover
 
 

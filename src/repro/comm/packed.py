@@ -1,0 +1,280 @@
+"""Bit-parallel communication matrices: rows and columns as big-int masks.
+
+The hot algorithms of this package — rectangle growth, disjoint covers,
+fooling sets, rank — all reduce to intersecting row sets with column
+sets.  :class:`PackedMatrix` stores each row and each column of a 0/1
+communication matrix as one Python big integer, so those intersections
+become single ``&`` operations on machine words instead of Python-level
+loops over cells.  A whole sub-board of cells (the "uncovered" state of
+a cover search) packs into one integer of ``rows·cols`` bits, making
+disjointness checks, progress accounting and memoization keys ``O(1)``
+objects.
+
+Bit conventions, used consistently by every consumer:
+
+* ``row_masks[i]`` has bit ``j`` set iff entry ``(i, j)`` is 1;
+* ``col_masks[j]`` has bit ``i`` set iff entry ``(i, j)`` is 1;
+* a *cell mask* addresses cell ``(i, j)`` at bit ``i * n_cols + j``
+  (row-major), so the slice for row ``i`` is
+  ``(cells >> (i * n_cols)) & ((1 << n_cols) - 1)``.
+
+Conversion to and from the label-carrying :class:`~repro.comm.matrix.CommMatrix`
+is lossless; ``to_key`` gives a canonical serialization of the 0/1
+content for the :mod:`repro.engine` disk cache.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable, Iterator, Sequence
+
+from repro.comm.matrix import CommMatrix
+
+__all__ = [
+    "PackedMatrix",
+    "as_packed",
+    "iter_bits",
+    "mask_of",
+    "cells_of_rect",
+]
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``mask``, ascending.
+
+    >>> list(iter_bits(0b1101))
+    [0, 2, 3]
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def mask_of(indices: Iterable[int]) -> int:
+    """The bitmask with exactly the given bit indices set.
+
+    >>> bin(mask_of([0, 3]))
+    '0b1001'
+    """
+    value = 0
+    for index in indices:
+        value |= 1 << index
+    return value
+
+
+def cells_of_rect(rows_mask: int, cols_mask: int, n_cols: int) -> int:
+    """The row-major cell mask of the rectangle ``rows × cols``.
+
+    >>> bin(cells_of_rect(0b11, 0b10, 2))  # cells (0,1) and (1,1)
+    '0b1010'
+    """
+    cells = 0
+    for i in iter_bits(rows_mask):
+        cells |= cols_mask << (i * n_cols)
+    return cells
+
+
+class PackedMatrix:
+    """A 0/1 matrix with rows *and* columns stored as big-int bitmasks.
+
+    Both orientations are materialised because the cover/fooling
+    algorithms alternate between "which columns does this row hit"
+    (``row_masks``) and "which rows does this column hit"
+    (``col_masks``); keeping the redundant copy costs ``O(rows·cols)``
+    bits once and saves a transpose in every inner loop.
+
+    >>> pm = PackedMatrix.from_entries([[1, 0], [1, 1]])
+    >>> pm.shape, bin(pm.row_masks[0]), bin(pm.col_masks[0])
+    ((2, 2), '0b1', '0b11')
+    >>> pm[1, 0]
+    1
+    """
+
+    __slots__ = ("n_rows", "n_cols", "row_masks", "col_masks", "row_labels", "col_labels")
+
+    def __init__(
+        self,
+        n_rows: int,
+        n_cols: int,
+        row_masks: Sequence[int],
+        row_labels: Sequence[Hashable] | None = None,
+        col_labels: Sequence[Hashable] | None = None,
+    ) -> None:
+        if n_rows < 0 or n_cols < 0:
+            raise ValueError(f"negative shape ({n_rows}, {n_cols})")
+        masks = list(row_masks)
+        if len(masks) != n_rows:
+            raise ValueError(f"{len(masks)} row masks but n_rows={n_rows}")
+        limit = 1 << n_cols
+        for i, mask in enumerate(masks):
+            if not 0 <= mask < limit:
+                raise ValueError(
+                    f"row mask {i} = {mask:#x} does not fit in {n_cols} columns"
+                )
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self.row_masks = masks
+        self.col_masks = self._transpose_masks(masks, n_rows, n_cols)
+        self.row_labels = list(row_labels) if row_labels is not None else list(range(n_rows))
+        self.col_labels = list(col_labels) if col_labels is not None else list(range(n_cols))
+        if len(self.row_labels) != n_rows or len(self.col_labels) != n_cols:
+            raise ValueError("label counts do not match the shape")
+
+    @staticmethod
+    def _transpose_masks(row_masks: Sequence[int], n_rows: int, n_cols: int) -> list[int]:
+        cols = [0] * n_cols
+        for i, mask in enumerate(row_masks):
+            bit = 1 << i
+            for j in iter_bits(mask):
+                cols[j] |= bit
+        return cols
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def from_entries(
+        cls,
+        entries: Sequence[Sequence[int]],
+        row_labels: Sequence[Hashable] | None = None,
+        col_labels: Sequence[Hashable] | None = None,
+    ) -> "PackedMatrix":
+        """Pack a list-of-lists 0/1 matrix."""
+        rows = [list(r) for r in entries]
+        n_cols = len(rows[0]) if rows else 0
+        masks = []
+        for r in rows:
+            if len(r) != n_cols:
+                raise ValueError("ragged entry rows")
+            mask = 0
+            for j, v in enumerate(r):
+                if v not in (0, 1):
+                    raise ValueError(f"entries must be 0/1, got {v!r}")
+                if v:
+                    mask |= 1 << j
+            masks.append(mask)
+        return cls(len(rows), n_cols, masks, row_labels, col_labels)
+
+    @classmethod
+    def from_comm(cls, matrix: CommMatrix) -> "PackedMatrix":
+        """Pack a :class:`CommMatrix`, keeping its labels.
+
+        >>> from repro.comm.matrix import intersection_matrix
+        >>> PackedMatrix.from_comm(intersection_matrix(2)).count_ones()
+        7
+        """
+        n_rows, n_cols = matrix.shape
+        masks = []
+        for row in matrix.entries:
+            mask = 0
+            for j, v in enumerate(row):
+                if v:
+                    mask |= 1 << j
+            masks.append(mask)
+        return cls(n_rows, n_cols, masks, matrix.row_labels, matrix.col_labels)
+
+    @classmethod
+    def from_function(
+        cls,
+        xs: Sequence[Hashable],
+        ys: Sequence[Hashable],
+        f: Callable[[Hashable, Hashable], bool],
+    ) -> "PackedMatrix":
+        """Materialise the packed matrix of ``f`` on ``xs × ys`` directly."""
+        masks = [mask_of(j for j, y in enumerate(ys) if f(x, y)) for x in xs]
+        return cls(len(xs), len(ys), masks, xs, ys)
+
+    def to_comm(self) -> CommMatrix:
+        """Unpack into a :class:`CommMatrix` (trusted fast path, no re-validation)."""
+        return CommMatrix.from_bitrows(self.row_labels, self.col_labels, self.row_masks)
+
+    # -- views ---------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.n_rows, self.n_cols
+
+    def __getitem__(self, index: tuple[int, int]) -> int:
+        i, j = index
+        if not (0 <= i < self.n_rows and 0 <= j < self.n_cols):
+            raise IndexError(f"cell {index} outside {self.shape}")
+        return (self.row_masks[i] >> j) & 1
+
+    def ones(self) -> list[tuple[int, int]]:
+        """Index pairs of all 1-entries, row-major."""
+        return [
+            (i, j) for i in range(self.n_rows) for j in iter_bits(self.row_masks[i])
+        ]
+
+    def count_ones(self) -> int:
+        return sum(mask.bit_count() for mask in self.row_masks)
+
+    def cells_mask(self) -> int:
+        """All 1-entries as one row-major cell mask."""
+        cells = 0
+        for i, mask in enumerate(self.row_masks):
+            cells |= mask << (i * self.n_cols)
+        return cells
+
+    def is_all_ones_rect(self, rows_mask: int, cols_mask: int) -> bool:
+        """Whether ``rows × cols`` (as bitmasks) is an all-ones rectangle.
+
+        >>> pm = PackedMatrix.from_entries([[1, 1], [1, 0]])
+        >>> pm.is_all_ones_rect(0b11, 0b01), pm.is_all_ones_rect(0b11, 0b11)
+        (True, False)
+        """
+        for i in iter_bits(rows_mask):
+            if self.row_masks[i] & cols_mask != cols_mask:
+                return False
+        return True
+
+    def transpose(self) -> "PackedMatrix":
+        out = self.__class__.__new__(self.__class__)
+        out.n_rows = self.n_cols
+        out.n_cols = self.n_rows
+        out.row_masks = list(self.col_masks)
+        out.col_masks = list(self.row_masks)
+        out.row_labels = list(self.col_labels)
+        out.col_labels = list(self.row_labels)
+        return out
+
+    def to_key(self) -> str:
+        """A canonical serialization of the 0/1 content (engine cache keys).
+
+        Labels are deliberately excluded: two matrices with the same
+        entries answer every packed algorithm identically.
+
+        >>> a = PackedMatrix.from_entries([[1, 0]])
+        >>> b = PackedMatrix(1, 2, [1], row_labels=["x"], col_labels=["u", "v"])
+        >>> a.to_key() == b.to_key()
+        True
+        """
+        from repro.util.canonical import canonical_encode
+
+        return canonical_encode(
+            ("PackedMatrix", self.n_rows, self.n_cols, tuple(self.row_masks))
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PackedMatrix):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and self.row_masks == other.row_masks
+            and self.row_labels == other.row_labels
+            and self.col_labels == other.col_labels
+        )
+
+    def __repr__(self) -> str:
+        return f"PackedMatrix({self.n_rows}x{self.n_cols}, ones={self.count_ones()})"
+
+
+def as_packed(matrix: "CommMatrix | PackedMatrix") -> PackedMatrix:
+    """Coerce either matrix representation to packed form.
+
+    The bridge every rewritten algorithm calls first: public signatures
+    keep accepting :class:`CommMatrix`, the inner loops only ever see
+    masks.
+    """
+    if isinstance(matrix, PackedMatrix):
+        return matrix
+    return PackedMatrix.from_comm(matrix)

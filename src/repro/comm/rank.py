@@ -6,73 +6,119 @@ matrices, so the number of rectangles is at least ``rank_ℚ(M)``.  This is
 the "rank bound from communication complexity pioneered in [23]" which
 the paper cites as the short proof of Theorem 17.
 
-Rank over ℚ is computed with :mod:`fractions` Gaussian elimination —
-exact, no floating point; rank over GF(2) uses bitset elimination.
+Rank over ℚ is computed by *Bareiss* fraction-free elimination: every
+intermediate entry is an exact minor of the original integer matrix, the
+single division per update is exact by Sylvester's identity, and no
+:class:`~fractions.Fraction` objects (with their gcd normalisation on
+every arithmetic op) appear anywhere — the inner loop is pure ``int``
+multiply/subtract/divide.  The pre-Bareiss Gaussian elimination over
+``Fraction`` survives verbatim as a test oracle in
+``tests/legacy_comm.py``.  Rank over GF(2) uses bitset elimination and
+consumes :class:`~repro.comm.packed.PackedMatrix` rows directly.
 """
 
 from __future__ import annotations
 
-from fractions import Fraction
 from collections.abc import Sequence
 
 from repro.comm.matrix import CommMatrix
+from repro.comm.packed import PackedMatrix
 
 __all__ = ["rank_over_q", "rank_over_gf2", "rank_lower_bound_for_disjoint_cover"]
 
+MatrixLike = CommMatrix | PackedMatrix | Sequence[Sequence[int]]
 
-def rank_over_q(matrix: CommMatrix | Sequence[Sequence[int]]) -> int:
+
+def _int_rows(matrix: MatrixLike) -> list[list[int]]:
+    if isinstance(matrix, CommMatrix):
+        return [list(row) for row in matrix.entries]
+    if isinstance(matrix, PackedMatrix):
+        n_cols = matrix.n_cols
+        return [[(mask >> j) & 1 for j in range(n_cols)] for mask in matrix.row_masks]
+    return [list(row) for row in matrix]
+
+
+def rank_over_q(matrix: MatrixLike) -> int:
     """The exact rank of an integer matrix over the rationals.
+
+    Fraction-free Bareiss elimination: after eliminating with pivot
+    ``p_k``, each entry equals a ``(k+1) × (k+1)`` minor of the input, and
+    dividing the update ``(a·p - b·c)`` by the *previous* pivot is exact.
+    Column skipping (for rank-deficient matrices) and row swaps preserve
+    that invariant — the working entries are minors of the submatrix
+    spanned by the pivot columns.
 
     >>> rank_over_q([[1, 1], [1, 1]])
     1
     >>> from repro.comm.matrix import intersection_matrix
     >>> rank_over_q(intersection_matrix(3))   # 2^3 - 1
     7
+    >>> from repro.comm.packed import PackedMatrix
+    >>> rank_over_q(PackedMatrix.from_comm(intersection_matrix(4)))
+    15
     """
-    rows = matrix.entries if isinstance(matrix, CommMatrix) else [list(r) for r in matrix]
-    work = [[Fraction(v) for v in row] for row in rows]
+    work = _int_rows(matrix)
     if not work:
         return 0
-    n_cols = len(work[0])
+    n_rows, n_cols = len(work), len(work[0])
     rank = 0
     pivot_row = 0
+    previous_pivot = 1
     for col in range(n_cols):
-        pivot = next(
-            (r for r in range(pivot_row, len(work)) if work[r][col] != 0), None
-        )
+        pivot = next((r for r in range(pivot_row, n_rows) if work[r][col]), None)
         if pivot is None:
             continue
         work[pivot_row], work[pivot] = work[pivot], work[pivot_row]
-        head = work[pivot_row][col]
-        for r in range(pivot_row + 1, len(work)):
-            if work[r][col] != 0:
-                factor = work[r][col] / head
-                row_r, row_p = work[r], work[pivot_row]
-                for c in range(col, n_cols):
-                    row_r[c] -= factor * row_p[c]
+        head_row = work[pivot_row]
+        head = head_row[col]
+        for r in range(pivot_row + 1, n_rows):
+            row_r = work[r]
+            factor = row_r[col]
+            if factor:
+                for c in range(col + 1, n_cols):
+                    row_r[c] = (row_r[c] * head - factor * head_row[c]) // previous_pivot
+                row_r[col] = 0
+            elif previous_pivot != head:
+                # Rows untouched by this pivot still need rescaling to stay
+                # minors of the current order (exact by the same identity).
+                for c in range(col + 1, n_cols):
+                    row_r[c] = row_r[c] * head // previous_pivot
+        previous_pivot = head
         pivot_row += 1
         rank += 1
-        if pivot_row == len(work):
+        if pivot_row == n_rows:
             break
     return rank
 
 
-def rank_over_gf2(matrix: CommMatrix | Sequence[Sequence[int]]) -> int:
+def rank_over_gf2(matrix: MatrixLike) -> int:
     """The rank of a 0/1 matrix over GF(2), via bitset elimination.
+
+    A :class:`PackedMatrix` is consumed with zero conversion cost — its
+    row masks *are* the elimination state.
 
     >>> rank_over_gf2([[1, 1], [1, 1]])
     1
+    >>> from repro.comm.matrix import equality_matrix
+    >>> from repro.comm.packed import PackedMatrix
+    >>> rank_over_gf2(PackedMatrix.from_comm(equality_matrix(3)))
+    8
     """
-    rows = matrix.entries if isinstance(matrix, CommMatrix) else [list(r) for r in matrix]
-    bitrows = []
-    for row in rows:
-        value = 0
-        for j, v in enumerate(row):
-            if v % 2:
-                value |= 1 << j
-        bitrows.append(value)
+    if isinstance(matrix, PackedMatrix):
+        bitrows = list(matrix.row_masks)
+        n_cols = matrix.n_cols
+    else:
+        rows = matrix.entries if isinstance(matrix, CommMatrix) else [list(r) for r in matrix]
+        bitrows = []
+        for row in rows:
+            value = 0
+            for j, v in enumerate(row):
+                if v % 2:
+                    value |= 1 << j
+            bitrows.append(value)
+        n_cols = max((len(r) for r in rows), default=0)
     rank = 0
-    for col in range(max((len(r) for r in rows), default=0)):
+    for col in range(n_cols):
         mask = 1 << col
         pivot = next((i for i, r in enumerate(bitrows) if r & mask), None)
         if pivot is None:
@@ -83,7 +129,7 @@ def rank_over_gf2(matrix: CommMatrix | Sequence[Sequence[int]]) -> int:
     return rank
 
 
-def rank_lower_bound_for_disjoint_cover(matrix: CommMatrix) -> int:
+def rank_lower_bound_for_disjoint_cover(matrix: CommMatrix | PackedMatrix) -> int:
     """``rank_ℚ(M)`` as a lower bound on any disjoint 1-cover of ``M``.
 
     If ``M = Σ_i R_i`` with each ``R_i`` the indicator of an all-ones

@@ -288,11 +288,84 @@ def sign_matrix_for_partition(partition: OrderedPartition, m: int) -> tuple[
     return matrix, side0, side1
 
 
-def _best_column_response(column_sums: list[int]) -> int:
-    """Best ``|x^T M y|`` over ``y`` given the row-selection column sums."""
-    positive = sum(s for s in column_sums if s > 0)
-    negative = sum(s for s in column_sums if s < 0)
-    return max(positive, -negative)
+def _packed_exact_max_bilinear(base: list[list[int]]) -> int:
+    """Exact ``max |x^T M y|`` over 0/1 vectors, SWAR over big-int words.
+
+    All row subsets are enumerated in Gray-code order, but the per-step
+    state is a *single* Python int holding every column sum in its own
+    fixed-width field, so a step is one big-int add plus a constant
+    number of big-int bit operations — CPython processes 30-bit digits
+    per interpreter op instead of one Python object per column.
+
+    Entries may be arbitrary integers (the projection matrices of
+    non-neat partitions are not ±1), so each field stores the *biased*
+    entry ``M[i][j] + bias`` with ``bias = max(0, -min entry)``; the
+    accumulated per-field excess ``k·bias`` (``k`` = selected rows) is
+    subtracted on readout.  For a selection with column sums ``s_j``:
+
+    * ``X`` has fields ``2^{W-1} + s_j`` (the guard bit doubles as a
+      per-field sign flag: set iff ``s_j ≥ 0``);
+    * masking with the sign flags extracts ``max(s_j, 0)`` per field, and
+      one multiply by the field-selector pattern horizontally sums them
+      into ``positive = Σ_j max(s_j, 0)``;
+    * the optimal column response is ``max(positive, -negative)`` with
+      ``negative = S - positive`` for ``S = Σ_j s_j``, tracked as a plain
+      running total — no second extraction needed.
+    """
+    dim = len(base)
+    width = len(base[0])
+    max_abs = max(abs(v) for row in base for v in row)
+    if max_abs == 0:
+        return 0
+    # Field width: the guard bit needs 2^{W-1} > dim·max_abs ≥ |s_j|, and
+    # the horizontal-sum multiply needs 2^W > width·dim·max_abs ≥ Σ max(s_j, 0).
+    field_bits = (2 * width * dim * max_abs).bit_length() + 2
+    selector = 0  # 1 in the lowest bit of every field
+    for j in range(width):
+        selector |= 1 << (j * field_bits)
+    guards = selector << (field_bits - 1)
+    field_mask = (1 << field_bits) - 1
+    top_shift = (width - 1) * field_bits
+    bias = max(0, -min(v for row in base for v in row))
+    bias_fields = bias * selector
+    packed_rows: list[int] = []
+    row_totals: list[int] = []
+    for row in base:
+        acc = 0
+        for j, v in enumerate(row):
+            acc |= (v + bias) << (j * field_bits)
+        packed_rows.append(acc)
+        row_totals.append(sum(row))
+
+    packed_sums = 0  # fields: s_j + k·bias (all non-negative)
+    excess = 0  # k·bias replicated into every field
+    total = 0  # S = Σ_j s_j for the current selection
+    in_set = [False] * dim
+    best = 0  # the empty selection
+    for step in range(1, 1 << dim):
+        # Gray code: flip the row at the lowest set bit of `step`.
+        flip = (step & -step).bit_length() - 1
+        if in_set[flip]:
+            in_set[flip] = False
+            packed_sums -= packed_rows[flip]
+            excess -= bias_fields
+            total -= row_totals[flip]
+        else:
+            in_set[flip] = True
+            packed_sums += packed_rows[flip]
+            excess += bias_fields
+            total += row_totals[flip]
+        biased = (packed_sums | guards) - excess  # fields: 2^{W-1} + s_j
+        sign_flags = biased & guards
+        # Per-field mask of all ones exactly where s_j ≥ 0.
+        keep = (sign_flags - (sign_flags >> (field_bits - 1))) | sign_flags
+        positive_fields = (biased ^ sign_flags) & keep  # fields: max(s_j, 0)
+        positive = ((positive_fields * selector) >> top_shift) & field_mask
+        if positive > best:
+            best = positive
+        if positive - total > best:  # -Σ_j min(s_j, 0)
+            best = positive - total
+    return best
 
 
 def max_bilinear_form(
@@ -304,11 +377,17 @@ def max_bilinear_form(
     """Maximise ``|x^T M y|`` over 0/1 vectors ``x, y``.
 
     Exact when the smaller dimension is at most ``exact_limit``: all row
-    subsets are enumerated in Gray-code order (each step updates the
-    column sums with one row), and the optimal column response is read
-    off.  Above the limit, a randomised alternating-maximisation
-    heuristic reports a lower bound on the maximum.  Returns
-    ``(value, exact_flag)``.
+    subsets of the smaller side are enumerated in Gray-code order with
+    the column sums packed into one big int per step
+    (:func:`_packed_exact_max_bilinear`; the pre-SWAR list-of-sums sweep
+    survives as a test oracle in ``tests/legacy_comm.py``).  Above the
+    limit, a randomised alternating-maximisation heuristic reports a
+    lower bound on the maximum.  Returns ``(value, exact_flag)``.
+
+    >>> max_bilinear_form([[1, -1], [-1, 1]])
+    (1, True)
+    >>> max_bilinear_form([[2, -3]])
+    (3, True)
     """
     if not matrix or not matrix[0]:
         return 0, True
@@ -319,21 +398,7 @@ def max_bilinear_form(
             if n_rows <= n_cols
             else [[matrix[i][j] for i in range(n_rows)] for j in range(n_cols)]
         )
-        dim = len(base)
-        width = len(base[0])
-        column_sums = [0] * width
-        in_set = [False] * dim
-        best = 0  # the empty selection
-        for step in range(1, 1 << dim):
-            # Gray code: flip the row at the lowest set bit of `step`.
-            flip = (step & -step).bit_length() - 1
-            sign = -1 if in_set[flip] else 1
-            in_set[flip] = not in_set[flip]
-            row = base[flip]
-            for j in range(width):
-                column_sums[j] += sign * row[j]
-            best = max(best, _best_column_response(column_sums))
-        return best, True
+        return _packed_exact_max_bilinear(base), True
 
     rng = rng if rng is not None else random.Random(0)
     best = 0

@@ -32,6 +32,7 @@ __all__ = [
     "ucfg_cnf_size_lower_bound",
     "ucfg_size_lower_bound",
     "certificate",
+    "verify_discrepancy_caps",
 ]
 
 #: Lemma 21: each balanced ordered rectangle splits into at most 2^8 neat ones.
@@ -192,6 +193,57 @@ class LowerBoundCertificate:
             raise CertificateError("margin != |A| - |B ∩ L_n|")
         if self.lemma18_threshold_holds != _lemma18_threshold(self.margin, self.m):
             raise CertificateError("Lemma 18 threshold flag inconsistent")
+
+
+def verify_discrepancy_caps(m: int, *, engine=None) -> dict:
+    """Check the Lemma 19/23 discrepancy caps against the exact maxima.
+
+    Dispatches the per-partition sweep as parallel, disk-cacheable
+    ``discrepancy.partition`` jobs through :mod:`repro.engine` (one job
+    per neat balanced partition, so re-runs and sibling sweeps share
+    results), then verifies
+
+    * every neat balanced partition's exact maximum is at most the
+      Lemma 23 cap ``2^{10m/3}``, and
+    * the split partition ``[1, n] | [n+1, 2n]`` is at most the sharper
+      Lemma 19 cap ``2^{3m}``.
+
+    Returns the combined ``discrepancy``-job payload augmented with the
+    per-partition margins; raises :class:`CertificateError` on any
+    violation.  Feasible for ``m ≤ 2`` (the sweep is exact).
+    """
+    # Imported lazily: repro.core must stay importable without the engine.
+    from repro.core.discrepancy import lemma19_bound, lemma23_bound
+    from repro.engine import Engine, Request
+
+    own_engine = engine is None
+    if own_engine:
+        engine = Engine()
+    result = engine.run_one("discrepancy", {"m": m})
+    cap19, cap23 = lemma19_bound(m), lemma23_bound(m)
+    n = 4 * m
+    for row in result["partitions"]:
+        if not row["exact"]:
+            raise CertificateError(
+                f"discrepancy sweep for m={m} returned a non-exact maximum"
+            )
+        if row["max_disc"] > cap23:
+            raise CertificateError(
+                f"Lemma 23 violated at partition [{row['lo']}, {row['hi']}]: "
+                f"{row['max_disc']} > {cap23}"
+            )
+        if row["lo"] == 1 and row["hi"] == n and row["max_disc"] > cap19:
+            raise CertificateError(
+                f"Lemma 19 violated at the split partition: "
+                f"{row['max_disc']} > {cap19}"
+            )
+    return {
+        **result,
+        "partitions": [
+            {**row, "lemma23_margin": cap23 - row["max_disc"]}
+            for row in result["partitions"]
+        ],
+    }
 
 
 @lru_cache(maxsize=256)

@@ -213,34 +213,58 @@ def lemma18_job(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
     }
 
 
-@REGISTRY.job(
-    "discrepancy",
-    params=("m",),
-    source_modules=("repro.core.discrepancy", "repro.core.partitions"),
-    description="Exact max discrepancy per neat balanced partition (m <= 2)",
+_DISC_MODULES = (
+    "repro.core.discrepancy",
+    "repro.core.partitions",
+    "repro.core.setview",
 )
-def discrepancy_job(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
-    from repro.core.discrepancy import (
-        lemma19_bound,
-        lemma23_bound,
-        max_discrepancy_over_partition,
-    )
+
+
+@REGISTRY.job(
+    "discrepancy.partition",
+    params=("m", "lo", "hi"),
+    source_modules=_DISC_MODULES,
+    description="Exact max discrepancy of one neat balanced partition",
+)
+def discrepancy_partition_job(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.core.discrepancy import max_discrepancy_over_partition
+    from repro.core.setview import OrderedPartition
+
+    m, lo, hi = params["m"], params["lo"], params["hi"]
+    partition = OrderedPartition(n=4 * m, lo=lo, hi=hi, interval_part=0)
+    value, exact = max_discrepancy_over_partition(partition, m)
+    return {"lo": lo, "hi": hi, "max_disc": value, "exact": exact}
+
+
+def _discrepancy_deps(params: dict[str, Any]) -> list[Request]:
     from repro.core.partitions import iter_neat_balanced_partitions
 
     m = params["m"]
     if m > 2:
         raise ValueError("discrepancy: exact maximisation is feasible only for m <= 2")
-    partitions = []
-    for partition in iter_neat_balanced_partitions(m):
-        value, exact = max_discrepancy_over_partition(partition, m)
-        partitions.append(
-            {"lo": partition.lo, "hi": partition.hi, "max_disc": value, "exact": exact}
-        )
+    return [
+        Request.make("discrepancy.partition", {"m": m, "lo": p.lo, "hi": p.hi})
+        for p in iter_neat_balanced_partitions(m)
+    ]
+
+
+@REGISTRY.job(
+    "discrepancy",
+    params=("m",),
+    deps=_discrepancy_deps,
+    source_modules=_DISC_MODULES,
+    description="Exact max discrepancy per neat balanced partition (m <= 2; "
+    "fans out one cacheable job per partition)",
+)
+def discrepancy_job(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.core.discrepancy import lemma19_bound, lemma23_bound
+
+    m = params["m"]
     return {
         "m": m,
         "lemma19_bound": lemma19_bound(m),
         "lemma23_bound": lemma23_bound(m),
-        "partitions": partitions,
+        "partitions": deps,
     }
 
 
@@ -255,6 +279,7 @@ def discrepancy_job(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
     source_modules=(
         "repro.comm.rank",
         "repro.comm.matrix",
+        "repro.comm.packed",
         "repro.comm.covers",
         "repro.comm.fooling",
     ),
@@ -488,6 +513,80 @@ def parsing_bench(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
         "n_words": params["n_words"],
         "seed": params["seed"],
         "rows": deps,
+    }
+
+
+# ----------------------------------------------------------------------
+# The communication benchmark (legacy vs. bit-parallel substrate)
+# ----------------------------------------------------------------------
+
+_COMM_BENCH_MODULES = (
+    "repro.comm.bench",
+    "repro.comm.matrix",
+    "repro.comm.packed",
+    "repro.comm.rank",
+    "repro.comm.covers",
+    "repro.comm.fooling",
+)
+
+
+@REGISTRY.job(
+    "comm.bench.row",
+    params=("p", "node_budget"),
+    defaults={"node_budget": 2_000_000},
+    source_modules=_COMM_BENCH_MODULES,
+    description="Time legacy vs. packed rank/cover/fooling on INTERSECT_p",
+)
+def comm_bench_row(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.comm.bench import bench_comm_row
+
+    return bench_comm_row(params["p"], node_budget=params["node_budget"])
+
+
+@REGISTRY.job(
+    "comm.bench.disc",
+    params=("m",),
+    source_modules=_COMM_BENCH_MODULES + ("repro.core.discrepancy",),
+    description="Time legacy vs. SWAR exact discrepancy on the split sign matrix",
+)
+def comm_bench_disc(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.comm.bench import bench_disc_row
+
+    return bench_disc_row(params["m"])
+
+
+def _comm_bench_deps(params: dict[str, Any]) -> list[Request]:
+    rows = [
+        Request.make("comm.bench.row", {"p": p, "node_budget": params["node_budget"]})
+        for p in range(2, params["max_p"] + 1)
+    ]
+    discs = [
+        Request.make("comm.bench.disc", {"m": m})
+        for m in range(1, min(params["max_m"], 2) + 1)
+    ]
+    return rows + discs
+
+
+@REGISTRY.job(
+    "comm.bench",
+    params=("max_p", "max_m", "node_budget", "budget_s"),
+    defaults={"max_p": 6, "max_m": 2, "node_budget": 2_000_000, "budget_s": 5.0},
+    deps=_comm_bench_deps,
+    source_modules=_COMM_BENCH_MODULES + ("repro.core.discrepancy",),
+    description="The communication benchmark sweep (fans out one row per p / m)",
+)
+def comm_bench(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.comm.bench import summarise_rows
+
+    rows = [row for row in deps if "p" in row]
+    disc_rows = [row for row in deps if "m" in row]
+    return {
+        "max_p": params["max_p"],
+        "max_m": params["max_m"],
+        "node_budget": params["node_budget"],
+        "rows": rows,
+        "disc_rows": disc_rows,
+        "summary": summarise_rows(rows, params["budget_s"]),
     }
 
 

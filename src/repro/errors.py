@@ -20,6 +20,7 @@ __all__ = [
     "MixedLengthLanguageError",
     "AutomatonError",
     "RectangleError",
+    "CoverBudgetExceeded",
     "PartitionError",
     "CertificateError",
     "EngineError",
@@ -86,6 +87,29 @@ class RectangleError(ReproError):
     Used when rectangle parameters are inconsistent (Definition 5), when a
     claimed cover is not a cover, or when a claimed disjoint cover overlaps.
     """
+
+
+class CoverBudgetExceeded(RectangleError):
+    """An exact cover search ran out of its node budget.
+
+    Unlike a bare failure, the search progress survives: ``best_cover``
+    is the best *valid* disjoint cover found before exhaustion (at worst
+    the greedy cover the search started from — never ``None``) and
+    ``nodes_expanded`` the number of search nodes visited.  Callers may
+    use ``best_cover`` as a verified upper bound even though minimality
+    was not established.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        best_cover: list,
+        nodes_expanded: int,
+    ) -> None:
+        super().__init__(message)
+        self.best_cover = best_cover
+        self.nodes_expanded = nodes_expanded
 
 
 class PartitionError(ReproError):
