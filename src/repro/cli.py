@@ -53,6 +53,9 @@ def _build_engine(args: argparse.Namespace):
         cache=cache,
         jobs=args.jobs,
         timeout=args.timeout,
+        on_timeout=args.on_timeout,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
         run_log=RunLog(path=log_path),
     )
 
@@ -66,10 +69,16 @@ def _report_engine(engine) -> None:
     summary = engine.last_summary
     if summary is None:
         return
-    print(
+    line = (
         f"engine: {summary['jobs']} jobs, {summary['hits']} cache hits, "
         f"{summary['misses']} misses"
     )
+    if summary.get("off"):
+        line += f", {summary['off']} uncached"
+    for counter in ("retried", "timeouts", "skipped"):
+        if summary.get(counter):
+            line += f", {summary[counter]} {counter}"
+    print(line)
     print(
         f"engine: wall {summary['wall_ms']:.0f} ms on {summary['workers']} worker(s)",
         file=sys.stderr,
@@ -88,6 +97,25 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--timeout", type=float, default=None, help="per-job timeout in seconds"
+    )
+    parser.add_argument(
+        "--on-timeout",
+        choices=("raise", "skip"),
+        default="raise",
+        help="on a job timeout: abort the run (raise, default) or kill only "
+        "that job and continue with the survivors (skip)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="retries per job after a failure or worker death (default 0)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.1,
+        help="base of the exponential retry backoff in seconds (default 0.1)",
     )
 
 

@@ -30,10 +30,11 @@ from repro.engine.cache import DiskCache, NullCache, default_cache_dir
 from repro.engine.jobs import default_registry
 from repro.engine.keys import cache_key, canonical_params, code_fingerprint
 from repro.engine.registry import Job, JobRegistry, Request
-from repro.engine.scheduler import Engine
+from repro.engine.scheduler import Engine, in_worker
 
 __all__ = [
     "Engine",
+    "in_worker",
     "Request",
     "Job",
     "JobRegistry",

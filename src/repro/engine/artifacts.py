@@ -1,7 +1,8 @@
 """Structured run artifacts: one JSON record per executed job.
 
 Every engine run appends machine-readable records to a JSONL run log
-(default ``<cache_dir>/runs.jsonl``), one line per job plus a trailing
+(default ``<cache_dir>/runs.jsonl``), one line per job *execution* (a
+retried job appends one record per attempt) plus a trailing
 ``run_summary`` line.  Benchmark trajectories (``BENCH_*.json``) and any
 future dashboards consume this file; nothing in it is meant for humans
 first.
@@ -15,18 +16,30 @@ Record schema (``kind: "job"``)::
       "params": {"n": 16},
       "key": "5f1d…",               # the content-addressed cache key
       "cache": "hit" | "miss" | "off",
-      "outcome": "ok" | "error" | "timeout",
+      "outcome": "ok" | "error" | "timeout" | "skipped",
       "error": "…",                 # present only when outcome != ok
       "wall_ms": 12.3,              # execution time (0.0 for cache hits)
       "result_bytes": 418,          # size of the JSON-encoded result
-      "started_at": 1754…,          # epoch seconds
-      "pid": 1234                   # worker process id (parent on hits)
+      "started_at": 1754…,          # epoch seconds the execution *started*
+      "pid": 1234,                  # recording process id
+      "attempt": 1,                 # 1-based execution attempt of this job
+      "retries": 0                  # the engine's max_retries budget
     }
+
+``outcome: "timeout"`` marks a job killed at its deadline;
+``outcome: "skipped"`` marks a dependent that could not run because a
+dependency timed out under ``on_timeout="skip"``.  A retried job records
+every failed attempt (``outcome: "error"``) before its final record.
 
 Summary schema (``kind: "run_summary"``)::
 
     {"kind": "run_summary", "run_id": …, "jobs": 11, "hits": 9,
-     "misses": 2, "errors": 0, "wall_ms": 1834.2, "workers": 4}
+     "misses": 2, "off": 0, "errors": 0, "timeouts": 0, "skipped": 0,
+     "retried": 0, "wall_ms": 1834.2, "workers": 4}
+
+``hits + misses + off == jobs`` always holds: ``off`` counts executions
+that ran with caching disabled (they are *not* misses — there was no
+cache to miss).  ``retried`` counts executions with ``attempt > 1``.
 """
 
 from __future__ import annotations
@@ -42,7 +55,7 @@ __all__ = ["RunRecord", "RunLog"]
 
 @dataclass(slots=True)
 class RunRecord:
-    """One executed (or cache-served) job, as recorded in the run log."""
+    """One executed (or cache-served) job attempt, as recorded in the run log."""
 
     run_id: str
     job: str
@@ -54,6 +67,8 @@ class RunRecord:
     result_bytes: int
     started_at: float
     pid: int
+    attempt: int = 1
+    retries: int = 0
     error: str | None = None
 
     def to_json(self) -> dict[str, Any]:
@@ -86,8 +101,12 @@ class RunLog:
             "run_id": self.run_id,
             "jobs": len(self.records),
             "hits": sum(1 for r in self.records if r.cache == "hit"),
-            "misses": sum(1 for r in self.records if r.cache != "hit"),
-            "errors": sum(1 for r in self.records if r.outcome != "ok"),
+            "misses": sum(1 for r in self.records if r.cache == "miss"),
+            "off": sum(1 for r in self.records if r.cache == "off"),
+            "errors": sum(1 for r in self.records if r.outcome == "error"),
+            "timeouts": sum(1 for r in self.records if r.outcome == "timeout"),
+            "skipped": sum(1 for r in self.records if r.outcome == "skipped"),
+            "retried": sum(1 for r in self.records if r.attempt > 1),
             "wall_ms": round(wall_ms, 3),
             "workers": workers,
         }

@@ -14,6 +14,7 @@ cached results.
 from __future__ import annotations
 
 import math
+import os
 import time
 from typing import Any
 
@@ -615,8 +616,15 @@ def member_job(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
-# Debug jobs (engine smoke tests; also used by the test suite)
+# Debug and fault-injection jobs (engine smoke tests; the chaos suite)
 # ----------------------------------------------------------------------
+#
+# The ``debug.flaky`` / ``debug.hang`` / ``debug.crash`` trio exists to
+# prove the engine's failure semantics under load (tests/test_faults.py):
+# retries with backoff, every-iteration timeout enforcement, and recovery
+# from worker death.  ``debug.flaky`` and ``debug.crash`` read the
+# reserved ``_attempt`` parameter the scheduler injects into every call,
+# so their behaviour is identical under serial and parallel retries.
 
 
 @REGISTRY.job(
@@ -648,3 +656,65 @@ def debug_fail(params: dict[str, Any], deps: list[Any]) -> Any:
 def debug_sleep(params: dict[str, Any], deps: list[Any]) -> Any:
     time.sleep(params["seconds"])
     return params["seconds"]
+
+
+@REGISTRY.job(
+    "debug.flaky",
+    params=("fails", "value"),
+    defaults={"fails": 1, "value": "ok"},
+    description="Fail the first `fails` attempts, then return the value",
+)
+def debug_flaky(params: dict[str, Any], deps: list[Any]) -> Any:
+    """Raise on attempts 1..``fails``; succeed from attempt ``fails + 1`` on.
+
+    The attempt number is the engine-injected ``_attempt`` counter, so the
+    job is deterministic across serial and parallel retry runs.
+    """
+    attempt = params.get("_attempt", 1)
+    if attempt <= params["fails"]:
+        raise RuntimeError(
+            f"debug.flaky: injected failure on attempt {attempt}/{params['fails']}"
+        )
+    return {"value": params["value"], "succeeded_on_attempt": attempt}
+
+
+@REGISTRY.job(
+    "debug.hang",
+    params=("tag",),
+    defaults={"tag": 0},
+    description="Sleep forever (timeout-enforcement tests)",
+)
+def debug_hang(params: dict[str, Any], deps: list[Any]) -> Any:
+    """Never return; only a per-job timeout can end this job.
+
+    ``tag`` only distinguishes requests (and cache keys) from each other.
+    """
+    while True:
+        time.sleep(3600)
+
+
+@REGISTRY.job(
+    "debug.crash",
+    params=("crashes",),
+    defaults={"crashes": 1},
+    description="Kill own worker via os._exit for the first `crashes` attempts",
+)
+def debug_crash(params: dict[str, Any], deps: list[Any]) -> Any:
+    """Die without cleanup on attempts 1..``crashes``, then succeed.
+
+    Simulates a worker lost to the OOM killer or a hard signal: the
+    parent sees ``BrokenProcessPool``, replaces the pool, and retries.
+    Refuses to run outside an engine worker — in-process execution would
+    take the caller's interpreter down with it.
+    """
+    from repro.engine.scheduler import in_worker
+
+    attempt = params.get("_attempt", 1)
+    if attempt <= params["crashes"]:
+        if not in_worker():
+            raise RuntimeError(
+                "debug.crash: refusing to os._exit outside an engine worker "
+                "(serial runs execute in-process)"
+            )
+        os._exit(17)
+    return {"survived_attempt": attempt}

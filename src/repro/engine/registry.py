@@ -70,7 +70,19 @@ class Job:
     description: str = ""
 
     def resolve_params(self, params: Mapping[str, Any]) -> dict[str, Any]:
-        """Apply defaults and validate parameter names."""
+        """Apply defaults and validate parameter names.
+
+        Names starting with ``_`` are reserved for values the scheduler
+        injects at call time (currently ``_attempt``, the 1-based retry
+        counter); they are rejected here so they can never be supplied by
+        a caller or leak into cache keys.
+        """
+        reserved = sorted(name for name in params if name.startswith("_"))
+        if reserved:
+            raise EngineError(
+                f"job {self.name!r}: parameters starting with '_' are reserved "
+                f"for the engine, got {reserved!r}"
+            )
         allowed = set(self.param_names)
         unknown = set(params) - allowed
         if unknown:
@@ -128,6 +140,11 @@ class JobRegistry:
         def register(fn: Callable) -> Callable:
             if name in self._jobs:
                 raise EngineError(f"job {name!r} is already registered")
+            if any(p.startswith("_") for p in params):
+                raise EngineError(
+                    f"job {name!r}: parameter names starting with '_' are "
+                    "reserved for the engine"
+                )
             doc = (fn.__doc__ or "").strip()
             self._jobs[name] = Job(
                 name=name,

@@ -21,23 +21,56 @@ looks exactly the same whether it was computed serially, computed in a
 worker, or read back from the cache, which is what makes serial and
 parallel sweeps byte-identical.
 
-Failure semantics: the first failing job aborts the run — the engine
-cancels what it can, shuts the pool down, and raises
-:class:`~repro.errors.JobFailedError` (with the original exception as
-``__cause__``) or :class:`~repro.errors.JobTimeoutError` for jobs that
-exceed ``timeout`` seconds of wall clock.  Per-job timeouts are enforced
-in parallel mode only; a serial run executes in-process where Python
-offers no safe preemption.
+Failure semantics
+-----------------
+
+* **Job errors.**  A job that raises is retried up to ``max_retries``
+  times with exponential backoff (``retry_backoff * 2**(attempt - 1)``
+  seconds between attempts); every execution appends its own run record
+  carrying the 1-based ``attempt``.  Once the budget is exhausted the
+  run aborts with :class:`~repro.errors.JobFailedError` (the original
+  exception attached as ``__cause__``).  ``max_retries=0`` (the default)
+  preserves fail-fast semantics.  The engine injects the reserved
+  ``_attempt`` parameter into the dict a job function receives, so
+  attempt-aware jobs (``debug.flaky``, ``debug.crash``) behave
+  identically under serial and parallel retries; ``_attempt`` never
+  participates in cache keys or run records.
+* **Worker deaths** (``BrokenProcessPool``: a worker killed by a signal,
+  the OOM killer, or ``os._exit``).  The broken pool is replaced with a
+  fresh one and every job that was in flight is charged one attempt and
+  retried under the same budget — the engine cannot attribute a worker
+  death to a single job, so all of them pay.
+* **Timeouts** (parallel mode only; a serial run executes in-process
+  where Python offers no safe preemption).  *Every* scheduler iteration
+  sweeps the running jobs against their deadlines — including
+  iterations in which sibling jobs completed — so a hung job is killed
+  within one tick of ``timeout`` even in a busy pool.  Under
+  ``on_timeout="raise"`` (the default) the first overdue job records
+  outcome ``"timeout"``, the pool is torn down, and the run aborts with
+  :class:`~repro.errors.JobTimeoutError`.  Under ``on_timeout="skip"``
+  only the worker running the overdue job is terminated: the job is
+  recorded with outcome ``"timeout"``, its transitive dependents are
+  recorded with outcome ``"skipped"``, and the run continues — in-flight
+  siblings that the worker kill takes down with the pool are resubmitted
+  *without* being charged an attempt, and completed siblings keep their
+  results.  Skipped requests are simply absent from :meth:`Engine.run`'s
+  result mapping.
 """
 
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import sys
 import time
+from collections import deque
 from collections.abc import Iterable, Mapping
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from itertools import count
+from queue import Empty
 from typing import Any
 
 from repro.engine.artifacts import RunLog, RunRecord
@@ -47,14 +80,30 @@ from repro.engine.keys import canonical_params
 from repro.engine.registry import Job, JobRegistry, Request
 from repro.errors import EngineError, JobFailedError, JobTimeoutError
 
-__all__ = ["Engine"]
+__all__ = ["Engine", "in_worker"]
+
+#: Set by :func:`_init_worker` inside pool processes; lets fault-injection
+#: jobs refuse to ``os._exit`` the user's own interpreter.
+_IN_WORKER = False
+
+#: The worker-side handle of the parent's task-event queue (``None`` when
+#: the engine runs without a timeout and never needs to attribute a pid).
+_TASK_EVENTS: Any = None
 
 
-def _init_worker(path_entries: list[str]) -> None:
-    """Make the parent's import path available in spawned workers."""
+def _init_worker(path_entries: list[str], task_events: Any = None) -> None:
+    """Make the parent's import path (and event queue) available in workers."""
+    global _IN_WORKER, _TASK_EVENTS
+    _IN_WORKER = True
+    _TASK_EVENTS = task_events
     for entry in reversed(path_entries):
         if entry not in sys.path:
             sys.path.insert(0, entry)
+
+
+def in_worker() -> bool:
+    """True inside an engine worker process (used by ``debug.crash``)."""
+    return _IN_WORKER
 
 
 def _normalize(result: Any) -> Any:
@@ -66,9 +115,27 @@ def _normalize(result: Any) -> Any:
     return json.loads(json.dumps(result, sort_keys=True))
 
 
-def _call_job(fn, params: dict[str, Any], deps: list[Any]) -> Any:
-    """Worker-side entry point: run the job function and normalise."""
-    return _normalize(fn(params, deps))
+def _call_job(
+    fn,
+    params: dict[str, Any],
+    deps: list[Any],
+    attempt: int = 1,
+    task_id: int | None = None,
+) -> Any:
+    """Worker-side entry point: announce the pid, run the job, normalise.
+
+    The ``(pid, task_id)`` event lets the parent terminate exactly the
+    worker running an overdue job; the reserved ``_attempt`` parameter
+    lets attempt-aware jobs observe which retry they are.
+    """
+    if task_id is not None and _TASK_EVENTS is not None:
+        try:
+            _TASK_EVENTS.put((os.getpid(), task_id))
+        except Exception:
+            pass  # pid attribution is best effort, never a job failure
+    call_params = dict(params)
+    call_params["_attempt"] = attempt
+    return _normalize(fn(call_params, deps))
 
 
 def _abort_pool(pool: ProcessPoolExecutor) -> None:
@@ -82,6 +149,41 @@ def _abort_pool(pool: ProcessPoolExecutor) -> None:
     pool.shutdown(wait=False, cancel_futures=True)
     for process in processes.values():
         process.terminate()
+
+
+def _kill_worker(pool: ProcessPoolExecutor, pid: int) -> bool:
+    """Terminate the single worker ``pid``; the survivors keep running.
+
+    The targeted successor of :func:`_abort_pool` for ``on_timeout="skip"``:
+    only the process running the overdue job is killed.  (The executor
+    still marks itself broken afterwards, so the caller is responsible
+    for replacing the pool and resubmitting interrupted siblings.)
+    Returns False when ``pid`` is not one of the pool's workers.
+    """
+    process = (getattr(pool, "_processes", None) or {}).get(pid)
+    if process is None:
+        return False
+    process.terminate()
+    return True
+
+
+@dataclass(slots=True)
+class _InFlight:
+    """Parent-side bookkeeping for one submitted job execution.
+
+    ``deadline`` stays ``inf`` until the worker's start event arrives —
+    a job queued behind a full pool must not burn its timeout budget
+    while waiting for a worker.
+    """
+
+    request: Request
+    key: str
+    attempt: int
+    task_id: int
+    generation: int
+    started_monotonic: float
+    started_epoch: float
+    deadline: float = float("inf")
 
 
 class Engine:
@@ -99,13 +201,27 @@ class Engine:
         jobs: int = 1,
         timeout: float | None = None,
         run_log: RunLog | None = None,
+        on_timeout: str = "raise",
+        max_retries: int = 0,
+        retry_backoff: float = 0.1,
     ) -> None:
         if jobs < 1:
             raise EngineError(f"jobs must be >= 1, got {jobs}")
+        if on_timeout not in ("raise", "skip"):
+            raise EngineError(
+                f"on_timeout must be 'raise' or 'skip', got {on_timeout!r}"
+            )
+        if max_retries < 0:
+            raise EngineError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff < 0:
+            raise EngineError(f"retry_backoff must be >= 0, got {retry_backoff}")
         self.registry = registry if registry is not None else default_registry()
         self.cache = cache
         self.jobs = jobs
         self.timeout = timeout
+        self.on_timeout = on_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
         self.run_log = run_log if run_log is not None else RunLog(path=None)
         self.last_summary: dict[str, Any] | None = None
 
@@ -114,15 +230,28 @@ class Engine:
     # ------------------------------------------------------------------
 
     def run_one(self, job: str, params: Mapping[str, Any] | None = None) -> Any:
-        """Run a single request (plus dependencies) and return its result."""
+        """Run a single request (plus dependencies) and return its result.
+
+        Raises :class:`~repro.errors.JobTimeoutError` when the request was
+        timed out and dropped under ``on_timeout="skip"``.
+        """
         request = Request.make(job, params)
-        return self.run([request])[self._canonical(request)[0]]
+        canonical = self._canonical(request)[0]
+        results = self.run([request])
+        if canonical not in results:
+            raise JobTimeoutError(
+                f"job {canonical.label()} timed out and was skipped "
+                "(on_timeout='skip')"
+            )
+        return results[canonical]
 
     def run(self, requests: Iterable[Request]) -> dict[Request, Any]:
         """Execute all requests and their dependency closures.
 
         Returns a mapping from *canonicalised* request (defaults applied,
-        parameters sorted) to its normalised result.
+        parameters sorted) to its normalised result.  Under
+        ``on_timeout="skip"`` requests that timed out (or depended on one
+        that did) are absent from the mapping.
         """
         started = time.monotonic()
         roots, order, dep_lists, jobs_by_request = self._expand(requests)
@@ -147,33 +276,59 @@ class Engine:
     def _expand(
         self, requests: Iterable[Request]
     ) -> tuple[list[Request], list[Request], dict[Request, list[Request]], dict[Request, Job]]:
+        """Expand the dependency closure iteratively (no recursion limit).
+
+        Keeps the recursive version's postorder (dependencies precede
+        dependents in ``order``) and its cycle-detection message, but uses
+        an explicit frame stack so chains deeper than the interpreter's
+        recursion limit expand fine.
+        """
         dep_lists: dict[Request, list[Request]] = {}
         jobs_by_request: dict[Request, Job] = {}
-        visiting: list[Request] = []
         order: list[Request] = []
-
-        def visit(request: Request, job: Job) -> None:
-            if request in dep_lists:
-                return
-            if request in visiting:
-                cycle = " -> ".join(r.label() for r in visiting) + f" -> {request.label()}"
-                raise EngineError(f"dependency cycle: {cycle}")
-            visiting.append(request)
-            children: list[Request] = []
-            for declared in job.deps(request.params_dict()):
-                child, child_job = self._canonical(declared)
-                visit(child, child_job)
-                children.append(child)
-            visiting.pop()
-            dep_lists[request] = children
-            jobs_by_request[request] = job
-            order.append(request)  # postorder: dependencies precede dependents
-
         roots: list[Request] = []
-        for request in requests:
-            canonical, job = self._canonical(request)
-            visit(canonical, job)
+        visiting: list[Request] = []
+        on_path: set[Request] = set()
+
+        for top in requests:
+            canonical, job = self._canonical(top)
             roots.append(canonical)
+            if canonical in dep_lists:
+                continue
+            # One frame per open request: [request, job, declared, children, idx]
+            visiting.append(canonical)
+            on_path.add(canonical)
+            stack: list[list[Any]] = [
+                [canonical, job, job.deps(canonical.params_dict()), [], 0]
+            ]
+            while stack:
+                frame = stack[-1]
+                request, req_job, declared, children, idx = frame
+                if idx < len(declared):
+                    frame[4] = idx + 1
+                    child, child_job = self._canonical(declared[idx])
+                    if child in dep_lists:
+                        children.append(child)
+                        continue
+                    if child in on_path:
+                        cycle = (
+                            " -> ".join(r.label() for r in visiting)
+                            + f" -> {child.label()}"
+                        )
+                        raise EngineError(f"dependency cycle: {cycle}")
+                    children.append(child)
+                    visiting.append(child)
+                    on_path.add(child)
+                    stack.append(
+                        [child, child_job, child_job.deps(child.params_dict()), [], 0]
+                    )
+                    continue
+                stack.pop()
+                visiting.pop()
+                on_path.discard(request)
+                dep_lists[request] = children
+                jobs_by_request[request] = req_job
+                order.append(request)  # postorder: dependencies precede dependents
         return roots, order, dep_lists, jobs_by_request
 
     # ------------------------------------------------------------------
@@ -199,6 +354,8 @@ class Engine:
         result: Any = None,
         error: str | None = None,
         pid: int | None = None,
+        started_epoch: float | None = None,
+        attempt: int = 1,
     ) -> None:
         self.run_log.record(
             RunRecord(
@@ -210,8 +367,10 @@ class Engine:
                 outcome=outcome,
                 wall_ms=round(wall_ms, 3),
                 result_bytes=RunLog.result_bytes(result) if outcome == "ok" else 0,
-                started_at=time.time(),
+                started_at=started_epoch if started_epoch is not None else time.time(),
                 pid=pid if pid is not None else os.getpid(),
+                attempt=attempt,
+                retries=self.max_retries,
                 error=error,
             )
         )
@@ -219,6 +378,10 @@ class Engine:
     def _store(self, job: Job, request: Request, key: str, result: Any) -> None:
         if self.cache is not None:
             self.cache.put(job.name, key, request.params_dict(), job.fingerprint(), result)
+
+    def _backoff(self, attempt: int) -> float:
+        """Seconds to wait before re-running a job that failed ``attempt``."""
+        return self.retry_backoff * (2 ** (attempt - 1))
 
     def _run_serial(
         self,
@@ -235,22 +398,65 @@ class Engine:
                 self._record(request, key, "hit", "ok", 0.0, cached)
                 continue
             deps = [results[dep] for dep in dep_lists[request]]
-            started = time.monotonic()
-            try:
-                result = _call_job(job.fn, request.params_dict(), deps)
-            except Exception as exc:
+            attempt = 1
+            while True:
+                started = time.monotonic()
+                started_epoch = time.time()
+                try:
+                    result = _call_job(job.fn, request.params_dict(), deps, attempt)
+                except Exception as exc:
+                    wall_ms = (time.monotonic() - started) * 1000.0
+                    self._record(
+                        request,
+                        key,
+                        self._miss_state(),
+                        "error",
+                        wall_ms,
+                        error=str(exc),
+                        started_epoch=started_epoch,
+                        attempt=attempt,
+                    )
+                    if attempt <= self.max_retries:
+                        time.sleep(self._backoff(attempt))
+                        attempt += 1
+                        continue
+                    raise JobFailedError(
+                        f"job {request.label()} failed: {exc}", attempts=attempt
+                    ) from exc
                 wall_ms = (time.monotonic() - started) * 1000.0
+                results[request] = result
+                self._store(job, request, key, result)
                 self._record(
-                    request, key, self._miss_state(), "error", wall_ms, error=str(exc)
+                    request,
+                    key,
+                    self._miss_state(),
+                    "ok",
+                    wall_ms,
+                    result,
+                    started_epoch=started_epoch,
+                    attempt=attempt,
                 )
-                raise JobFailedError(f"job {request.label()} failed: {exc}") from exc
-            wall_ms = (time.monotonic() - started) * 1000.0
-            results[request] = result
-            self._store(job, request, key, result)
-            self._record(request, key, self._miss_state(), "ok", wall_ms, result)
+                break
 
     def _miss_state(self) -> str:
         return "miss" if self.cache is not None else "off"
+
+    def _task_event_queue(self) -> Any:
+        """The ``(pid, task_id)`` queue workers announce task starts on.
+
+        Only needed to attribute a pid to an overdue job, so it is not
+        created (and workers skip the per-task put) when no timeout is set.
+        """
+        if self.timeout is None:
+            return None
+        return multiprocessing.get_context().Queue()
+
+    def _new_pool(self, task_events: Any) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_init_worker,
+            initargs=(list(sys.path), task_events),
+        )
 
     def _run_parallel(
         self,
@@ -267,83 +473,304 @@ class Engine:
             for dep in set(deps):
                 dependents[dep].append(request)
 
-        ready = [request for request in order if not pending_deps[request]]
-        running: dict[Future, tuple[Request, str, float, float]] = {}
+        ready: deque[tuple[Request, int]] = deque(
+            (request, 1) for request in order if not pending_deps[request]
+        )
+        running: dict[Future, _InFlight] = {}
+        retry_at: list[tuple[float, Request, int]] = []
+        skipped: set[Request] = set()
+        keys: dict[Request, str] = {}
+        pid_to_task: dict[int, int] = {}
+        task_to_future: dict[int, Future] = {}
+        task_ids = count()
+        task_events = self._task_event_queue()
+        pool = self._new_pool(task_events)
+        generation = 0
+        # How often to wake and drain start events while a timeout is armed;
+        # bounds how late a deadline can be armed or enforced.
+        poll = (
+            None
+            if self.timeout is None
+            else max(0.01, min(0.25, self.timeout / 4.0))
+        )
+
+        def settled() -> int:
+            return len(results) + len(skipped)
+
+        def drain_events() -> None:
+            """Absorb worker start events: map pids and arm deadlines."""
+            if task_events is None:
+                return
+            now = time.monotonic()
+            while True:
+                try:
+                    pid, task_id = task_events.get_nowait()
+                except Empty:
+                    return
+                pid_to_task[pid] = task_id
+                future = task_to_future.get(task_id)
+                info = running.get(future) if future is not None else None
+                if info is not None and info.deadline == float("inf"):
+                    info.deadline = now + self.timeout
+
+        def replace_pool() -> None:
+            nonlocal pool, generation
+            pool = self._new_pool(task_events)
+            generation += 1
+            pid_to_task.clear()
 
         def mark_done(request: Request) -> None:
             for dependent in dependents[request]:
                 pending_deps[dependent].discard(request)
                 if not pending_deps[dependent] and dependent not in results:
-                    ready.append(dependent)
+                    ready.append((dependent, 1))
 
-        with ProcessPoolExecutor(
-            max_workers=self.jobs,
-            initializer=_init_worker,
-            initargs=(list(sys.path),),
-        ) as pool:
-            while len(results) < len(order):
-                while ready:
-                    request = ready.pop(0)
-                    job = jobs_by_request[request]
-                    key, cached, hit = self._cache_lookup(job, request)
-                    if hit:
-                        results[request] = cached
-                        self._record(request, key, "hit", "ok", 0.0, cached)
-                        mark_done(request)
-                        continue
-                    deps = [results[dep] for dep in dep_lists[request]]
-                    started = time.monotonic()
-                    future = pool.submit(
-                        _call_job, job.fn, request.params_dict(), deps
+        def mark_skipped(origin: Request) -> None:
+            """Skip ``origin`` and cascade to its transitive dependents."""
+            skipped.add(origin)
+            stack = list(dependents[origin])
+            while stack:
+                dependent = stack.pop()
+                if dependent in skipped or dependent in results:
+                    continue
+                skipped.add(dependent)
+                self._record(
+                    dependent,
+                    jobs_by_request[dependent].key(dependent.params_dict()),
+                    self._miss_state(),
+                    "skipped",
+                    0.0,
+                    error=f"dependency {origin.label()} timed out",
+                )
+                stack.extend(dependents[dependent])
+
+        def submit(request: Request, attempt: int) -> None:
+            job = jobs_by_request[request]
+            if attempt == 1 and request not in keys:
+                key, cached, hit = self._cache_lookup(job, request)
+                keys[request] = key
+                if hit:
+                    results[request] = cached
+                    self._record(request, key, "hit", "ok", 0.0, cached)
+                    mark_done(request)
+                    return
+            key = keys[request]
+            deps = [results[dep] for dep in dep_lists[request]]
+            task_id = next(task_ids)
+            future = pool.submit(
+                _call_job,
+                job.fn,
+                request.params_dict(),
+                deps,
+                attempt,
+                task_id if task_events is not None else None,
+            )
+            running[future] = _InFlight(
+                request=request,
+                key=key,
+                attempt=attempt,
+                task_id=task_id,
+                generation=generation,
+                started_monotonic=time.monotonic(),
+                started_epoch=time.time(),
+            )
+            task_to_future[task_id] = future
+
+        def finish(future: Future, info: _InFlight) -> None:
+            task_to_future.pop(info.task_id, None)
+            job = jobs_by_request[info.request]
+            wall_ms = (time.monotonic() - info.started_monotonic) * 1000.0
+            try:
+                result = future.result()
+            except BrokenProcessPool as exc:
+                self._record(
+                    info.request,
+                    info.key,
+                    self._miss_state(),
+                    "error",
+                    wall_ms,
+                    error=f"worker died: {exc}",
+                    started_epoch=info.started_epoch,
+                    attempt=info.attempt,
+                )
+                if info.attempt > self.max_retries:
+                    _abort_pool(pool)
+                    raise JobFailedError(
+                        f"job {info.request.label()} failed in worker after "
+                        f"{info.attempt} attempt(s): worker died ({exc})",
+                        attempts=info.attempt,
+                    ) from exc
+                if info.generation == generation:
+                    _abort_pool(pool)
+                    replace_pool()
+                retry_at.append(
+                    (
+                        time.monotonic() + self._backoff(info.attempt),
+                        info.request,
+                        info.attempt + 1,
                     )
-                    deadline = started + self.timeout if self.timeout else float("inf")
-                    running[future] = (request, key, started, deadline)
-                if len(results) >= len(order):
+                )
+            except Exception as exc:
+                self._record(
+                    info.request,
+                    info.key,
+                    self._miss_state(),
+                    "error",
+                    wall_ms,
+                    error=str(exc),
+                    started_epoch=info.started_epoch,
+                    attempt=info.attempt,
+                )
+                if info.attempt > self.max_retries:
+                    _abort_pool(pool)
+                    raise JobFailedError(
+                        f"job {info.request.label()} failed in worker: {exc}",
+                        attempts=info.attempt,
+                    ) from exc
+                retry_at.append(
+                    (
+                        time.monotonic() + self._backoff(info.attempt),
+                        info.request,
+                        info.attempt + 1,
+                    )
+                )
+            else:
+                results[info.request] = result
+                self._store(job, info.request, info.key, result)
+                self._record(
+                    info.request,
+                    info.key,
+                    self._miss_state(),
+                    "ok",
+                    wall_ms,
+                    result,
+                    started_epoch=info.started_epoch,
+                    attempt=info.attempt,
+                )
+                mark_done(info.request)
+
+        def sweep_deadlines(now: float) -> None:
+            """Time out every overdue job.  Runs on *every* loop iteration.
+
+            (The historical bug: this sweep only ran when ``wait()``
+            returned an empty ``done`` set, so a hung job was never timed
+            out while sibling jobs kept completing.)
+            """
+            overdue = [
+                future
+                for future, info in running.items()
+                if now > info.deadline and not future.done()
+            ]
+            if not overdue:
+                return
+            if self.on_timeout == "raise":
+                info = running[overdue[0]]
+                self._record(
+                    info.request,
+                    info.key,
+                    self._miss_state(),
+                    "timeout",
+                    (now - info.started_monotonic) * 1000.0,
+                    error=f"exceeded {self.timeout}s",
+                    started_epoch=info.started_epoch,
+                    attempt=info.attempt,
+                )
+                _abort_pool(pool)
+                raise JobTimeoutError(
+                    f"job {info.request.label()} exceeded the per-job timeout "
+                    f"of {self.timeout}s"
+                )
+            drain_events()
+            must_replace = False
+            for future in overdue:
+                info = running.pop(future)
+                self._record(
+                    info.request,
+                    info.key,
+                    self._miss_state(),
+                    "timeout",
+                    (now - info.started_monotonic) * 1000.0,
+                    error=f"exceeded {self.timeout}s (worker killed, on_timeout='skip')",
+                    started_epoch=info.started_epoch,
+                    attempt=info.attempt,
+                )
+                mark_skipped(info.request)
+                if future.cancel():
+                    continue  # still queued: nothing is running it
+                pid = next(
+                    (p for p, t in pid_to_task.items() if t == info.task_id), None
+                )
+                if pid is None or not _kill_worker(pool, pid):
+                    _abort_pool(pool)  # untracked worker: replace the pool wholesale
+                must_replace = True
+            if not must_replace:
+                return
+            # Killing a worker breaks the executor, which takes the
+            # in-flight siblings down with it.  Salvage the ones that
+            # finished in the window; resubmit the rest with their attempt
+            # unchanged — the engine interrupted them, they did not fail.
+            for future in list(running):
+                info = running.pop(future)
+                if future.done() and not future.cancelled():
+                    exc = future.exception()
+                    if exc is None or not isinstance(exc, BrokenProcessPool):
+                        finish(future, info)
+                        continue
+                ready.append((info.request, info.attempt))
+            pool.shutdown(wait=False, cancel_futures=True)
+            replace_pool()
+
+        try:
+            while settled() < len(order):
+                while ready:
+                    request, attempt = ready.popleft()
+                    if request in results or request in skipped:
+                        continue
+                    submit(request, attempt)
+                if settled() >= len(order):
                     break
+                now = time.monotonic()
+                due = [item for item in retry_at if item[0] <= now]
+                if due:
+                    retry_at[:] = [item for item in retry_at if item[0] > now]
+                    for _, request, attempt in due:
+                        ready.append((request, attempt))
+                    continue
                 if not running:
-                    unfinished = [r.label() for r in order if r not in results]
+                    if retry_at:
+                        time.sleep(max(0.0, min(t for t, _, _ in retry_at) - now))
+                        continue
+                    unfinished = [
+                        r.label()
+                        for r in order
+                        if r not in results and r not in skipped
+                    ]
                     raise EngineError(
                         f"scheduler stalled with unfinished jobs: {unfinished}"
                     )
-                tick = min(deadline for (_, _, _, deadline) in running.values())
+                drain_events()
+                tick = min(info.deadline for info in running.values())
+                tick = min(
+                    tick, min((t for t, _, _ in retry_at), default=float("inf"))
+                )
                 wait_for = None
                 if tick != float("inf"):
-                    wait_for = max(0.0, tick - time.monotonic()) + 0.01
+                    wait_for = max(0.0, tick - now) + 0.01
+                if poll is not None:
+                    # Keep draining start events so deadlines get armed even
+                    # while no sibling completes and no deadline is near.
+                    wait_for = poll if wait_for is None else min(wait_for, poll)
                 done, _ = wait(running, timeout=wait_for, return_when=FIRST_COMPLETED)
-                now = time.monotonic()
-                if not done:
-                    for future, (request, key, started, deadline) in running.items():
-                        if now > deadline:
-                            wall_ms = (now - started) * 1000.0
-                            self._record(
-                                request,
-                                key,
-                                self._miss_state(),
-                                "timeout",
-                                wall_ms,
-                                error=f"exceeded {self.timeout}s",
-                            )
-                            _abort_pool(pool)
-                            raise JobTimeoutError(
-                                f"job {request.label()} exceeded the per-job timeout "
-                                f"of {self.timeout}s"
-                            )
-                    continue
                 for future in done:
-                    request, key, started, _deadline = running.pop(future)
-                    job = jobs_by_request[request]
-                    wall_ms = (now - started) * 1000.0
-                    try:
-                        result = future.result()
-                    except Exception as exc:
-                        self._record(
-                            request, key, self._miss_state(), "error", wall_ms, error=str(exc)
-                        )
-                        _abort_pool(pool)
-                        raise JobFailedError(
-                            f"job {request.label()} failed in worker: {exc}"
-                        ) from exc
-                    results[request] = result
-                    self._store(job, request, key, result)
-                    self._record(request, key, self._miss_state(), "ok", wall_ms, result)
-                    mark_done(request)
+                    info = running.pop(future, None)
+                    if info is not None:
+                        finish(future, info)
+                sweep_deadlines(time.monotonic())
+        except BaseException:
+            _abort_pool(pool)
+            raise
+        else:
+            pool.shutdown(wait=True, cancel_futures=True)
+        finally:
+            if task_events is not None:
+                task_events.close()

@@ -135,11 +135,24 @@ class UnknownJobError(EngineError):
 
 
 class JobFailedError(EngineError):
-    """A job raised while executing; carries the failing request.
+    """A job raised while executing and its retry budget is exhausted.
 
-    The original exception is attached as ``__cause__``.
+    The original exception is attached as ``__cause__``; ``attempts`` is
+    the number of executions performed (1 + retries used) before the
+    engine gave up.  Raised only after the engine has recorded every
+    failed attempt in the run log.
     """
+
+    def __init__(self, message: str, *, attempts: int = 1) -> None:
+        super().__init__(message)
+        self.attempts = attempts
 
 
 class JobTimeoutError(EngineError):
-    """A job exceeded its per-job wall-clock timeout."""
+    """A job exceeded its per-job wall-clock timeout.
+
+    Raised when the scheduler's deadline sweep finds an overdue job under
+    ``on_timeout="raise"`` (the run aborts), or by ``run_one`` when its
+    own request was timed out and dropped under ``on_timeout="skip"``
+    (sibling jobs keep their results).
+    """

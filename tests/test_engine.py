@@ -6,6 +6,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -14,6 +15,7 @@ from repro.engine import (
     DiskCache,
     Engine,
     JobRegistry,
+    NullCache,
     Request,
     RunLog,
     cache_key,
@@ -141,6 +143,48 @@ class TestDiskCache:
         assert cache.clear() == 2
         assert cache.stats()["entries"] == 0
 
+    def test_truncated_entry_recomputed_by_engine(self, tmp_path):
+        """A half-written entry (e.g. interrupted writer) is a miss, the
+        engine recomputes, and the recompute repairs the entry."""
+        cache_dir = tmp_path / "cache"
+        Engine(cache=DiskCache(cache_dir)).run_one("certificate", {"n": 16})
+        (entry,) = (cache_dir / "v1" / "certificate").glob("*.json")
+        entry.write_text(entry.read_text()[:10])
+        log = RunLog(path=None)
+        engine = Engine(cache=DiskCache(cache_dir), run_log=log)
+        assert engine.run_one("certificate", {"n": 16})["margin"] == 16640
+        assert [r.cache for r in log.records] == ["miss"]
+        repaired = RunLog(path=None)
+        Engine(cache=DiskCache(cache_dir), run_log=repaired).run_one(
+            "certificate", {"n": 16}
+        )
+        assert [r.cache for r in repaired.records] == ["hit"]
+
+    def test_unwritable_cache_degrades_to_recomputation(self, tmp_path):
+        """put() must never fail the computation: with a path that cannot
+        exist (a regular file where a directory is needed) writes are
+        swallowed and every lookup stays a miss."""
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        cache = DiskCache(blocker / "cache")
+        cache.put("job", "0" * 64, {}, "fp", 1)  # must not raise
+        assert cache.get("job", "0" * 64) is None
+        log = RunLog(path=None)
+        engine = Engine(cache=cache, run_log=log)
+        assert engine.run_one("certificate", {"n": 16})["margin"] == 16640
+        assert [r.cache for r in log.records] == ["miss"]
+        assert cache.stats()["entries"] == 0
+
+    def test_null_cache_counts_misses_under_parallel_runs(self):
+        cache = NullCache()
+        engine = Engine(cache=cache, jobs=2)
+        engine.run([Request.make("sizes.table", {"max_exp": 4})])
+        summary = engine.last_summary
+        assert summary["misses"] == summary["jobs"] > 0
+        assert summary["hits"] == 0 and summary["off"] == 0
+        assert cache.misses == summary["jobs"]
+        assert cache.stats()["entries"] == 0
+
     def test_engine_hit_miss_accounting(self, tmp_path):
         first = Engine(cache=DiskCache(tmp_path))
         first.run([Request.make("sizes.table", {"max_exp": 4})])
@@ -203,6 +247,25 @@ class TestDagScheduling:
         # The diamond: both mid jobs share the leaves; each leaf runs once.
         assert sorted(trace) == ["m1", "m2", "top", "x", "y"]
         assert engine.last_summary["jobs"] == 5
+
+    def test_deep_chain_expands_beyond_recursion_limit(self):
+        registry = JobRegistry()
+
+        @registry.job(
+            "chain",
+            params=("i",),
+            deps=lambda p: (
+                [] if p["i"] == 0 else [Request.make("chain", {"i": p["i"] - 1})]
+            ),
+        )
+        def chain(params, deps):
+            return (deps[0] if deps else 0) + 1
+
+        depth = 5000
+        assert depth > sys.getrecursionlimit()
+        engine = Engine(registry=registry, cache=None)
+        assert engine.run_one("chain", {"i": depth}) == depth + 1
+        assert engine.last_summary["jobs"] == depth + 1
 
     def test_cycle_detection(self):
         registry = JobRegistry()
@@ -282,6 +345,33 @@ class TestRunArtifacts:
         assert len(record["key"]) == 64
         assert record["result_bytes"] > 0
         assert summaries[0]["jobs"] == 1 and summaries[0]["misses"] == 1
+
+    def test_started_at_marks_execution_start(self):
+        """Regression: started_at used to be stamped when the record was
+        written (after the job finished), making wall-clock reconstruction
+        from artifacts wrong."""
+        for jobs in (1, 2):
+            log = RunLog(path=None)
+            engine = Engine(cache=None, jobs=jobs, run_log=log)
+            t0 = time.time()
+            engine.run_one("debug.sleep", {"seconds": 0.25})
+            (record,) = log.records
+            assert record.started_at - t0 < 0.15, (
+                f"started_at stamped at record time, not job start (jobs={jobs})"
+            )
+            assert record.started_at >= t0 - 0.01
+
+    def test_summary_separates_uncached_from_misses(self):
+        """cache=None runs are 'off', not misses; hits+misses+off == jobs."""
+        engine = Engine(cache=None)
+        engine.run([Request.make("sizes.table", {"max_exp": 4})])
+        summary = engine.last_summary
+        assert summary["off"] == summary["jobs"] > 0
+        assert summary["misses"] == 0 and summary["hits"] == 0
+        assert (
+            summary["hits"] + summary["misses"] + summary["off"]
+            == summary["jobs"]
+        )
 
     def test_cache_hit_recorded(self, tmp_path):
         cache_dir = tmp_path / "cache"
@@ -399,6 +489,43 @@ class TestEngineCli:
         assert json.loads(stats.stdout)["entries"] == 1
         cleared = self._repro("cache", "clear", cache_dir=str(tmp_path))
         assert "removed 1" in cleared.stdout
+
+    def test_parser_accepts_failure_knobs(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "run",
+                "debug.echo",
+                "--on-timeout",
+                "skip",
+                "--max-retries",
+                "2",
+                "--retry-backoff",
+                "0.05",
+            ]
+        )
+        assert args.on_timeout == "skip"
+        assert args.max_retries == 2
+        assert args.retry_backoff == 0.05
+
+    def test_run_retries_flaky_job(self, tmp_path):
+        result = self._repro(
+            "run",
+            "debug.flaky",
+            "-p",
+            "fails=1",
+            "--jobs",
+            "2",
+            "--max-retries",
+            "2",
+            "--retry-backoff",
+            "0.01",
+            cache_dir=str(tmp_path),
+        )
+        assert result.returncode == 0, result.stderr
+        payload = json.loads(result.stdout[: result.stdout.rindex("}") + 1])
+        assert payload["succeeded_on_attempt"] == 2
 
     def test_bad_job_name_fails_cleanly(self, tmp_path):
         result = self._repro("run", "nope", cache_dir=str(tmp_path))

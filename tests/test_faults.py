@@ -1,0 +1,258 @@
+"""Chaos suite: fault injection against the engine's failure semantics.
+
+Proves the hardened failure paths of :mod:`repro.engine.scheduler`:
+
+* a hung job in a pool whose sibling jobs keep completing is killed
+  within ``timeout + ε`` (the historical bug: the deadline sweep only ran
+  when ``wait()`` returned an empty ``done`` set, so steady sibling
+  completions starved it forever);
+* ``on_timeout="skip"`` kills only the offending job — siblings keep or
+  recompute their results and the run converges;
+* worker death (``debug.crash`` via ``os._exit``) is retried on a fresh
+  pool and the run converges;
+* retries are deterministic: serial and parallel retry runs produce
+  byte-identical results, and the run log records every attempt.
+
+Jobs used by the dependency-cascade tests live at module level so worker
+processes can resolve them by reference.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.engine import Engine, JobRegistry, Request, RunLog
+from repro.errors import EngineError, JobFailedError, JobTimeoutError
+
+#: A private registry for DAG-shaped fault tests (module-level functions,
+#: so they pickle into workers by reference).
+FAULT_REGISTRY = JobRegistry()
+
+
+@FAULT_REGISTRY.job("chaos.hang", params=())
+def chaos_hang(params, deps):
+    while True:  # pragma: no cover - only ever killed
+        time.sleep(3600)
+
+
+@FAULT_REGISTRY.job(
+    "chaos.dependent", params=(), deps=lambda p: [Request.make("chaos.hang")]
+)
+def chaos_dependent(params, deps):
+    return deps  # pragma: no cover - its dependency never finishes
+
+
+@FAULT_REGISTRY.job("chaos.side", params=("i",))
+def chaos_side(params, deps):
+    return params["i"]
+
+
+def _hang_and_siblings(n_siblings: int, base: float = 0.05) -> list[Request]:
+    """One ``debug.hang`` plus ``n_siblings`` fast, distinct sleep jobs."""
+    return [Request.make("debug.hang", {"tag": 0})] + [
+        Request.make("debug.sleep", {"seconds": round(base + 0.01 * i, 3)})
+        for i in range(n_siblings)
+    ]
+
+
+class TestTimeoutEnforcement:
+    def test_hang_killed_among_completing_siblings_skip(self):
+        """The ISSUE regression: steady sibling completions must not starve
+        the deadline sweep.  jobs=4, timeout=0.5, one hang, 10 fast
+        siblings: the hang is recorded as outcome "timeout" in < 2 s and
+        every sibling completes under on_timeout="skip"."""
+        log = RunLog(path=None)
+        requests = _hang_and_siblings(10)
+        engine = Engine(
+            cache=None, jobs=4, timeout=0.5, on_timeout="skip", run_log=log
+        )
+        started = time.monotonic()
+        results = engine.run(requests)
+        wall = time.monotonic() - started
+        assert wall < 2.0, f"hang not killed within timeout + ε ({wall:.2f}s)"
+        timeouts = [r for r in log.records if r.outcome == "timeout"]
+        assert [r.job for r in timeouts] == ["debug.hang"]
+        # every sibling completed; only the hung request is missing
+        assert len(results) == len(requests) - 1
+        assert all(r.job == "debug.sleep" for r in results)
+
+    def test_hang_raise_policy_aborts_promptly_with_busy_siblings(self):
+        """Under the default policy the run still aborts within timeout + ε
+        even while siblings keep the pool's wait() returning non-empty."""
+        engine = Engine(cache=None, jobs=4, timeout=0.4)
+        started = time.monotonic()
+        with pytest.raises(JobTimeoutError, match="debug.hang"):
+            engine.run(_hang_and_siblings(10, base=0.08))
+        assert time.monotonic() - started < 2.0
+
+    def test_skip_interrupted_siblings_not_charged_an_attempt(self):
+        """Siblings in flight when the hung worker is killed are engine
+        casualties: they are resubmitted at the same attempt number."""
+        log = RunLog(path=None)
+        engine = Engine(
+            cache=None, jobs=4, timeout=0.4, on_timeout="skip", run_log=log
+        )
+        requests = [Request.make("debug.hang", {"tag": 1})] + [
+            Request.make("debug.sleep", {"seconds": round(0.30 + 0.01 * i, 3)})
+            for i in range(9)
+        ]
+        results = engine.run(requests)
+        assert len(results) == 9
+        assert all(record.attempt == 1 for record in log.records)
+
+    def test_timed_out_root_raises_in_run_one(self):
+        engine = Engine(cache=None, jobs=2, timeout=0.2, on_timeout="skip")
+        with pytest.raises(JobTimeoutError, match="skipped"):
+            engine.run_one("debug.hang", {"tag": 2})
+
+    def test_dependents_of_hung_job_cascade_to_skipped(self):
+        log = RunLog(path=None)
+        engine = Engine(
+            registry=FAULT_REGISTRY,
+            cache=None,
+            jobs=3,
+            timeout=0.4,
+            on_timeout="skip",
+            run_log=log,
+        )
+        requests = [Request.make("chaos.dependent")] + [
+            Request.make("chaos.side", {"i": i}) for i in range(4)
+        ]
+        results = engine.run(requests)
+        assert sorted(results.values()) == [0, 1, 2, 3]
+        outcomes = {record.job: record.outcome for record in log.records}
+        assert outcomes["chaos.hang"] == "timeout"
+        assert outcomes["chaos.dependent"] == "skipped"
+        skipped = next(r for r in log.records if r.outcome == "skipped")
+        assert "chaos.hang" in (skipped.error or "")
+
+    def test_run_summary_counts_timeouts_and_skips(self):
+        engine = Engine(
+            registry=FAULT_REGISTRY, cache=None, jobs=2, timeout=0.3,
+            on_timeout="skip",
+        )
+        engine.run([Request.make("chaos.dependent")])
+        assert engine.last_summary["timeouts"] == 1
+        assert engine.last_summary["skipped"] == 1
+
+
+class TestRetries:
+    def test_flaky_succeeds_on_attempt_3_and_logs_every_attempt(self):
+        """The ISSUE acceptance path: 2 injected failures, max_retries=3,
+        success on attempt 3, one run record per execution."""
+        log = RunLog(path=None)
+        engine = Engine(
+            cache=None, jobs=2, max_retries=3, retry_backoff=0.01, run_log=log
+        )
+        result = engine.run_one("debug.flaky", {"fails": 2})
+        assert result == {"value": "ok", "succeeded_on_attempt": 3}
+        assert [(r.attempt, r.outcome) for r in log.records] == [
+            (1, "error"),
+            (2, "error"),
+            (3, "ok"),
+        ]
+        assert all(r.retries == 3 for r in log.records)
+        assert engine.last_summary["retried"] == 2
+
+    def test_flaky_serial_and_parallel_results_byte_identical(self):
+        def run(jobs: int):
+            engine = Engine(
+                cache=None, jobs=jobs, max_retries=3, retry_backoff=0.01
+            )
+            requests = [Request.make("debug.flaky", {"fails": 2})] + [
+                Request.make("debug.echo", {"value": i}) for i in range(4)
+            ]
+            results = engine.run(requests)
+            return json.dumps(
+                {key.label(): value for key, value in results.items()},
+                sort_keys=True,
+            )
+
+        assert run(1) == run(2)
+
+    def test_flaky_exhausted_budget_fails_serial_and_parallel(self):
+        for jobs in (1, 2):
+            engine = Engine(
+                cache=None, jobs=jobs, max_retries=1, retry_backoff=0.01
+            )
+            with pytest.raises(JobFailedError, match="injected failure") as excinfo:
+                engine.run_one("debug.flaky", {"fails": 5})
+            assert excinfo.value.attempts == 2
+
+    def test_no_retries_by_default(self):
+        log = RunLog(path=None)
+        with pytest.raises(JobFailedError):
+            Engine(cache=None, jobs=2, run_log=log).run_one(
+                "debug.flaky", {"fails": 1}
+            )
+        assert [r.attempt for r in log.records] == [1]
+
+    def test_crash_retried_on_fresh_pool_and_converges(self):
+        log = RunLog(path=None)
+        engine = Engine(
+            cache=None, jobs=2, max_retries=2, retry_backoff=0.01, run_log=log
+        )
+        result = engine.run_one("debug.crash", {"crashes": 1})
+        assert result == {"survived_attempt": 2}
+        error = next(r for r in log.records if r.outcome == "error")
+        assert "worker died" in (error.error or "")
+        ok = next(r for r in log.records if r.outcome == "ok")
+        assert ok.attempt == 2
+
+    def test_crash_with_siblings_converges(self):
+        """A worker death takes in-flight siblings down with the pool;
+        with retry budget the whole run still converges."""
+        engine = Engine(cache=None, jobs=2, max_retries=3, retry_backoff=0.01)
+        requests = [Request.make("debug.crash", {"crashes": 1})] + [
+            Request.make("debug.sleep", {"seconds": round(0.05 + 0.01 * i, 3)})
+            for i in range(4)
+        ]
+        results = engine.run(requests)
+        assert len(results) == 5
+        crash = Request.make("debug.crash", {"crashes": 1})
+        assert results[crash]["survived_attempt"] >= 2
+
+    def test_crash_without_budget_aborts(self):
+        engine = Engine(cache=None, jobs=2)
+        with pytest.raises(JobFailedError, match="worker died"):
+            engine.run_one("debug.crash", {"crashes": 1})
+
+    def test_crash_refuses_to_kill_the_serial_interpreter(self):
+        with pytest.raises(JobFailedError, match="refusing"):
+            Engine(cache=None).run_one("debug.crash", {"crashes": 1})
+
+    def test_backoff_is_exponential(self):
+        engine = Engine(cache=None, max_retries=3, retry_backoff=0.25)
+        assert [engine._backoff(a) for a in (1, 2, 3)] == [0.25, 0.5, 1.0]
+
+
+class TestFaultJobDeclarations:
+    def test_fault_jobs_registered(self):
+        from repro.engine import default_registry
+
+        names = default_registry().names()
+        for expected in ("debug.flaky", "debug.hang", "debug.crash"):
+            assert expected in names
+
+    def test_reserved_attempt_param_rejected(self):
+        with pytest.raises(EngineError, match="reserved"):
+            Engine(cache=None).run_one("debug.flaky", {"_attempt": 7})
+
+    def test_registry_rejects_reserved_param_declarations(self):
+        registry = JobRegistry()
+        with pytest.raises(EngineError, match="reserved"):
+
+            @registry.job("bad", params=("_secret",))
+            def bad(params, deps):  # pragma: no cover - never registered
+                return None
+
+    def test_engine_rejects_bad_failure_knobs(self):
+        with pytest.raises(EngineError, match="on_timeout"):
+            Engine(cache=None, on_timeout="explode")
+        with pytest.raises(EngineError, match="max_retries"):
+            Engine(cache=None, max_retries=-1)
+        with pytest.raises(EngineError, match="retry_backoff"):
+            Engine(cache=None, retry_backoff=-0.5)
