@@ -2,7 +2,9 @@
 
 NFAs and DFAs with determinisation, minimisation, boolean operations,
 language equivalence, the unambiguity (UFA) test, and conversions to
-right-linear CFGs and from finite languages.
+right-linear CFGs and from finite languages.  The hot algorithms run on
+the bit-parallel packed kernels in :mod:`repro.automata.packed`
+(states renumbered to bit positions, state sets as big-int masks).
 """
 
 from repro.automata.counting import (
@@ -12,6 +14,15 @@ from repro.automata.counting import (
 )
 from repro.automata.dfa import DFA, determinise, minimise
 from repro.automata.nfa import NFA, State
+from repro.automata.packed import (
+    PackedDFA,
+    PackedNFA,
+    as_packed_dfa,
+    as_packed_nfa,
+    packed_determinise,
+    packed_is_unambiguous,
+    packed_minimise,
+)
 from repro.automata.regex import (
     Regex,
     any_symbol,
@@ -39,6 +50,13 @@ __all__ = [
     "NFA",
     "DFA",
     "State",
+    "PackedNFA",
+    "PackedDFA",
+    "as_packed_nfa",
+    "as_packed_dfa",
+    "packed_determinise",
+    "packed_minimise",
+    "packed_is_unambiguous",
     "determinise",
     "count_dfa_words_of_length",
     "count_dfa_words_up_to",

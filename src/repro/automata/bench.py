@@ -1,0 +1,449 @@
+"""Legacy-vs-packed benchmark cores for the automata substrate.
+
+Each timing row pits the bit-parallel kernels of
+:mod:`repro.automata.packed` against the frozenset/dict implementations
+they replaced — subset construction over hashed macro-states, Moore
+refinement with per-round signature sorting, the tuple-set self-product
+UFA test, and the per-state dict counting DP — preserved below as
+module-level baselines so engine workers can import them.  The baselines
+duplicate the test oracles in ``tests/legacy_automata.py`` on purpose:
+the test suite is not importable from worker processes, and the oracles
+must not depend on benchmark code.  Results are plain JSON, produced by
+the ``automata.bench.row`` / ``automata.bench.count`` / ``automata.bench``
+jobs and the ``python -m repro bench automata`` front end.
+
+Inputs are the paper's ``L_n`` family: determinise and minimise sweep the
+``Θ(n)`` guess-and-verify NFA (whose determinisation is the ``2^Θ(n)``
+sliding-window DFA), the ambiguity rows sweep the ``O(n²)``-state *exact*
+``L_n`` NFA (whose self-product has ``O(n⁴)`` pairs — the harshest
+workload), and the counting rows raise the transfer matrix of the
+slender unique-match DFA (``b* a b^{n-1} a b*``) to the ``2^exp``-th
+power — the regime where ``O(log L)`` squarings beat ``L`` sweeps.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any
+
+from repro.automata.dfa import DFA, determinise, minimise
+from repro.automata.nfa import NFA, State
+from repro.automata.ops import is_unambiguous_nfa
+from repro.automata.counting import count_dfa_words_of_length
+
+__all__ = [
+    "OPS",
+    "bench_automata_row",
+    "bench_count_row",
+    "summarise_automata_rows",
+    "legacy_determinise",
+    "legacy_minimise",
+    "legacy_is_unambiguous_nfa",
+    "legacy_count_dfa_words_of_length",
+]
+
+
+# ----------------------------------------------------------------------
+# Frozen baselines (the pre-packed algorithms, verbatim)
+# ----------------------------------------------------------------------
+
+
+def legacy_determinise(nfa: NFA) -> DFA:
+    """Subset construction over frozenset macro-states (pre-packed)."""
+    initial = nfa.initial
+    macro_states: dict[frozenset[State], int] = {initial: 0}
+    order: list[frozenset[State]] = [initial]
+    delta: dict[tuple[State, str], State] = {}
+    index = 0
+    while index < len(order):
+        current = order[index]
+        current_id = macro_states[current]
+        for symbol in nfa.alphabet:
+            nxt = nfa.step(current, symbol)
+            if nxt not in macro_states:
+                macro_states[nxt] = len(order)
+                order.append(nxt)
+            delta[(current_id, symbol)] = macro_states[nxt]
+        index += 1
+    accepting = {macro_states[macro] for macro in order if macro & nfa.accepting}
+    return DFA(nfa.alphabet, set(macro_states.values()), delta, 0, accepting)
+
+
+def legacy_minimise(dfa: DFA) -> DFA:
+    """Moore partition refinement with per-round signature sorting (pre-packed)."""
+    complete = dfa.completed().reachable()
+    states = sorted(complete.states, key=str)
+    block_of: dict[State, int] = {
+        q: (1 if q in complete.accepting else 0) for q in states
+    }
+    symbols = complete.alphabet.symbols
+    n_blocks = len(set(block_of.values()))
+    while True:
+        signatures: dict[State, tuple] = {}
+        for q in states:
+            signatures[q] = (
+                block_of[q],
+                tuple(block_of[complete.successor(q, s)] for s in symbols),
+            )
+        distinct = sorted(set(signatures.values()), key=str)
+        renumber = {sig: i for i, sig in enumerate(distinct)}
+        block_of = {q: renumber[signatures[q]] for q in states}
+        if len(distinct) == n_blocks:
+            break
+        n_blocks = len(distinct)
+    initial_block = block_of[complete.initial]
+    relabel: dict[int, int] = {initial_block: 0}
+    queue = [initial_block]
+    block_successor: dict[tuple[int, str], int] = {}
+    representative: dict[int, State] = {}
+    for q in states:
+        representative.setdefault(block_of[q], q)
+    while queue:
+        blk = queue.pop(0)
+        rep = representative[blk]
+        for s in symbols:
+            succ_blk = block_of[complete.successor(rep, s)]
+            block_successor[(blk, s)] = succ_blk
+            if succ_blk not in relabel:
+                relabel[succ_blk] = len(relabel)
+                queue.append(succ_blk)
+    delta = {
+        (relabel[blk], s): relabel[succ]
+        for (blk, s), succ in block_successor.items()
+        if blk in relabel
+    }
+    accepting = {
+        relabel[block_of[q]]
+        for q in states
+        if q in complete.accepting and block_of[q] in relabel
+    }
+    return DFA(complete.alphabet, set(relabel.values()), delta, 0, accepting)
+
+
+def _legacy_trim_nfa(nfa: NFA) -> NFA:
+    accessible: set[State] = set(nfa.initial)
+    frontier = list(nfa.initial)
+    while frontier:
+        q = frontier.pop()
+        for s in nfa.alphabet:
+            for succ in nfa.successors(q, s):
+                if succ not in accessible:
+                    accessible.add(succ)
+                    frontier.append(succ)
+    predecessors: dict[State, set[State]] = {q: set() for q in nfa.states}
+    for src, _sym, dst in nfa.transitions():
+        predecessors[dst].add(src)
+    coaccessible: set[State] = set(nfa.accepting)
+    frontier = list(nfa.accepting)
+    while frontier:
+        q = frontier.pop()
+        for pred in predecessors[q]:
+            if pred not in coaccessible:
+                coaccessible.add(pred)
+                frontier.append(pred)
+    keep = accessible & coaccessible
+    if not keep:
+        dead = next(iter(nfa.states))
+        return NFA(nfa.alphabet, {dead}, {}, {dead}, set())
+    transitions: dict[tuple[State, str], set[State]] = {}
+    for src, sym, dst in nfa.transitions():
+        if src in keep and dst in keep:
+            transitions.setdefault((src, sym), set()).add(dst)
+    return NFA(nfa.alphabet, keep, transitions, nfa.initial & keep, nfa.accepting & keep)
+
+
+def legacy_is_unambiguous_nfa(nfa: NFA) -> bool:
+    """Self-product UFA test over Python sets of state pairs (pre-packed)."""
+    trimmed = _legacy_trim_nfa(nfa)
+    starts = {(p, q) for p in trimmed.initial for q in trimmed.initial}
+    reached: set[tuple[State, State]] = set(starts)
+    frontier = list(starts)
+    edges: dict[tuple[State, State], set[tuple[State, State]]] = {}
+    while frontier:
+        p, q = frontier.pop()
+        for s in trimmed.alphabet:
+            for ps in trimmed.successors(p, s):
+                for qs in trimmed.successors(q, s):
+                    pair = (ps, qs)
+                    edges.setdefault((p, q), set()).add(pair)
+                    if pair not in reached:
+                        reached.add(pair)
+                        frontier.append(pair)
+    reverse: dict[tuple[State, State], set[tuple[State, State]]] = {}
+    for src, dsts in edges.items():
+        for dst in dsts:
+            reverse.setdefault(dst, set()).add(src)
+    goal = {
+        (p, q)
+        for (p, q) in reached
+        if p in trimmed.accepting and q in trimmed.accepting
+    }
+    coaccessible: set[tuple[State, State]] = set(goal)
+    frontier = list(goal)
+    while frontier:
+        pair = frontier.pop()
+        for pred in reverse.get(pair, ()):
+            if pred not in coaccessible:
+                coaccessible.add(pred)
+                frontier.append(pred)
+    return all(p == q for (p, q) in reached & coaccessible)
+
+
+def legacy_count_dfa_words_of_length(dfa: DFA, length: int) -> int:
+    """Per-state dict DP, one layer per symbol of length (pre-packed)."""
+    weights: dict[State, int] = {dfa.initial: 1}
+    for _ in range(length):
+        nxt: dict[State, int] = {}
+        for state, weight in weights.items():
+            for symbol in dfa.alphabet:
+                succ = dfa.successor(state, symbol)
+                if succ is not None:
+                    nxt[succ] = nxt.get(succ, 0) + weight
+        weights = nxt
+    return sum(w for q, w in weights.items() if q in dfa.accepting)
+
+
+# ----------------------------------------------------------------------
+# The timed operations
+# ----------------------------------------------------------------------
+
+
+def _timed(fn, *args) -> tuple[float, Any]:
+    start = perf_counter()
+    result = fn(*args)
+    return perf_counter() - start, result
+
+
+def _same_dfa(a: DFA, b: DFA) -> bool:
+    return (
+        a.states == b.states
+        and a.initial == b.initial
+        and a.accepting == b.accepting
+        and a.transitions() == b.transitions()
+    )
+
+
+def _run_determinise(n: int, run_legacy: bool) -> dict[str, Any]:
+    from repro.automata.packed import PackedNFA, packed_determinise
+    from repro.languages.nfa_ln import ln_match_nfa
+
+    nfa = ln_match_nfa(n)
+    pnfa = PackedNFA.from_nfa(nfa)  # packing outside the timer, as in comm/bench
+    packed_s, packed_dfa = _timed(packed_determinise, pnfa)
+    result: dict[str, Any] = {
+        "packed": {"seconds": packed_s, "value": packed_dfa.n_states},
+        "agree": True,
+    }
+    if run_legacy:
+        legacy_s, legacy_dfa = _timed(legacy_determinise, nfa)
+        result["legacy"] = {"seconds": legacy_s, "value": legacy_dfa.n_states}
+        result["agree"] = _same_dfa(packed_dfa.to_dfa(), legacy_dfa)
+    else:
+        result["legacy"] = {"skipped": True}
+    return result
+
+
+def _run_minimise(n: int, run_legacy: bool) -> dict[str, Any]:
+    from repro.automata.packed import PackedNFA, packed_determinise, packed_minimise
+    from repro.languages.nfa_ln import ln_match_nfa
+
+    pdfa = packed_determinise(PackedNFA.from_nfa(ln_match_nfa(n)))  # shared input
+    packed_s, packed_min = _timed(packed_minimise, pdfa)
+    result: dict[str, Any] = {
+        "packed": {"seconds": packed_s, "value": packed_min.n_states},
+        "agree": True,
+    }
+    if run_legacy:
+        dfa = pdfa.to_dfa()
+        legacy_s, legacy_min = _timed(legacy_minimise, dfa)
+        result["legacy"] = {"seconds": legacy_s, "value": legacy_min.n_states}
+        result["agree"] = _same_dfa(packed_min.to_dfa(), legacy_min)
+    else:
+        result["legacy"] = {"skipped": True}
+    return result
+
+
+def _run_ambiguity(n: int, run_legacy: bool) -> dict[str, Any]:
+    from repro.automata.packed import PackedNFA, packed_is_unambiguous
+    from repro.languages.nfa_ln import ln_nfa_exact
+
+    nfa = ln_nfa_exact(n)
+    pnfa = PackedNFA.from_nfa(nfa)
+    packed_s, packed_verdict = _timed(packed_is_unambiguous, pnfa)
+    result: dict[str, Any] = {
+        "n_states": nfa.n_states,
+        "packed": {"seconds": packed_s, "value": packed_verdict},
+        "agree": True,
+    }
+    if run_legacy:
+        legacy_s, legacy_verdict = _timed(legacy_is_unambiguous_nfa, nfa)
+        result["legacy"] = {"seconds": legacy_s, "value": legacy_verdict}
+        result["agree"] = packed_verdict == legacy_verdict
+    else:
+        result["legacy"] = {"skipped": True}
+    return result
+
+
+#: op name -> (runner, legacy cap, packed cap): past the legacy cap only
+#: the packed side runs (that difference *is* the frontier extension the
+#: packed engine buys); past the packed cap the row skips the op.
+OPS: dict[str, tuple[Any, int, int]] = {
+    "determinise": (_run_determinise, 16, 18),
+    "minimise": (_run_minimise, 12, 14),
+    "ambiguity": (_run_ambiguity, 36, 48),
+}
+
+
+def bench_automata_row(n: int) -> dict[str, Any]:
+    """Time every op pair on the ``L_n`` automata; all values cross-checked.
+
+    ``{"skipped": True}`` on the legacy side means ``n`` is past the
+    legacy feasibility cap and only the packed kernel ran; an op past
+    both caps is skipped outright.
+    """
+    ops: dict[str, Any] = {}
+    for name, (runner, legacy_cap, packed_cap) in OPS.items():
+        if n > packed_cap:
+            ops[name] = {"skipped": True}
+            continue
+        result = runner(n, run_legacy=n <= legacy_cap)
+        if not result["agree"]:
+            raise ValueError(f"automata bench: legacy and packed disagree on {name} at n={n}")
+        for side in ("legacy", "packed"):
+            if "seconds" in result[side]:
+                result[side]["seconds"] = round(result[side]["seconds"], 6)
+        if "seconds" in result["legacy"] and result["packed"]["seconds"] > 0:
+            result["speedup"] = round(
+                result["legacy"]["seconds"] / result["packed"]["seconds"], 2
+            )
+        ops[name] = result
+    return {"n": n, "ops": ops}
+
+
+#: Largest exponent the legacy linear sweep completes in reasonable time
+#: (2^18 layers of the dict DP is already ~10 seconds).
+COUNT_LEGACY_CAP = 18
+
+#: Largest exponent timed on the packed side.  The transfer-matrix power
+#: only needs ``exp`` squarings, so this cap is about keeping the sweep
+#: short, not about feasibility.
+COUNT_PACKED_CAP = 30
+
+
+def bench_count_row(exp: int, n: int = 8) -> dict[str, Any]:
+    """Time counting words of length ``2^exp`` in the unique-match DFA.
+
+    The input is :func:`~repro.languages.dfa_ln.ln_unique_match_dfa`
+    (``b* a b^{n-1} a b*``), which is *slender*: exactly ``2^exp - n``
+    words per length, so counts stay ``O(exp)`` bits.  Here the packed
+    transfer-matrix power costs ``exp`` squarings of a small matrix while
+    the legacy dict DP still sweeps all ``2^exp`` layers — the
+    ``O(log L)`` vs ``O(L)`` separation the kernel exists for.  (On
+    *dense* DFAs such as the full match language the counts themselves
+    carry ``Θ(L)`` bits, so both sides are bound by big-int arithmetic
+    and the power wins only modestly; the slender family isolates the
+    algorithmic gap.)  Past :data:`COUNT_LEGACY_CAP` only the packed side
+    runs; counts are exact arbitrary-precision integers, cross-checked
+    and recorded verbatim.
+    """
+    from repro.languages.dfa_ln import ln_unique_match_dfa
+
+    dfa = ln_unique_match_dfa(n)
+    length = 2**exp
+    packed_s, packed_count = _timed(count_dfa_words_of_length, dfa, length)
+    row: dict[str, Any] = {
+        "exp": exp,
+        "n": n,
+        "length": length,
+        "dfa_states": dfa.n_states,
+        "count": packed_count,
+        "packed": {"seconds": round(packed_s, 6)},
+        "agree": True,
+    }
+    if packed_count != length - n:  # closed form for the slender family
+        raise ValueError(f"automata bench: count {packed_count} != {length - n} at exp={exp}")
+    if exp <= COUNT_LEGACY_CAP:
+        legacy_s, legacy_count = _timed(legacy_count_dfa_words_of_length, dfa, length)
+        if legacy_count != packed_count:
+            raise ValueError(f"automata bench: counting disagrees at exp={exp}")
+        row["legacy"] = {"seconds": round(legacy_s, 6)}
+        if packed_s > 0:
+            row["speedup"] = round(legacy_s / packed_s, 2)
+    else:
+        row["legacy"] = {"skipped": True}
+    return row
+
+
+def _completed(op_result: dict, side: str) -> bool:
+    if op_result.get("skipped"):
+        return False
+    return "seconds" in op_result.get(side, {})
+
+
+def summarise_automata_rows(
+    rows: list[dict], count_rows: list[dict], budget_s: float
+) -> dict[str, Any]:
+    """Per-op frontier summary over a sweep of benchmark rows.
+
+    * ``largest_common_n`` — largest ``n`` where *both* implementations
+      ran, and the speedup measured there;
+    * ``largest_n_within_budget`` — per side, largest ``n`` completed in
+      at most ``budget_s`` seconds: the parameter-gain frontier of the
+      packed engine (for ambiguity this is the "feasible ``L_n`` sweep"
+      extension the acceptance criteria ask for).
+
+    Counting rows are summarised the same way over ``exp`` (the length
+    is ``2^exp``, so a frontier gap of ``k`` is a ``2^k``-fold longer
+    word).
+    """
+    ops_summary: dict[str, Any] = {}
+    op_names = sorted({name for row in rows for name in row["ops"]})
+    for name in op_names:
+        common = [
+            r
+            for r in rows
+            if _completed(r["ops"][name], "legacy") and _completed(r["ops"][name], "packed")
+        ]
+        in_budget = {
+            side: [
+                r["n"]
+                for r in rows
+                if _completed(r["ops"][name], side)
+                and r["ops"][name][side]["seconds"] <= budget_s
+            ]
+            for side in ("legacy", "packed")
+        }
+        summary: dict[str, Any] = {
+            "largest_n_within_budget": {
+                side: max(ns, default=None) for side, ns in in_budget.items()
+            },
+        }
+        if common:
+            at = max(common, key=lambda r: r["n"])
+            summary["largest_common_n"] = at["n"]
+            summary["speedup_at_largest_common"] = at["ops"][name].get("speedup")
+        ops_summary[name] = summary
+    if count_rows:
+        common = [r for r in count_rows if "seconds" in r.get("legacy", {})]
+        summary = {
+            "largest_exp_within_budget": {
+                "legacy": max(
+                    (r["exp"] for r in common if r["legacy"]["seconds"] <= budget_s),
+                    default=None,
+                ),
+                "packed": max(
+                    (
+                        r["exp"]
+                        for r in count_rows
+                        if r["packed"]["seconds"] <= budget_s
+                    ),
+                    default=None,
+                ),
+            },
+        }
+        if common:
+            at = max(common, key=lambda r: r["exp"])
+            summary["largest_common_exp"] = at["exp"]
+            summary["speedup_at_largest_common"] = at.get("speedup")
+        ops_summary["counting"] = summary
+    return {"budget_s": budget_s, "ops": ops_summary}

@@ -6,16 +6,30 @@ level down: determinism plays the role unambiguity plays for grammars.
 For NFAs the same recurrence counts accepting *runs*, which matches the
 word count precisely when the NFA is unambiguous — the UFA story again.
 
-The DP itself is :mod:`repro.kernel.paths` over the counting semiring;
-this module only adapts DFA/NFA transition functions into the kernel's
-``successors`` callable.
+The counting now literally uses the transfer matrix: the kernels in
+:mod:`repro.automata.packed` build the integer matrix ``M[i][j]`` =
+#symbols taking state ``i`` to state ``j`` and either sweep it
+(``O(length · |δ|)``) or raise it to the ``length``-th power by repeated
+squaring (``O(|Q|³ log length)`` exact big-int products).  The adapters
+here pick the regime: long words over small automata go through the
+matrix power, so ``count_dfa_words_of_length(d, 2n)`` costs ``O(log n)``
+matrix products instead of ``2n`` sweeps.  All arithmetic is exact
+arbitrary-precision integers — no floats anywhere.
 """
 
 from __future__ import annotations
 
 from repro.automata.dfa import DFA
 from repro.automata.nfa import NFA
-from repro.kernel.paths import path_value, path_values_up_to
+from repro.automata.packed import (
+    PackedDFA,
+    PackedNFA,
+    count_runs_by_power,
+    count_runs_by_sweep,
+    count_words_by_power,
+    count_words_by_sweep,
+    count_words_table,
+)
 
 __all__ = [
     "count_dfa_words_of_length",
@@ -23,30 +37,20 @@ __all__ = [
     "count_nfa_runs_of_length",
 ]
 
-
-def _dfa_successors(dfa: DFA):
-    def successors(state):
-        for symbol in dfa.alphabet:
-            succ = dfa.successor(state, symbol)
-            if succ is not None:
-                yield succ
-
-    return successors
-
-
-def _nfa_successors(nfa: NFA):
-    def successors(state):
-        for symbol in nfa.alphabet:
-            yield from nfa.successors(state, symbol)
-
-    return successors
+# Repeated squaring costs O(|Q|³ log L) big-int multiplications against
+# the sweep's O(L · |δ|) additions, so it only wins once the length is
+# comfortably past the state count.  The 4× margin keeps short-word
+# calls (the common case in tests and finite-language code) on the
+# cheaper sweep without measurably penalising the asymptotic regime.
+_POWER_MARGIN = 4
 
 
 def count_dfa_words_of_length(dfa: DFA, length: int) -> int:
     """The exact number of accepted words of the given length.
 
-    Linear in ``length × |δ|``; works on partial DFAs (undefined
-    transitions contribute nothing).
+    ``O(length · |δ|)`` for short words, ``O(|Q|³ log length)`` via
+    repeated matrix squaring for long ones; works on partial DFAs
+    (undefined transitions contribute nothing).
 
     >>> from repro.automata.ops import dfa_from_finite_language
     >>> from repro.words.alphabet import AB
@@ -54,12 +58,20 @@ def count_dfa_words_of_length(dfa: DFA, length: int) -> int:
     >>> count_dfa_words_of_length(d, 2), count_dfa_words_of_length(d, 1)
     (2, 1)
     """
-    return path_value(_dfa_successors(dfa), [dfa.initial], dfa.accepting, length)
+    packed = PackedDFA.from_dfa(dfa)
+    if length > _POWER_MARGIN * packed.n_states:
+        return count_words_by_power(packed, length)
+    return count_words_by_sweep(packed, length)
 
 
 def count_dfa_words_up_to(dfa: DFA, max_length: int) -> dict[int, int]:
-    """``{length: #accepted words}`` for every length up to the bound."""
-    return path_values_up_to(_dfa_successors(dfa), [dfa.initial], dfa.accepting, max_length)
+    """``{length: #accepted words}`` for every length up to the bound.
+
+    One incremental sweep: the length-``ℓ`` vector extends to ``ℓ+1``,
+    so the whole table costs the same as the single longest length.
+    """
+    packed = PackedDFA.from_dfa(dfa)
+    return count_words_table(packed, max_length)
 
 
 def count_nfa_runs_of_length(nfa: NFA, length: int) -> int:
@@ -70,4 +82,7 @@ def count_nfa_runs_of_length(nfa: NFA, length: int) -> int:
     general it over-counts by run multiplicity — the automaton analogue
     of parse-tree counting for ambiguous CFGs.
     """
-    return path_value(_nfa_successors(nfa), nfa.initial, nfa.accepting, length)
+    packed = PackedNFA.from_nfa(nfa)
+    if length > _POWER_MARGIN * packed.n_states:
+        return count_runs_by_power(packed, length)
+    return count_runs_by_sweep(packed, length)

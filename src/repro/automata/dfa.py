@@ -1,12 +1,16 @@
 """Deterministic finite automata, determinisation and minimisation.
 
 The DFA side of the automata substrate: subset construction from
-:class:`~repro.automata.nfa.NFA`, Hopcroft-style minimisation (implemented
-as Moore's partition refinement — simpler, and entirely adequate at the
-sizes this repository handles), completion, complement, and products.
-The minimal acyclic DFA of a finite language doubles as the canonical
-small *unambiguous* representation that the disambiguation pipeline
-(benchmark E12) converts into a right-linear uCFG.
+:class:`~repro.automata.nfa.NFA`, Hopcroft minimisation, completion,
+complement, and products.  :func:`determinise` and :func:`minimise` are
+thin adapters over the bit-parallel kernels in
+:mod:`repro.automata.packed` (macro-states and partition blocks as
+big-int masks); their outputs are identical to the frozenset/Moore
+implementations they replaced, which are frozen as test oracles in
+``tests/legacy_automata.py``.  The minimal acyclic DFA of a finite
+language doubles as the canonical small *unambiguous* representation
+that the disambiguation pipeline (benchmark E12) converts into a
+right-linear uCFG.
 """
 
 from __future__ import annotations
@@ -61,6 +65,30 @@ class DFA:
         self._delta = delta
         self._initial = initial
         self._accepting = accepting_set
+
+    @classmethod
+    def _from_validated(
+        cls,
+        alphabet: Alphabet,
+        states: frozenset[State],
+        transitions: dict[tuple[State, str], State],
+        initial: State,
+        accepting: frozenset[State],
+    ) -> "DFA":
+        """Trusted constructor: callers guarantee consistency.
+
+        Skips the per-transition validation of ``__init__`` — for
+        internal call sites (e.g. :meth:`PackedDFA.to_dfa`) whose output
+        is consistent by construction.  Mirrors
+        ``CommMatrix._from_validated``.
+        """
+        dfa = cls.__new__(cls)
+        dfa._alphabet = alphabet
+        dfa._states = states
+        dfa._delta = transitions
+        dfa._initial = initial
+        dfa._accepting = accepting
+        return dfa
 
     @property
     def alphabet(self) -> Alphabet:
@@ -158,82 +186,30 @@ class DFA:
 
 
 def determinise(nfa: NFA) -> DFA:
-    """Subset construction: an equivalent DFA over reachable macro-states."""
-    initial = nfa.initial
-    macro_states: dict[frozenset[State], int] = {initial: 0}
-    order: list[frozenset[State]] = [initial]
-    delta: dict[tuple[State, str], State] = {}
-    index = 0
-    while index < len(order):
-        current = order[index]
-        current_id = macro_states[current]
-        for symbol in nfa.alphabet:
-            nxt = nfa.step(current, symbol)
-            if nxt not in macro_states:
-                macro_states[nxt] = len(order)
-                order.append(nxt)
-            delta[(current_id, symbol)] = macro_states[nxt]
-        index += 1
-    accepting = {
-        macro_states[macro] for macro in order if macro & nfa.accepting
-    }
-    return DFA(nfa.alphabet, set(macro_states.values()), delta, 0, accepting)
+    """Subset construction: an equivalent DFA over reachable macro-states.
+
+    Macro-states are discovered breadth-first (symbols in alphabet order)
+    and numbered ``0..k-1`` in discovery order with ``0`` initial; the
+    result is complete.  Runs on the bit-parallel kernel
+    :func:`repro.automata.packed.packed_determinise` — one OR-fold over
+    big-int masks per symbol instead of frozenset unions and hashing.
+    """
+    # Imported lazily: packed.py builds on the DFA class defined above.
+    from repro.automata.packed import PackedNFA, packed_determinise
+
+    return packed_determinise(PackedNFA.from_nfa(nfa)).to_dfa()
 
 
 def minimise(dfa: DFA) -> DFA:
     """Return the minimal complete DFA of the same language.
 
-    Moore partition refinement on the reachable, completed automaton.
-    States of the result are integers ``0..k-1`` with ``0`` initial.
+    Hopcroft partition refinement on the reachable, completed automaton
+    (:func:`repro.automata.packed.packed_minimise`: blocks and preimages
+    as big-int masks, "process the smaller half" worklist).  States of
+    the result are integers ``0..k-1``, numbered by BFS from the initial
+    block with ``0`` initial — the same canonical numbering as the Moore
+    refinement this replaced, so outputs are identical.
     """
-    complete = dfa.completed().reachable()
-    states = sorted(complete.states, key=str)
-    # Initial partition: accepting vs non-accepting.
-    block_of: dict[State, int] = {
-        q: (1 if q in complete.accepting else 0) for q in states
-    }
-    symbols = complete.alphabet.symbols
-    n_blocks = len(set(block_of.values()))
-    while True:
-        signatures: dict[State, tuple] = {}
-        for q in states:
-            signatures[q] = (
-                block_of[q],
-                tuple(block_of[complete.successor(q, s)] for s in symbols),
-            )
-        distinct = sorted(set(signatures.values()), key=str)
-        renumber = {sig: i for i, sig in enumerate(distinct)}
-        block_of = {q: renumber[signatures[q]] for q in states}
-        # Moore refinement only splits blocks, so the partition is stable
-        # exactly when the block count stops growing.
-        if len(distinct) == n_blocks:
-            break
-        n_blocks = len(distinct)
-    # Canonical numbering: BFS from the initial block for determinism.
-    initial_block = block_of[complete.initial]
-    relabel: dict[int, int] = {initial_block: 0}
-    queue = [initial_block]
-    block_successor: dict[tuple[int, str], int] = {}
-    representative: dict[int, State] = {}
-    for q in states:
-        representative.setdefault(block_of[q], q)
-    while queue:
-        blk = queue.pop(0)
-        rep = representative[blk]
-        for s in symbols:
-            succ_blk = block_of[complete.successor(rep, s)]
-            block_successor[(blk, s)] = succ_blk
-            if succ_blk not in relabel:
-                relabel[succ_blk] = len(relabel)
-                queue.append(succ_blk)
-    delta = {
-        (relabel[blk], s): relabel[succ]
-        for (blk, s), succ in block_successor.items()
-        if blk in relabel
-    }
-    accepting = {
-        relabel[block_of[q]]
-        for q in states
-        if q in complete.accepting and block_of[q] in relabel
-    }
-    return DFA(complete.alphabet, set(relabel.values()), delta, 0, accepting)
+    from repro.automata.packed import PackedDFA, packed_minimise
+
+    return packed_minimise(PackedDFA.from_dfa(dfa)).to_dfa()

@@ -74,6 +74,30 @@ class NFA:
         self._initial = initial_set
         self._accepting = accepting_set
 
+    @classmethod
+    def _from_validated(
+        cls,
+        alphabet: Alphabet,
+        states: frozenset[State],
+        transitions: dict[tuple[State, str], frozenset[State]],
+        initial: frozenset[State],
+        accepting: frozenset[State],
+    ) -> "NFA":
+        """Trusted constructor: callers guarantee consistency.
+
+        Skips the validation of ``__init__`` (including the dropping of
+        empty target sets — the caller must not pass any) for internal
+        call sites whose output is consistent by construction, e.g.
+        :meth:`repro.automata.packed.PackedNFA.to_nfa`.
+        """
+        nfa = cls.__new__(cls)
+        nfa._alphabet = alphabet
+        nfa._states = states
+        nfa._delta = transitions
+        nfa._initial = initial
+        nfa._accepting = accepting
+        return nfa
+
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
@@ -150,14 +174,27 @@ class NFA:
         return sum(w for q, w in weights.items() if q in self._accepting)
 
     def language_up_to(self, max_length: int) -> frozenset[str]:
-        """All accepted words of length ≤ ``max_length`` (breadth-first)."""
-        from repro.words.ops import all_words
+        """All accepted words of length ≤ ``max_length`` (breadth-first).
 
+        Explores (macro-state, word) pairs level by level, extending only
+        words whose macro-state is non-empty — so only viable prefixes
+        are ever enumerated, not all ``|Σ|^≤L`` candidate words.
+        """
         accepted: set[str] = set()
+        level: dict[str, frozenset[State]] = {"": self._initial}
         for length in range(max_length + 1):
-            for word in all_words(self._alphabet, length):
-                if self.accepts(word):
+            for word, macro in level.items():
+                if macro & self._accepting:
                     accepted.add(word)
+            if length == max_length or not level:
+                break
+            nxt: dict[str, frozenset[State]] = {}
+            for word, macro in level.items():
+                for symbol in self._alphabet:
+                    successor = self.step(macro, symbol)
+                    if successor:
+                        nxt[word + symbol] = successor
+            level = nxt
         return frozenset(accepted)
 
     def to_key(self) -> str:

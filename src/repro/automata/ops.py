@@ -105,7 +105,13 @@ def trim_nfa(nfa: NFA) -> NFA:
     keep = accessible & coaccessible
     if not keep:
         # Empty language: a single dead state keeps the structure valid.
-        dead = next(iter(nfa.states))
+        # Pick the canonical minimum, not an arbitrary set element — set
+        # iteration order depends on the hash seed, and a seed-dependent
+        # dead state would make `to_key()` of trimmed empty automata
+        # differ across processes, defeating the engine's disk cache.
+        from repro.util.canonical import canonical_encode
+
+        dead = min(nfa.states, key=canonical_encode)
         return NFA(nfa.alphabet, {dead}, {}, {dead}, set())
     transitions: dict[tuple[State, str], set[State]] = {}
     for src, sym, dst in nfa.transitions():
@@ -120,42 +126,14 @@ def is_unambiguous_nfa(nfa: NFA) -> bool:
     Classical criterion: trim the automaton, build its self-product
     restricted to pairs reachable *by the same word* from (possibly
     distinct) initial states and co-reachable to accepting pairs; the NFA
-    is ambiguous iff some off-diagonal pair survives.
+    is ambiguous iff some off-diagonal pair survives.  Runs on the
+    bit-parallel kernel :func:`repro.automata.packed.packed_is_unambiguous`
+    — pair states packed at bit ``p·|Q|+q`` of big-int masks, so both
+    reachability passes are shift-OR fixpoints with no tuple sets.
     """
-    trimmed = trim_nfa(nfa)
-    starts = {(p, q) for p in trimmed.initial for q in trimmed.initial}
-    reached: set[tuple[State, State]] = set(starts)
-    frontier = list(starts)
-    edges: dict[tuple[State, State], set[tuple[State, State]]] = {}
-    while frontier:
-        p, q = frontier.pop()
-        for s in trimmed.alphabet:
-            for ps in trimmed.successors(p, s):
-                for qs in trimmed.successors(q, s):
-                    pair = (ps, qs)
-                    edges.setdefault((p, q), set()).add(pair)
-                    if pair not in reached:
-                        reached.add(pair)
-                        frontier.append(pair)
-    # Co-accessibility in the pair graph to accepting×accepting.
-    reverse: dict[tuple[State, State], set[tuple[State, State]]] = {}
-    for src, dsts in edges.items():
-        for dst in dsts:
-            reverse.setdefault(dst, set()).add(src)
-    goal = {
-        (p, q)
-        for (p, q) in reached
-        if p in trimmed.accepting and q in trimmed.accepting
-    }
-    coaccessible: set[tuple[State, State]] = set(goal)
-    frontier = list(goal)
-    while frontier:
-        pair = frontier.pop()
-        for pred in reverse.get(pair, ()):
-            if pred not in coaccessible:
-                coaccessible.add(pred)
-                frontier.append(pred)
-    return all(p == q for (p, q) in reached & coaccessible)
+    from repro.automata.packed import PackedNFA, packed_is_unambiguous
+
+    return packed_is_unambiguous(PackedNFA.from_nfa(nfa))
 
 
 def nfa_to_right_linear_cfg(nfa: NFA) -> CFG:

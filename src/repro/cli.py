@@ -410,6 +410,93 @@ def _cmd_bench_comm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_automata_table(rows: list[dict]) -> Table:
+    table = Table(
+        ["n", "determinise", "minimise", "ambiguity"],
+        title="Automata engine: legacy (frozensets/dicts) vs. packed bit-parallel kernels",
+    )
+    for row in rows:
+        cells: list[str] = [str(row["n"])]
+        for name in ("determinise", "minimise", "ambiguity"):
+            op = row["ops"][name]
+            if op.get("skipped"):
+                cells.append("-")
+            elif op["legacy"].get("skipped"):
+                cells.append(f"{op['packed']['seconds']:.4f}s (legacy capped)")
+            else:
+                cells.append(f"{op['packed']['seconds']:.4f}s ({op['speedup']:.1f}x)")
+        table.add_row(cells)
+    return table
+
+
+def _cmd_bench_automata(args: argparse.Namespace) -> int:
+    # Benchmarks time code, so cached timings from an earlier run would be
+    # stale; always recompute.
+    args.no_cache = True
+    engine = _build_engine(args)
+    result = engine.run_one(
+        "automata.bench",
+        {
+            "max_n": args.max_n,
+            "max_count_exp": args.max_count_exp,
+            "budget_s": args.budget_s,
+        },
+    )
+    _bench_automata_table(result["rows"]).print()
+    for row in result["count_rows"]:
+        side = (
+            f"({row['speedup']:.1f}x)"
+            if "speedup" in row
+            else "(legacy capped)"
+        )
+        print(
+            f"counting (length 2^{row['exp']}, unique-match n={row['n']}): "
+            f"{row['packed']['seconds']:.4f}s {side}"
+        )
+    summary = result["summary"]["ops"]
+    for name in sorted(summary):
+        op = summary[name]
+        if name == "counting":
+            frontier = op["largest_exp_within_budget"]
+            parts = [
+                f"legacy reaches exp={frontier['legacy']}",
+                f"packed exp={frontier['packed']}",
+            ]
+            if op.get("speedup_at_largest_common") is not None:
+                parts.append(
+                    f"{op['speedup_at_largest_common']:.1f}x at exp={op['largest_common_exp']}"
+                )
+        else:
+            frontier = op["largest_n_within_budget"]
+            parts = [
+                f"legacy reaches n={frontier['legacy']}",
+                f"packed n={frontier['packed']}",
+            ]
+            if op.get("speedup_at_largest_common") is not None:
+                parts.append(
+                    f"{op['speedup_at_largest_common']:.1f}x at n={op['largest_common_n']}"
+                )
+        print(f"{name}: " + ", ".join(parts))
+    if args.out:
+        import platform
+        import time
+        from pathlib import Path
+
+        artifact = {
+            "kind": "automata_bench",
+            "generated_at": time.time(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            **result,
+        }
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+        print(f"bench: wrote {path}", file=sys.stderr)
+    _report_engine(engine)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.engine import DiskCache
 
@@ -554,6 +641,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_options(bench_comm)
     bench_comm.set_defaults(func=_cmd_bench_comm)
+    bench_automata = bench_sub.add_parser(
+        "automata", help="legacy vs. packed automata kernels over the L_n family"
+    )
+    bench_automata.add_argument(
+        "--max-n", type=int, default=48, help="largest n in the sweep (default 48)"
+    )
+    bench_automata.add_argument(
+        "--max-count-exp",
+        type=int,
+        default=24,
+        help="largest exponent for counting words of length 2^exp (default 24)",
+    )
+    bench_automata.add_argument(
+        "--budget-s",
+        type=float,
+        default=5.0,
+        help="per-op time budget defining the reachability frontier (default 5.0)",
+    )
+    bench_automata.add_argument(
+        "--out", default=None, metavar="PATH", help="also write BENCH_automata.json here"
+    )
+    _add_engine_options(bench_automata)
+    bench_automata.set_defaults(func=_cmd_bench_automata)
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument(

@@ -592,6 +592,149 @@ def comm_bench(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# The automata engine (bit-parallel packed kernels) and its benchmark
+# ----------------------------------------------------------------------
+
+_AUTOMATA_MODULES = (
+    "repro.automata.packed",
+    "repro.automata.nfa",
+    "repro.automata.dfa",
+    "repro.automata.ops",
+    "repro.automata.counting",
+    "repro.languages.nfa_ln",
+    "repro.languages.dfa_ln",
+)
+
+
+@REGISTRY.job(
+    "automata.determinise",
+    params=("n",),
+    source_modules=_AUTOMATA_MODULES,
+    description="Determinise + minimise the L_n match NFA (packed kernels)",
+)
+def automata_determinise(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.automata.packed import PackedNFA, packed_determinise, packed_minimise
+    from repro.languages.nfa_ln import ln_match_nfa
+
+    n = params["n"]
+    nfa = ln_match_nfa(n)
+    dfa = packed_determinise(PackedNFA.from_nfa(nfa))
+    minimal = packed_minimise(dfa)
+    return {
+        "n": n,
+        "nfa_states": nfa.n_states,
+        "dfa_states": dfa.n_states,
+        "min_dfa_states": minimal.n_states,
+    }
+
+
+@REGISTRY.job(
+    "automata.ambiguity",
+    params=("n", "exact"),
+    defaults={"exact": True},
+    source_modules=_AUTOMATA_MODULES,
+    description="Unambiguity of the exact (or match) L_n NFA via the packed self-product",
+)
+def automata_ambiguity(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.automata.ops import is_unambiguous_nfa
+    from repro.languages.nfa_ln import ln_match_nfa, ln_nfa_exact
+
+    n, exact = params["n"], params["exact"]
+    nfa = ln_nfa_exact(n) if exact else ln_match_nfa(n)
+    return {
+        "n": n,
+        "exact": exact,
+        "n_states": nfa.n_states,
+        "unambiguous": is_unambiguous_nfa(nfa),
+    }
+
+
+@REGISTRY.job(
+    "automata.count",
+    params=("n", "length"),
+    source_modules=_AUTOMATA_MODULES,
+    description="Exact word counts at one length in the L_n match and unique-match DFAs",
+)
+def automata_count(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.automata.counting import count_dfa_words_of_length
+    from repro.languages.dfa_ln import ln_match_minimal_dfa, ln_unique_match_dfa
+
+    n, length = params["n"], params["length"]
+    match_count = count_dfa_words_of_length(ln_match_minimal_dfa(n), length)
+    unique_count = count_dfa_words_of_length(ln_unique_match_dfa(n), length)
+    return {
+        "n": n,
+        "length": length,
+        # Counts can exceed the int→str digit limit; record bits + checksum.
+        "match_count_bits": match_count.bit_length(),
+        "match_count_checksum": hex(match_count % (1 << 64)),
+        "unique_count": unique_count,
+    }
+
+
+_AUTOMATA_BENCH_MODULES = ("repro.automata.bench",) + _AUTOMATA_MODULES
+
+
+@REGISTRY.job(
+    "automata.bench.row",
+    params=("n",),
+    source_modules=_AUTOMATA_BENCH_MODULES,
+    description="Time legacy vs. packed determinise/minimise/ambiguity on L_n",
+)
+def automata_bench_row(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.automata.bench import bench_automata_row
+
+    return bench_automata_row(params["n"])
+
+
+@REGISTRY.job(
+    "automata.bench.count",
+    params=("exp", "n"),
+    defaults={"n": 8},
+    source_modules=_AUTOMATA_BENCH_MODULES,
+    description="Time legacy sweep vs. packed matrix power counting words of length 2^exp",
+)
+def automata_bench_count(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.automata.bench import bench_count_row
+
+    return bench_count_row(params["exp"], n=params["n"])
+
+
+def _automata_bench_deps(params: dict[str, Any]) -> list[Request]:
+    rows = [
+        Request.make("automata.bench.row", {"n": n})
+        for n in range(1, params["max_n"] + 1)
+    ]
+    counts = [
+        Request.make("automata.bench.count", {"exp": exp, "n": 8})
+        for exp in range(10, params["max_count_exp"] + 1, 2)
+    ]
+    return rows + counts
+
+
+@REGISTRY.job(
+    "automata.bench",
+    params=("max_n", "max_count_exp", "budget_s"),
+    defaults={"max_n": 48, "max_count_exp": 24, "budget_s": 5.0},
+    deps=_automata_bench_deps,
+    source_modules=_AUTOMATA_BENCH_MODULES,
+    description="The automata benchmark sweep (fans out one row per n / exp)",
+)
+def automata_bench(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.automata.bench import summarise_automata_rows
+
+    rows = [row for row in deps if "ops" in row]
+    count_rows = [row for row in deps if "exp" in row]
+    return {
+        "max_n": params["max_n"],
+        "max_count_exp": params["max_count_exp"],
+        "rows": rows,
+        "count_rows": count_rows,
+        "summary": summarise_automata_rows(rows, count_rows, params["budget_s"]),
+    }
+
+
+# ----------------------------------------------------------------------
 # Membership
 # ----------------------------------------------------------------------
 

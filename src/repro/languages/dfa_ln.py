@@ -19,13 +19,20 @@ uCFG                ``2^{Θ(n)}``
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.automata.dfa import DFA, determinise, minimise
 from repro.automata.ops import minimal_dfa_of_finite_language
 from repro.languages.ln import ln_words
 from repro.languages.nfa_ln import ln_match_nfa
 from repro.words.alphabet import AB
 
-__all__ = ["ln_minimal_dfa", "ln_match_minimal_dfa", "ln_minimal_dfa_states"]
+__all__ = [
+    "ln_minimal_dfa",
+    "ln_match_minimal_dfa",
+    "ln_minimal_dfa_states",
+    "ln_unique_match_dfa",
+]
 
 
 def ln_minimal_dfa(n: int) -> DFA:
@@ -39,12 +46,14 @@ def ln_minimal_dfa(n: int) -> DFA:
     return minimal_dfa_of_finite_language(ln_words(n), AB)
 
 
+@lru_cache(maxsize=64)
 def ln_match_minimal_dfa(n: int) -> DFA:
     """The minimal DFA of the *variable-length* match language
     ``Σ* a Σ^{n-1} a Σ*`` (determinised guess-and-verify NFA, minimised).
 
     Grows as ``2^{Θ(n)}`` — the sliding-window memory is unavoidable for
-    determinism, exactly as it is for unambiguity in grammars.
+    determinism, exactly as it is for unambiguity in grammars.  Memoized:
+    DFAs are immutable, and counting sweeps re-request the same ``n``.
     """
     if n < 1:
         raise ValueError(f"ln_match_minimal_dfa is defined for n >= 1, got {n}")
@@ -54,3 +63,40 @@ def ln_match_minimal_dfa(n: int) -> DFA:
 def ln_minimal_dfa_states(n: int) -> int:
     """State count of the minimal exact-``L_n`` DFA (small ``n`` only)."""
     return ln_minimal_dfa(n).n_states
+
+
+@lru_cache(maxsize=64)
+def ln_unique_match_dfa(n: int) -> DFA:
+    """A DFA for ``b* a b^{n-1} a b*`` — the *unique*-occurrence variant.
+
+    Words whose only two ``a`` symbols sit at distance exactly ``n``:
+    the promise restriction of the match language where the witness pair
+    is forced, so the guess-and-verify NFA's ambiguity disappears and
+    ``n + 3`` deterministic states suffice (progress chain plus sink).
+
+    Unlike the full match language, this one is *slender*: it has
+    ``L - n`` words of each length ``L > n``, so its word counts carry
+    ``O(log L)`` bits instead of ``Θ(L)`` — the regime where the
+    transfer-matrix power of :func:`repro.automata.counting.
+    count_dfa_words_of_length` costs ``O(log L)`` small matrix products
+    while the layer-by-layer sweep still pays all ``L`` layers.
+    """
+    if n < 1:
+        raise ValueError(f"ln_unique_match_dfa is defined for n >= 1, got {n}")
+    start, final, sink = "s", "f", "x"
+    chain = [("c", i) for i in range(1, n + 1)]
+    states = [start, *chain, final, sink]
+    transitions: dict[tuple[object, str], object] = {
+        (start, "b"): start,
+        (start, "a"): chain[0],
+        (final, "b"): final,
+        (final, "a"): sink,
+        (sink, "a"): sink,
+        (sink, "b"): sink,
+    }
+    for i in range(n - 1):
+        transitions[(chain[i], "b")] = chain[i + 1]
+        transitions[(chain[i], "a")] = sink
+    transitions[(chain[-1], "a")] = final
+    transitions[(chain[-1], "b")] = sink
+    return DFA(AB, states, transitions, start, {final})

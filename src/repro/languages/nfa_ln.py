@@ -65,12 +65,15 @@ def ln_match_nfa(n: int) -> NFA:
     return NFA(AB, states, transitions, {start}, {final})
 
 
+@lru_cache(maxsize=64)
 def ln_nfa_exact(n: int) -> NFA:
     """An NFA accepting exactly the finite language ``L_n``.
 
     Product of :func:`ln_match_nfa` with a length-``2n`` counter:
     ``O(n²)`` states, which :func:`exact_ln_fooling_set` shows is optimal
-    up to a constant factor.
+    up to a constant factor.  Memoized like :func:`ln_match_nfa` — NFAs
+    are immutable, and ambiguity/determinisation sweeps re-request the
+    same ``n`` repeatedly.
 
     >>> nfa = ln_nfa_exact(2)
     >>> nfa.accepts("abab"), nfa.accepts("ababab")

@@ -1,0 +1,244 @@
+"""Frozen pre-packed automata algorithms, kept as test oracles.
+
+These are the frozenset/dict implementations that
+``src/repro/automata/{dfa,ops,counting}.py`` shipped before the
+bit-parallel packed kernels (``repro.automata.packed``) replaced their
+internals.  They are kept verbatim (modulo imports) so property tests
+can assert exact agreement — structural equality for ``determinise`` and
+``minimise``, booleans for the UFA test, exact big integers for the
+counting functions.  Do not "improve" them: their value is that they do
+not change.
+
+(Same pattern as ``tests/legacy_parsers.py`` and ``tests/legacy_comm.py``
+for PRs 2 and 3.)
+"""
+
+from __future__ import annotations
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA, State
+
+__all__ = [
+    "legacy_determinise",
+    "legacy_minimise",
+    "legacy_trim_nfa",
+    "legacy_is_unambiguous_nfa",
+    "legacy_count_dfa_words_of_length",
+    "legacy_count_dfa_words_up_to",
+    "legacy_count_nfa_runs_of_length",
+    "legacy_language_up_to",
+]
+
+
+def legacy_determinise(nfa: NFA) -> DFA:
+    """Subset construction over frozenset macro-states (pre-packed)."""
+    initial = nfa.initial
+    macro_states: dict[frozenset[State], int] = {initial: 0}
+    order: list[frozenset[State]] = [initial]
+    delta: dict[tuple[State, str], State] = {}
+    index = 0
+    while index < len(order):
+        current = order[index]
+        current_id = macro_states[current]
+        for symbol in nfa.alphabet:
+            nxt = nfa.step(current, symbol)
+            if nxt not in macro_states:
+                macro_states[nxt] = len(order)
+                order.append(nxt)
+            delta[(current_id, symbol)] = macro_states[nxt]
+        index += 1
+    accepting = {macro_states[macro] for macro in order if macro & nfa.accepting}
+    return DFA(nfa.alphabet, set(macro_states.values()), delta, 0, accepting)
+
+
+def legacy_minimise(dfa: DFA) -> DFA:
+    """Moore partition refinement with per-round signature sorting (pre-packed)."""
+    complete = dfa.completed().reachable()
+    states = sorted(complete.states, key=str)
+    block_of: dict[State, int] = {
+        q: (1 if q in complete.accepting else 0) for q in states
+    }
+    symbols = complete.alphabet.symbols
+    n_blocks = len(set(block_of.values()))
+    while True:
+        signatures: dict[State, tuple] = {}
+        for q in states:
+            signatures[q] = (
+                block_of[q],
+                tuple(block_of[complete.successor(q, s)] for s in symbols),
+            )
+        distinct = sorted(set(signatures.values()), key=str)
+        renumber = {sig: i for i, sig in enumerate(distinct)}
+        block_of = {q: renumber[signatures[q]] for q in states}
+        if len(distinct) == n_blocks:
+            break
+        n_blocks = len(distinct)
+    initial_block = block_of[complete.initial]
+    relabel: dict[int, int] = {initial_block: 0}
+    queue = [initial_block]
+    block_successor: dict[tuple[int, str], int] = {}
+    representative: dict[int, State] = {}
+    for q in states:
+        representative.setdefault(block_of[q], q)
+    while queue:
+        blk = queue.pop(0)
+        rep = representative[blk]
+        for s in symbols:
+            succ_blk = block_of[complete.successor(rep, s)]
+            block_successor[(blk, s)] = succ_blk
+            if succ_blk not in relabel:
+                relabel[succ_blk] = len(relabel)
+                queue.append(succ_blk)
+    delta = {
+        (relabel[blk], s): relabel[succ]
+        for (blk, s), succ in block_successor.items()
+        if blk in relabel
+    }
+    accepting = {
+        relabel[block_of[q]]
+        for q in states
+        if q in complete.accepting and block_of[q] in relabel
+    }
+    return DFA(complete.alphabet, set(relabel.values()), delta, 0, accepting)
+
+
+def legacy_trim_nfa(nfa: NFA) -> NFA:
+    """Accessible ∩ co-accessible restriction over Python sets (pre-packed).
+
+    (The empty-language fallback here deliberately keeps the original
+    hash-order bug — `next(iter(...))` — which the regression test in
+    ``test_packed_automata.py`` documents against the fixed version.)
+    """
+    accessible: set[State] = set(nfa.initial)
+    frontier = list(nfa.initial)
+    while frontier:
+        q = frontier.pop()
+        for s in nfa.alphabet:
+            for succ in nfa.successors(q, s):
+                if succ not in accessible:
+                    accessible.add(succ)
+                    frontier.append(succ)
+    predecessors: dict[State, set[State]] = {q: set() for q in nfa.states}
+    for src, _sym, dst in nfa.transitions():
+        predecessors[dst].add(src)
+    coaccessible: set[State] = set(nfa.accepting)
+    frontier = list(nfa.accepting)
+    while frontier:
+        q = frontier.pop()
+        for pred in predecessors[q]:
+            if pred not in coaccessible:
+                coaccessible.add(pred)
+                frontier.append(pred)
+    keep = accessible & coaccessible
+    if not keep:
+        dead = next(iter(nfa.states))
+        return NFA(nfa.alphabet, {dead}, {}, {dead}, set())
+    transitions: dict[tuple[State, str], set[State]] = {}
+    for src, sym, dst in nfa.transitions():
+        if src in keep and dst in keep:
+            transitions.setdefault((src, sym), set()).add(dst)
+    return NFA(nfa.alphabet, keep, transitions, nfa.initial & keep, nfa.accepting & keep)
+
+
+def legacy_is_unambiguous_nfa(nfa: NFA) -> bool:
+    """Self-product UFA test over Python sets of state pairs (pre-packed)."""
+    trimmed = legacy_trim_nfa(nfa)
+    starts = {(p, q) for p in trimmed.initial for q in trimmed.initial}
+    reached: set[tuple[State, State]] = set(starts)
+    frontier = list(starts)
+    edges: dict[tuple[State, State], set[tuple[State, State]]] = {}
+    while frontier:
+        p, q = frontier.pop()
+        for s in trimmed.alphabet:
+            for ps in trimmed.successors(p, s):
+                for qs in trimmed.successors(q, s):
+                    pair = (ps, qs)
+                    edges.setdefault((p, q), set()).add(pair)
+                    if pair not in reached:
+                        reached.add(pair)
+                        frontier.append(pair)
+    reverse: dict[tuple[State, State], set[tuple[State, State]]] = {}
+    for src, dsts in edges.items():
+        for dst in dsts:
+            reverse.setdefault(dst, set()).add(src)
+    goal = {
+        (p, q)
+        for (p, q) in reached
+        if p in trimmed.accepting and q in trimmed.accepting
+    }
+    coaccessible: set[tuple[State, State]] = set(goal)
+    frontier = list(goal)
+    while frontier:
+        pair = frontier.pop()
+        for pred in reverse.get(pair, ()):
+            if pred not in coaccessible:
+                coaccessible.add(pred)
+                frontier.append(pred)
+    return all(p == q for (p, q) in reached & coaccessible)
+
+
+def _legacy_step_layer(weights: dict, successors) -> dict:
+    nxt: dict = {}
+    for state, weight in weights.items():
+        for succ in successors(state):
+            nxt[succ] = nxt.get(succ, 0) + weight
+    return nxt
+
+
+def _legacy_dfa_successors(dfa: DFA):
+    def successors(state):
+        for symbol in dfa.alphabet:
+            succ = dfa.successor(state, symbol)
+            if succ is not None:
+                yield succ
+
+    return successors
+
+
+def _legacy_nfa_successors(nfa: NFA):
+    def successors(state):
+        for symbol in nfa.alphabet:
+            yield from nfa.successors(state, symbol)
+
+    return successors
+
+
+def legacy_count_dfa_words_of_length(dfa: DFA, length: int) -> int:
+    """Per-state dict DP, one layer per symbol of length (pre-packed)."""
+    weights = {dfa.initial: 1}
+    successors = _legacy_dfa_successors(dfa)
+    for _ in range(length):
+        weights = _legacy_step_layer(weights, successors)
+    return sum(w for q, w in weights.items() if q in dfa.accepting)
+
+
+def legacy_count_dfa_words_up_to(dfa: DFA, max_length: int) -> dict[int, int]:
+    """Per-length table over the dict DP (pre-packed)."""
+    weights = {dfa.initial: 1}
+    successors = _legacy_dfa_successors(dfa)
+    table = {0: sum(w for q, w in weights.items() if q in dfa.accepting)}
+    for length in range(1, max_length + 1):
+        weights = _legacy_step_layer(weights, successors)
+        table[length] = sum(w for q, w in weights.items() if q in dfa.accepting)
+    return table
+
+
+def legacy_count_nfa_runs_of_length(nfa: NFA, length: int) -> int:
+    """Accepting-run count via the dict DP (pre-packed)."""
+    weights = {q: 1 for q in nfa.initial}
+    successors = _legacy_nfa_successors(nfa)
+    for _ in range(length):
+        weights = _legacy_step_layer(weights, successors)
+    return sum(w for q, w in weights.items() if q in nfa.accepting)
+
+
+def legacy_language_up_to(nfa: NFA, max_length: int) -> frozenset[str]:
+    """Enumerate all ``|Σ|^≤L`` words and filter by ``accepts`` (pre-packed)."""
+    from repro.words.ops import all_words
+
+    accepted: set[str] = set()
+    for length in range(max_length + 1):
+        for word in all_words(nfa.alphabet, length):
+            if nfa.accepts(word):
+                accepted.add(word)
+    return frozenset(accepted)
