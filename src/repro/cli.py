@@ -18,6 +18,8 @@ see docs/ENGINE.md)::
     python -m repro sweep sizes --max-exp 12 --jobs 4     # fan out + cache
     python -m repro sweep zoo --max-n 4 --jobs 4
     python -m repro cache stats                           # inspect / clear
+    python -m repro serve --port 8321                     # the job service
+    python -m repro bench serve                           # its latency bench
 
 The table-producing commands (``sizes``, ``zoo``, ``sweep``) all route
 through the engine, so repeated invocations are served from the cache;
@@ -83,6 +85,57 @@ def _report_engine(engine) -> None:
         f"engine: wall {summary['wall_ms']:.0f} ms on {summary['workers']} worker(s)",
         file=sys.stderr,
     )
+
+
+def _write_bench_artifact(out: str | None, kind: str, result: dict) -> None:
+    """Persist a ``BENCH_*.json`` artifact (shared by every bench command)."""
+    if not out:
+        return
+    import platform
+    import time
+    from pathlib import Path
+
+    artifact = {
+        "kind": kind,
+        "generated_at": time.time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        **result,
+    }
+    path = Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    print(f"bench: wrote {path}", file=sys.stderr)
+
+
+def _add_bench_subparser(
+    bench_sub,
+    name: str,
+    *,
+    help: str,
+    func,
+    arguments: Sequence[tuple[Sequence[str], dict]] = (),
+    engine_opts: bool = True,
+) -> argparse.ArgumentParser:
+    """Register one ``bench <name>`` subcommand with the shared flags.
+
+    Every bench takes the same trailing boilerplate (``--out`` plus the
+    engine options); only the leading measurement-specific arguments
+    differ, so they come in as an ``(flags, kwargs)`` spec list.
+    """
+    parser = bench_sub.add_parser(name, help=help)
+    for flags, kwargs in arguments:
+        parser.add_argument(*flags, **kwargs)
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help=f"also write BENCH_{name}.json here",
+    )
+    if engine_opts:
+        _add_engine_options(parser)
+    parser.set_defaults(func=func)
+    return parser
 
 
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
@@ -317,22 +370,7 @@ def _cmd_bench_parsing(args: argparse.Namespace) -> int:
         {"max_n": args.max_n, "n_words": args.n_words, "seed": args.seed},
     )
     _bench_parsing_table(result["rows"]).print()
-    if args.out:
-        import platform
-        import time
-        from pathlib import Path
-
-        artifact = {
-            "kind": "parsing_bench",
-            "generated_at": time.time(),
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            **result,
-        }
-        path = Path(args.out)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
-        print(f"bench: wrote {path}", file=sys.stderr)
+    _write_bench_artifact(args.out, "parsing_bench", result)
     _report_engine(engine)
     return 0
 
@@ -390,22 +428,7 @@ def _cmd_bench_comm(args: argparse.Namespace) -> int:
                 f"{op['speedup_at_largest_common']:.1f}x at p={op['largest_common_p']}"
             )
         print(f"{name}: " + ", ".join(parts))
-    if args.out:
-        import platform
-        import time
-        from pathlib import Path
-
-        artifact = {
-            "kind": "comm_bench",
-            "generated_at": time.time(),
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            **result,
-        }
-        path = Path(args.out)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
-        print(f"bench: wrote {path}", file=sys.stderr)
+    _write_bench_artifact(args.out, "comm_bench", result)
     _report_engine(engine)
     return 0
 
@@ -477,23 +500,81 @@ def _cmd_bench_automata(args: argparse.Namespace) -> int:
                     f"{op['speedup_at_largest_common']:.1f}x at n={op['largest_common_n']}"
                 )
         print(f"{name}: " + ", ".join(parts))
-    if args.out:
-        import platform
-        import time
-        from pathlib import Path
-
-        artifact = {
-            "kind": "automata_bench",
-            "generated_at": time.time(),
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            **result,
-        }
-        path = Path(args.out)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
-        print(f"bench: wrote {path}", file=sys.stderr)
+    _write_bench_artifact(args.out, "automata_bench", result)
     _report_engine(engine)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ReproServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        on_timeout=args.on_timeout,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
+        run_log_path=args.run_log,
+        hot_entries=args.hot_entries,
+        queue_limit=args.queue_limit,
+        exec_workers=args.exec_workers,
+        rate=args.rate,
+        burst=args.burst,
+    )
+    server = ReproServer(config)
+    print(f"serve: listening on http://{config.host}:{config.port or '<ephemeral>'}",
+          file=sys.stderr)
+    try:
+        server.run_blocking()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _bench_serve_table(rows: list[dict]) -> Table:
+    table = Table(
+        ["conc", "requests", "errors", "rps", "p50 ms", "p99 ms", "mean ms"],
+        title="serve: latency/throughput vs. concurrency",
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row["concurrency"],
+                row["requests"],
+                row["errors"],
+                row["throughput_rps"],
+                row["p50_ms"],
+                row["p99_ms"],
+                row["mean_ms"],
+            ]
+        )
+    return table
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.serve import run_serve_bench
+
+    try:
+        levels = tuple(int(part) for part in args.concurrency.split(",") if part.strip())
+    except ValueError:
+        print(f"error: bad --concurrency list {args.concurrency!r}", file=sys.stderr)
+        return 2
+    if not levels or any(level < 1 for level in levels):
+        print("error: --concurrency needs positive integers", file=sys.stderr)
+        return 2
+    result = run_serve_bench(
+        concurrency_levels=levels,
+        requests=args.requests,
+        hot_ratio=args.hot_ratio,
+    )
+    _bench_serve_table(result["rows"]).print()
+    if not result.get("clean_shutdown"):
+        print("bench: server did not drain cleanly", file=sys.stderr)
+    _write_bench_artifact(args.out, "serve_bench", result)
     return 0
 
 
@@ -597,73 +678,156 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench", help="benchmark a subsystem against its baseline")
     bench_sub = bench.add_subparsers(dest="target", required=True)
-    bench_parsing = bench_sub.add_parser(
-        "parsing", help="cold vs. bitset vs. batched chart fill over L_n sweeps"
+    _add_bench_subparser(
+        bench_sub,
+        "parsing",
+        help="cold vs. bitset vs. batched chart fill over L_n sweeps",
+        func=_cmd_bench_parsing,
+        arguments=(
+            (
+                ("--max-n",),
+                dict(type=int, default=12, help="largest n in the sweep (default 12)"),
+            ),
+            (
+                ("--n-words",),
+                dict(type=int, default=24, help="words sampled per n (default 24)"),
+            ),
+            (("--seed",), dict(type=int, default=0, help="sampling seed")),
+        ),
     )
-    bench_parsing.add_argument(
-        "--max-n", type=int, default=12, help="largest n in the sweep (default 12)"
+    _add_bench_subparser(
+        bench_sub,
+        "comm",
+        help="legacy vs. packed communication substrate over INTERSECT_p",
+        func=_cmd_bench_comm,
+        arguments=(
+            (
+                ("--max-p",),
+                dict(type=int, default=6, help="largest p in the sweep (default 6)"),
+            ),
+            (
+                ("--max-m",),
+                dict(
+                    type=int,
+                    default=2,
+                    help="largest m for the sign-matrix discrepancy rows (<= 2, default 2)",
+                ),
+            ),
+            (
+                ("--node-budget",),
+                dict(
+                    type=int,
+                    default=2_000_000,
+                    help="branch-and-bound node cap for the exact cover (default 2000000)",
+                ),
+            ),
+            (
+                ("--budget-s",),
+                dict(
+                    type=float,
+                    default=5.0,
+                    help="per-op time budget defining the reachability frontier (default 5.0)",
+                ),
+            ),
+        ),
     )
-    bench_parsing.add_argument(
-        "--n-words", type=int, default=24, help="words sampled per n (default 24)"
+    _add_bench_subparser(
+        bench_sub,
+        "automata",
+        help="legacy vs. packed automata kernels over the L_n family",
+        func=_cmd_bench_automata,
+        arguments=(
+            (
+                ("--max-n",),
+                dict(type=int, default=48, help="largest n in the sweep (default 48)"),
+            ),
+            (
+                ("--max-count-exp",),
+                dict(
+                    type=int,
+                    default=24,
+                    help="largest exponent for counting words of length 2^exp (default 24)",
+                ),
+            ),
+            (
+                ("--budget-s",),
+                dict(
+                    type=float,
+                    default=5.0,
+                    help="per-op time budget defining the reachability frontier (default 5.0)",
+                ),
+            ),
+        ),
     )
-    bench_parsing.add_argument("--seed", type=int, default=0, help="sampling seed")
-    bench_parsing.add_argument(
-        "--out", default=None, metavar="PATH", help="also write BENCH_parsing.json here"
+    _add_bench_subparser(
+        bench_sub,
+        "serve",
+        help="job-service latency/throughput at rising concurrency",
+        func=_cmd_bench_serve,
+        engine_opts=False,
+        arguments=(
+            (
+                ("--concurrency",),
+                dict(
+                    default="1,4,16",
+                    metavar="N,N,...",
+                    help="comma-separated concurrency levels (default 1,4,16)",
+                ),
+            ),
+            (
+                ("--requests",),
+                dict(type=int, default=200, help="requests per level (default 200)"),
+            ),
+            (
+                ("--hot-ratio",),
+                dict(
+                    type=float,
+                    default=0.7,
+                    help="fraction of requests hitting the hot key set (default 0.7)",
+                ),
+            ),
+        ),
     )
-    _add_engine_options(bench_parsing)
-    bench_parsing.set_defaults(func=_cmd_bench_parsing)
-    bench_comm = bench_sub.add_parser(
-        "comm", help="legacy vs. packed communication substrate over INTERSECT_p"
+
+    serve = sub.add_parser(
+        "serve", help="run the async multi-tenant job service (see docs/SERVE.md)"
     )
-    bench_comm.add_argument(
-        "--max-p", type=int, default=6, help="largest p in the sweep (default 6)"
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8321, help="listen port, 0 = ephemeral (default 8321)"
     )
-    bench_comm.add_argument(
-        "--max-m",
+    serve.add_argument(
+        "--hot-entries",
         type=int,
-        default=2,
-        help="largest m for the sign-matrix discrepancy rows (<= 2, default 2)",
+        default=1024,
+        help="in-memory hot-LRU capacity, 0 disables (default 1024)",
     )
-    bench_comm.add_argument(
-        "--node-budget",
-        type=int,
-        default=2_000_000,
-        help="branch-and-bound node cap for the exact cover (default 2000000)",
-    )
-    bench_comm.add_argument(
-        "--budget-s",
+    serve.add_argument(
+        "--rate",
         type=float,
-        default=5.0,
-        help="per-op time budget defining the reachability frontier (default 5.0)",
+        default=None,
+        help="per-client sustained requests/second (default: unlimited)",
     )
-    bench_comm.add_argument(
-        "--out", default=None, metavar="PATH", help="also write BENCH_comm.json here"
+    serve.add_argument(
+        "--burst", type=float, default=20, help="per-client burst allowance (default 20)"
     )
-    _add_engine_options(bench_comm)
-    bench_comm.set_defaults(func=_cmd_bench_comm)
-    bench_automata = bench_sub.add_parser(
-        "automata", help="legacy vs. packed automata kernels over the L_n family"
-    )
-    bench_automata.add_argument(
-        "--max-n", type=int, default=48, help="largest n in the sweep (default 48)"
-    )
-    bench_automata.add_argument(
-        "--max-count-exp",
+    serve.add_argument(
+        "--queue-limit",
         type=int,
-        default=24,
-        help="largest exponent for counting words of length 2^exp (default 24)",
+        default=64,
+        help="max distinct in-flight executions before 503 (default 64)",
     )
-    bench_automata.add_argument(
-        "--budget-s",
-        type=float,
-        default=5.0,
-        help="per-op time budget defining the reachability frontier (default 5.0)",
+    serve.add_argument(
+        "--exec-workers",
+        type=int,
+        default=8,
+        help="threads driving engine runs (default 8)",
     )
-    bench_automata.add_argument(
-        "--out", default=None, metavar="PATH", help="also write BENCH_automata.json here"
+    serve.add_argument(
+        "--run-log", default=None, metavar="PATH", help="append run records here (JSONL)"
     )
-    _add_engine_options(bench_automata)
-    bench_automata.set_defaults(func=_cmd_bench_automata)
+    _add_engine_options(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument(

@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from collections.abc import Mapping
 from pathlib import Path
 from typing import Any
@@ -61,6 +62,16 @@ class DiskCache:
         self._root = Path(directory) if directory is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        # The serve broker shares one cache across executor threads; the
+        # counters are read-modify-write, so they take a lock.
+        self._counter_lock = threading.Lock()
+
+    def _count(self, hit: bool) -> None:
+        with self._counter_lock:
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
 
     @property
     def root(self) -> Path:
@@ -81,12 +92,12 @@ class DiskCache:
             with open(path, encoding="utf-8") as handle:
                 entry = json.load(handle)
         except (OSError, json.JSONDecodeError):
-            self.misses += 1
+            self._count(hit=False)
             return None
         if not isinstance(entry, dict) or "result" not in entry:
-            self.misses += 1
+            self._count(hit=False)
             return None
-        self.hits += 1
+        self._count(hit=True)
         return entry
 
     def put(
@@ -140,9 +151,15 @@ class DiskCache:
                 pass
             raise
 
-    def stats(self) -> dict[str, Any]:
-        """Entry counts and total bytes per job, plus this process's hit/miss."""
-        per_job: dict[str, dict[str, int]] = {}
+    def stats(self, count_only: bool = False) -> dict[str, Any]:
+        """Entry counts (and total bytes) per job, plus this process's hit/miss.
+
+        ``count_only=True`` skips the per-file ``stat()`` pass and reports
+        ``bytes: None`` — one directory listing per job instead of a full
+        tree walk, which is what keeps a server's ``/stats`` endpoint cheap
+        under load.  The returned mapping has the same keys either way.
+        """
+        per_job: dict[str, dict[str, Any]] = {}
         base = self._root / CACHE_FORMAT
         if base.is_dir():
             for job_dir in sorted(base.iterdir()):
@@ -151,13 +168,17 @@ class DiskCache:
                 entries = [p for p in job_dir.glob("*.json")]
                 per_job[job_dir.name] = {
                     "entries": len(entries),
-                    "bytes": sum(p.stat().st_size for p in entries),
+                    "bytes": None
+                    if count_only
+                    else sum(p.stat().st_size for p in entries),
                 }
         return {
             "dir": str(self._root),
             "jobs": per_job,
             "entries": sum(j["entries"] for j in per_job.values()),
-            "bytes": sum(j["bytes"] for j in per_job.values()),
+            "bytes": None
+            if count_only
+            else sum(j["bytes"] for j in per_job.values()),
             "session_hits": self.hits,
             "session_misses": self.misses,
         }
@@ -187,18 +208,18 @@ class NullCache(DiskCache):
         super().__init__(directory=os.devnull)
 
     def get(self, job_name: str, key: str) -> dict[str, Any] | None:
-        self.misses += 1
+        self._count(hit=False)
         return None
 
     def put(self, job_name, key, params, fingerprint, result) -> None:
         return None
 
-    def stats(self) -> dict[str, Any]:
+    def stats(self, count_only: bool = False) -> dict[str, Any]:
         return {
             "dir": None,
             "jobs": {},
             "entries": 0,
-            "bytes": 0,
+            "bytes": None if count_only else 0,
             "session_hits": self.hits,
             "session_misses": self.misses,
         }

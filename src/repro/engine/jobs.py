@@ -792,11 +792,13 @@ def debug_fail(params: dict[str, Any], deps: list[Any]) -> Any:
 
 @REGISTRY.job(
     "debug.sleep",
-    params=("seconds",),
-    defaults={"seconds": 0.1},
+    params=("seconds", "tag"),
+    defaults={"seconds": 0.1, "tag": 0},
     description="Sleep, then return the slept duration (timeout tests)",
 )
 def debug_sleep(params: dict[str, Any], deps: list[Any]) -> Any:
+    """Sleep and return the duration.  ``tag`` only distinguishes cache
+    keys, so concurrency tests can mint distinct in-flight identities."""
     time.sleep(params["seconds"])
     return params["seconds"]
 
@@ -861,3 +863,42 @@ def debug_crash(params: dict[str, Any], deps: list[Any]) -> Any:
             )
         os._exit(17)
     return {"survived_attempt": attempt}
+
+
+@REGISTRY.job(
+    "debug.storm",
+    params=("requests", "concurrency", "seed", "host", "port", "faults"),
+    defaults={
+        "requests": 60,
+        "concurrency": 8,
+        "seed": 0,
+        "host": "",
+        "port": 0,
+        "faults": True,
+    },
+    source_modules=(
+        "repro.serve.storm",
+        "repro.serve.server",
+        "repro.serve.broker",
+        "repro.serve.client",
+    ),
+    description="Replay mixed traffic (hits, sweeps, faults) against a job server",
+)
+def debug_storm(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    """Drive a live server with the seeded storm mixture (see repro.serve.storm).
+
+    ``host=""`` (the default) boots an embedded server on an ephemeral
+    port, drains it afterwards, and reports ``clean_shutdown``; a
+    non-empty host targets an already-running server and leaves it up.
+    Timings make the result non-deterministic — run it with ``--no-cache``.
+    """
+    from repro.serve.storm import run_storm
+
+    return run_storm(
+        host=params["host"] or None,
+        port=params["port"],
+        requests=params["requests"],
+        concurrency=params["concurrency"],
+        seed=params["seed"],
+        faults=params["faults"],
+    )

@@ -62,6 +62,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import signal
 import sys
 import time
 from collections import deque
@@ -96,9 +97,30 @@ def _init_worker(path_entries: list[str], task_events: Any = None) -> None:
     global _IN_WORKER, _TASK_EVENTS
     _IN_WORKER = True
     _TASK_EVENTS = task_events
+    _reset_inherited_signals()
     for entry in reversed(path_entries):
         if entry not in sys.path:
             sys.path.insert(0, entry)
+
+
+def _reset_inherited_signals() -> None:
+    """Restore default signal handling in a freshly forked worker.
+
+    A parent running an asyncio loop (the job service) installs
+    Python-level SIGTERM/SIGINT handlers plus a wakeup fd; a forked
+    worker inherits both.  Left in place, ``process.terminate()`` no
+    longer kills the worker (the inherited handler swallows SIGTERM) and
+    — worse — the handler writes the signal byte into the wakeup pipe
+    *shared with the parent*, which the parent's loop reads as "I was
+    signalled" and begins shutting itself down.  Workers must die on
+    SIGTERM and never touch the parent's pipe.
+    """
+    try:
+        signal.set_wakeup_fd(-1)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_DFL)
+    except (ValueError, OSError):  # non-main thread or unsupported platform
+        pass
 
 
 def in_worker() -> bool:
@@ -229,7 +251,13 @@ class Engine:
     # Public API
     # ------------------------------------------------------------------
 
-    def run_one(self, job: str, params: Mapping[str, Any] | None = None) -> Any:
+    def run_one(
+        self,
+        job: str,
+        params: Mapping[str, Any] | None = None,
+        *,
+        run_log: RunLog | None = None,
+    ) -> Any:
         """Run a single request (plus dependencies) and return its result.
 
         Raises :class:`~repro.errors.JobTimeoutError` when the request was
@@ -237,7 +265,7 @@ class Engine:
         """
         request = Request.make(job, params)
         canonical = self._canonical(request)[0]
-        results = self.run([request])
+        results = self.run([request], run_log=run_log)
         if canonical not in results:
             raise JobTimeoutError(
                 f"job {canonical.label()} timed out and was skipped "
@@ -245,23 +273,36 @@ class Engine:
             )
         return results[canonical]
 
-    def run(self, requests: Iterable[Request]) -> dict[Request, Any]:
+    def run(
+        self,
+        requests: Iterable[Request],
+        *,
+        run_log: RunLog | None = None,
+    ) -> dict[Request, Any]:
         """Execute all requests and their dependency closures.
 
         Returns a mapping from *canonicalised* request (defaults applied,
         parameters sorted) to its normalised result.  Under
         ``on_timeout="skip"`` requests that timed out (or depended on one
         that did) are absent from the mapping.
+
+        ``run_log`` overrides the engine's log *for this run only*.  All
+        other per-run state is local to the call, so one shared engine can
+        serve concurrent ``run`` calls from multiple threads as long as
+        each caller passes its own log (the serve broker does exactly
+        that); without an override, concurrent callers interleave records
+        in the engine-wide log.
         """
+        log = run_log if run_log is not None else self.run_log
         started = time.monotonic()
         roots, order, dep_lists, jobs_by_request = self._expand(requests)
         results: dict[Request, Any] = {}
         if self.jobs == 1 or not order:
-            self._run_serial(order, dep_lists, jobs_by_request, results)
+            self._run_serial(order, dep_lists, jobs_by_request, results, log)
         else:
-            self._run_parallel(order, dep_lists, jobs_by_request, results)
+            self._run_parallel(order, dep_lists, jobs_by_request, results, log)
         wall_ms = (time.monotonic() - started) * 1000.0
-        self.last_summary = self.run_log.summarize(wall_ms, self.jobs)
+        self.last_summary = log.summarize(wall_ms, self.jobs)
         return results
 
     # ------------------------------------------------------------------
@@ -356,10 +397,12 @@ class Engine:
         pid: int | None = None,
         started_epoch: float | None = None,
         attempt: int = 1,
+        log: RunLog | None = None,
     ) -> None:
-        self.run_log.record(
+        log = log if log is not None else self.run_log
+        log.record(
             RunRecord(
-                run_id=self.run_log.run_id,
+                run_id=log.run_id,
                 job=request.job,
                 params=request.params_dict(),
                 key=key,
@@ -389,13 +432,14 @@ class Engine:
         dep_lists: dict[Request, list[Request]],
         jobs_by_request: dict[Request, Job],
         results: dict[Request, Any],
+        log: RunLog,
     ) -> None:
         for request in order:
             job = jobs_by_request[request]
             key, cached, hit = self._cache_lookup(job, request)
             if hit:
                 results[request] = cached
-                self._record(request, key, "hit", "ok", 0.0, cached)
+                self._record(request, key, "hit", "ok", 0.0, cached, log=log)
                 continue
             deps = [results[dep] for dep in dep_lists[request]]
             attempt = 1
@@ -415,6 +459,7 @@ class Engine:
                         error=str(exc),
                         started_epoch=started_epoch,
                         attempt=attempt,
+                        log=log,
                     )
                     if attempt <= self.max_retries:
                         time.sleep(self._backoff(attempt))
@@ -435,6 +480,7 @@ class Engine:
                     result,
                     started_epoch=started_epoch,
                     attempt=attempt,
+                    log=log,
                 )
                 break
 
@@ -464,6 +510,7 @@ class Engine:
         dep_lists: dict[Request, list[Request]],
         jobs_by_request: dict[Request, Job],
         results: dict[Request, Any],
+        log: RunLog,
     ) -> None:
         pending_deps: dict[Request, set[Request]] = {
             request: set(deps) for request, deps in dep_lists.items()
@@ -541,6 +588,7 @@ class Engine:
                     "skipped",
                     0.0,
                     error=f"dependency {origin.label()} timed out",
+                    log=log,
                 )
                 stack.extend(dependents[dependent])
 
@@ -551,7 +599,7 @@ class Engine:
                 keys[request] = key
                 if hit:
                     results[request] = cached
-                    self._record(request, key, "hit", "ok", 0.0, cached)
+                    self._record(request, key, "hit", "ok", 0.0, cached, log=log)
                     mark_done(request)
                     return
             key = keys[request]
@@ -592,6 +640,7 @@ class Engine:
                     error=f"worker died: {exc}",
                     started_epoch=info.started_epoch,
                     attempt=info.attempt,
+                    log=log,
                 )
                 if info.attempt > self.max_retries:
                     _abort_pool(pool)
@@ -620,6 +669,7 @@ class Engine:
                     error=str(exc),
                     started_epoch=info.started_epoch,
                     attempt=info.attempt,
+                    log=log,
                 )
                 if info.attempt > self.max_retries:
                     _abort_pool(pool)
@@ -646,6 +696,7 @@ class Engine:
                     result,
                     started_epoch=info.started_epoch,
                     attempt=info.attempt,
+                    log=log,
                 )
                 mark_done(info.request)
 
@@ -674,6 +725,7 @@ class Engine:
                     error=f"exceeded {self.timeout}s",
                     started_epoch=info.started_epoch,
                     attempt=info.attempt,
+                    log=log,
                 )
                 _abort_pool(pool)
                 raise JobTimeoutError(
@@ -693,6 +745,7 @@ class Engine:
                     error=f"exceeded {self.timeout}s (worker killed, on_timeout='skip')",
                     started_epoch=info.started_epoch,
                     attempt=info.attempt,
+                    log=log,
                 )
                 mark_skipped(info.request)
                 if future.cancel():

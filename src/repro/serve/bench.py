@@ -1,0 +1,118 @@
+"""``python -m repro bench serve``: latency/throughput at rising concurrency.
+
+Boots an embedded server (serial engine, memory-only cache — the
+configuration a latency benchmark should measure, with no process-pool
+or disk noise), then drives it at each requested concurrency level with
+keep-alive connections issuing a hot/cold mix of ``debug.echo`` requests.
+Per level it reports client-observed p50/p99/mean latency and throughput,
+plus the server-side counter deltas (hot hits, executions, coalesced)
+that explain them.  The result feeds ``benchmarks/BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any
+
+from repro.serve.client import AsyncServeClient, ServeClient
+from repro.serve.config import ServeConfig
+from repro.serve.server import ReproServer
+from repro.serve.storm import percentile
+
+__all__ = ["run_serve_bench"]
+
+#: Distinct hot keys the request mix cycles through.
+_HOT_KEYS = 8
+
+
+def _bench_config() -> ServeConfig:
+    return ServeConfig(
+        no_cache=True,
+        hot_entries=4096,
+        jobs=1,
+        queue_limit=256,
+        exec_workers=8,
+        drain_grace_s=10.0,
+    )
+
+
+async def _drive_level(
+    host: str, port: int, concurrency: int, requests: int, hot_ratio: float
+) -> tuple[list[float], int]:
+    """Run one level; returns (latencies of OK responses, error count)."""
+    per_worker = max(1, requests // concurrency)
+    latencies: list[float] = []
+    errors = 0
+
+    async def worker(worker_id: int) -> None:
+        nonlocal errors
+        client = AsyncServeClient(host, port, client_id=f"bench-{worker_id}")
+        try:
+            for i in range(per_worker):
+                seq = worker_id * per_worker + i
+                hot = (seq % 100) < int(hot_ratio * 100)
+                value = f"hot-{seq % _HOT_KEYS}" if hot else f"cold-{worker_id}-{i}"
+                result = await client.run("debug.echo", {"value": value})
+                if result.ok:
+                    latencies.append(result.latency_s)
+                else:
+                    errors += 1
+        finally:
+            await client.close()
+
+    await asyncio.gather(*(worker(i) for i in range(concurrency)))
+    return latencies, errors
+
+
+def run_serve_bench(
+    concurrency_levels: tuple[int, ...] = (1, 4, 16),
+    requests: int = 200,
+    hot_ratio: float = 0.7,
+) -> dict[str, Any]:
+    """The full sweep; returns the BENCH_serve.json payload (sans metadata)."""
+    server = ReproServer(_bench_config()).start()
+    host, port = server.config.host, server.port or 0
+    sync = ServeClient(host, port)
+    rows: list[dict[str, Any]] = []
+    try:
+        # Warm the hot keys once so "hot" measures the steady state.
+        asyncio.run(_drive_level(host, port, 1, _HOT_KEYS * 2, 1.0))
+        for level in concurrency_levels:
+            before = sync.stats().data["counters"]
+            started = time.perf_counter()
+            latencies, errors = asyncio.run(
+                _drive_level(host, port, level, requests, hot_ratio)
+            )
+            wall_s = time.perf_counter() - started
+            after = sync.stats().data["counters"]
+            sent = len(latencies) + errors
+            rows.append(
+                {
+                    "concurrency": level,
+                    "requests": sent,
+                    "errors": errors,
+                    "wall_s": round(wall_s, 4),
+                    "throughput_rps": round(sent / wall_s, 2) if wall_s > 0 else None,
+                    "p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
+                    "p99_ms": round(percentile(latencies, 0.99) * 1000, 3),
+                    "mean_ms": round(
+                        sum(latencies) / len(latencies) * 1000, 3
+                    )
+                    if latencies
+                    else None,
+                    "server_delta": {
+                        name: after[name] - before[name] for name in sorted(after)
+                    },
+                }
+            )
+        final_stats = sync.stats().data
+    finally:
+        clean = server.stop()
+    return {
+        "hot_ratio": hot_ratio,
+        "requests_per_level": requests,
+        "rows": rows,
+        "hot": final_stats.get("hot"),
+        "clean_shutdown": clean,
+    }

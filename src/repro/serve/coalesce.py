@@ -1,0 +1,102 @@
+"""In-flight request coalescing: identical requests join one execution.
+
+Two requests are *identical* when they agree on ``(job name, cache key)``
+— the same content-addressed key the disk cache uses, so parameter
+defaulting and ordering are already normalised away.  The first request
+for a key becomes the **leader** and actually executes; requests arriving
+while it runs become **followers** that await the same
+:class:`asyncio.Future` and receive the same outcome (result *or*
+exception).
+
+The table is only touched from the event loop, so it needs no lock.  The
+future is resolved via ``call_soon_threadsafe``-scheduled callbacks from
+the broker, and followers await it behind :func:`asyncio.shield` — a
+follower whose client disconnects cancels only its own wait, never the
+leader's execution.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Execution", "Coalescer"]
+
+
+@dataclass
+class Execution:
+    """One in-flight (or just-finished) leader execution."""
+
+    job: str
+    key: str
+    run_id: str
+    future: asyncio.Future
+    started: float = field(default_factory=time.monotonic)
+    followers: int = 0  #: requests that coalesced onto this execution
+
+    @property
+    def coalesce_key(self) -> tuple[str, str]:
+        return (self.job, self.key)
+
+
+class Coalescer:
+    """The ``(job, key) → Execution`` in-flight table."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[tuple[str, str], Execution] = {}
+        self.started = 0
+        self.coalesced = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def get(self, job: str, key: str) -> Execution | None:
+        """The running execution identical requests should join, if any."""
+        execution = self._inflight.get((job, key))
+        if execution is not None:
+            execution.followers += 1
+            self.coalesced += 1
+        return execution
+
+    def begin(
+        self, job: str, key: str, run_id: str, loop: asyncio.AbstractEventLoop
+    ) -> Execution:
+        """Install a new leader for ``(job, key)``; the caller executes it."""
+        execution = Execution(job=job, key=key, run_id=run_id, future=loop.create_future())
+        self._inflight[execution.coalesce_key] = execution
+        self.started += 1
+        return execution
+
+    def finish(
+        self,
+        execution: Execution,
+        result: Any = None,
+        error: BaseException | None = None,
+    ) -> None:
+        """Resolve the shared future and retire the table entry.
+
+        Every waiter — leader handler and all followers — observes the
+        same outcome.  Must be called on the event loop.
+        """
+        self._inflight.pop(execution.coalesce_key, None)
+        if execution.future.cancelled():
+            return
+        if error is not None:
+            execution.future.set_exception(error)
+        else:
+            execution.future.set_result(result)
+
+    def inflight(self) -> list[dict[str, Any]]:
+        """A JSON-friendly snapshot for ``/stats``."""
+        now = time.monotonic()
+        return [
+            {
+                "job": ex.job,
+                "run_id": ex.run_id,
+                "followers": ex.followers,
+                "running_s": round(now - ex.started, 3),
+            }
+            for ex in self._inflight.values()
+        ]

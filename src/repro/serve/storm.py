@@ -1,0 +1,220 @@
+"""``debug.storm``: a load generator replaying realistic mixed traffic.
+
+The storm drives a live server with a seeded mixture modelled on real
+engine usage: repeat lookups that should be served from the hot LRU,
+cold lookups that execute, sweep-style compute (``sizes.row``),
+identical concurrent requests that must coalesce, and the PR 4 fault
+injectors (``debug.flaky`` retried to success, ``debug.hang`` timed out
+under the server's ``on_timeout`` policy, ``debug.fail`` surfacing as
+``500``).  With no target host it boots an embedded server, drains it at
+the end, and reports whether the shutdown was clean — which is exactly
+what the CI smoke asserts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Any
+
+from repro.serve.client import AsyncServeClient
+from repro.serve.config import ServeConfig
+from repro.serve.server import ReproServer
+
+__all__ = ["run_storm", "percentile", "STORM_MIX"]
+
+#: kind → (weight, request factory).  Factories take (rng, sequence no.)
+#: and return (job, params).  Weights are relative, not normalised.
+STORM_MIX: list[tuple[str, int]] = [
+    ("echo_hot", 30),  # few distinct keys: hot-LRU hits after first touch
+    ("echo_cold", 15),  # unique keys: real executions
+    ("sizes", 15),  # sweep-shaped compute, cached after first touch
+    ("coalesce", 20),  # identical slow requests issued concurrently
+    ("flaky", 10),  # fails once, succeeds on retry (max_retries >= 1)
+    ("hang", 5),  # hangs forever; the per-job timeout must kill it
+    ("fail", 5),  # raises; surfaces as HTTP 500
+]
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def _make_request(kind: str, rng: random.Random, seq: int) -> tuple[str, dict[str, Any]]:
+    if kind == "echo_hot":
+        return "debug.echo", {"value": f"hot-{seq % 4}"}
+    if kind == "echo_cold":
+        return "debug.echo", {"value": f"cold-{seq}"}
+    if kind == "sizes":
+        return "sizes.row", {"n": rng.choice((4, 8, 16))}
+    if kind == "coalesce":
+        return "debug.sleep", {"seconds": 0.05}
+    if kind == "flaky":
+        return "debug.flaky", {"fails": 1, "value": f"storm-{seq % 3}"}
+    if kind == "hang":
+        return "debug.hang", {"tag": 1000 + seq}
+    if kind == "fail":
+        return "debug.fail", {"message": f"storm-{seq}"}
+    raise ValueError(f"unknown storm kind {kind!r}")
+
+
+def _plan(requests: int, seed: int, faults: bool) -> list[tuple[str, str, dict[str, Any]]]:
+    """The deterministic request schedule: ``(kind, job, params)`` per slot."""
+    rng = random.Random(seed)
+    kinds = [k for k, _ in STORM_MIX if faults or k not in ("hang", "fail")]
+    weights = [w for k, w in STORM_MIX if faults or k not in ("hang", "fail")]
+    plan = []
+    for seq in range(requests):
+        kind = rng.choices(kinds, weights=weights)[0]
+        job, params = _make_request(kind, rng, seq)
+        plan.append((kind, job, params))
+    return plan
+
+
+_EXPECTED_STATUS = {
+    "echo_hot": {200},
+    "echo_cold": {200},
+    "sizes": {200},
+    "coalesce": {200},
+    "flaky": {200},
+    "hang": {504},
+    "fail": {500},
+}
+
+
+async def _storm_clients(
+    host: str, port: int, plan: list, concurrency: int
+) -> list[dict[str, Any]]:
+    """Fan the plan out over ``concurrency`` keep-alive connections."""
+    queue: asyncio.Queue = asyncio.Queue()
+    for item in enumerate(plan):
+        queue.put_nowait(item)
+    outcomes: list[dict[str, Any]] = []
+
+    async def worker(worker_id: int) -> None:
+        client = AsyncServeClient(host, port, client_id=f"storm-{worker_id}")
+        try:
+            while True:
+                try:
+                    seq, (kind, job, params) = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                try:
+                    result = await client.run(job, params)
+                    outcomes.append(
+                        {
+                            "seq": seq,
+                            "kind": kind,
+                            "status": result.status,
+                            "latency_s": result.latency_s,
+                            "coalesced": bool(
+                                isinstance(result.data, dict)
+                                and result.data.get("coalesced")
+                            ),
+                            "expected": result.status in _EXPECTED_STATUS[kind],
+                        }
+                    )
+                except Exception as exc:
+                    outcomes.append(
+                        {
+                            "seq": seq,
+                            "kind": kind,
+                            "status": -1,
+                            "latency_s": 0.0,
+                            "coalesced": False,
+                            "expected": False,
+                            "error": str(exc),
+                        }
+                    )
+        finally:
+            await client.close()
+
+    await asyncio.gather(*(worker(i) for i in range(max(1, concurrency))))
+    return outcomes
+
+
+def _embedded_config(faults: bool) -> ServeConfig:
+    # Memory-only cache: a load generator must not pollute the user's
+    # on-disk result cache.  Faults need a parallel engine (timeouts are
+    # only enforced across a process boundary) and a retry budget.
+    return ServeConfig(
+        no_cache=True,
+        hot_entries=512,
+        jobs=2 if faults else 1,
+        timeout=0.75 if faults else None,
+        on_timeout="skip",
+        max_retries=1,
+        retry_backoff=0.05,
+        queue_limit=128,
+        exec_workers=8,
+        drain_grace_s=15.0,
+    )
+
+
+def run_storm(
+    host: str | None = None,
+    port: int = 0,
+    requests: int = 60,
+    concurrency: int = 8,
+    seed: int = 0,
+    faults: bool = True,
+) -> dict[str, Any]:
+    """Run the storm; returns a JSON summary (the ``debug.storm`` job body).
+
+    With ``host=None`` an embedded server is booted on an ephemeral port
+    and gracefully shut down afterwards (``clean_shutdown`` reports the
+    drain outcome); against an external server no shutdown is attempted
+    and ``clean_shutdown`` is ``None``.
+    """
+    plan = _plan(requests, seed, faults)
+    server: ReproServer | None = None
+    if not host:
+        server = ReproServer(_embedded_config(faults)).start()
+        host, port = server.config.host, server.port or 0
+
+    started = time.perf_counter()
+    outcomes = asyncio.run(_storm_clients(host, port, plan, concurrency))
+    wall_s = time.perf_counter() - started
+
+    from repro.serve.client import ServeClient
+
+    stats = ServeClient(host, port).stats().data
+    clean_shutdown: bool | None = None
+    if server is not None:
+        clean_shutdown = server.stop()
+
+    by_kind: dict[str, dict[str, int]] = {}
+    for outcome in outcomes:
+        slot = by_kind.setdefault(
+            outcome["kind"], {"sent": 0, "expected": 0, "coalesced": 0}
+        )
+        slot["sent"] += 1
+        slot["expected"] += int(outcome["expected"])
+        slot["coalesced"] += int(outcome["coalesced"])
+    latencies = [o["latency_s"] for o in outcomes if o["status"] == 200]
+    statuses: dict[str, int] = {}
+    for outcome in outcomes:
+        statuses[str(outcome["status"])] = statuses.get(str(outcome["status"]), 0) + 1
+
+    return {
+        "requests": requests,
+        "concurrency": concurrency,
+        "seed": seed,
+        "faults": faults,
+        "wall_s": round(wall_s, 4),
+        "rps": round(len(outcomes) / wall_s, 2) if wall_s > 0 else None,
+        "statuses": statuses,
+        "by_kind": by_kind,
+        "all_expected": all(o["expected"] for o in outcomes),
+        "p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1000, 3),
+        "server_counters": (stats or {}).get("counters"),
+        "hot": (stats or {}).get("hot"),
+        "clean_shutdown": clean_shutdown,
+    }

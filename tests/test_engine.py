@@ -143,6 +143,26 @@ class TestDiskCache:
         assert cache.clear() == 2
         assert cache.stats()["entries"] == 0
 
+    def test_stats_count_only_skips_size_walk(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put("a", "0" * 64, {}, "fp", 1)
+        cache.put("b", "1" * 64, {}, "fp", 2)
+        full = cache.stats()
+        cheap = cache.stats(count_only=True)
+        assert cheap["entries"] == full["entries"] == 2
+        assert set(cheap["jobs"]) == set(full["jobs"])
+        assert full["bytes"] > 0
+        assert cheap["bytes"] is None  # the stat() pass was skipped
+        assert all(job["bytes"] is None for job in cheap["jobs"].values())
+
+    def test_null_cache_stats_shape_matches(self, tmp_path):
+        disk_keys = set(DiskCache(tmp_path).stats())
+        null = NullCache()
+        for count_only in (False, True):
+            stats = null.stats(count_only=count_only)
+            assert set(stats) == disk_keys
+            assert stats["entries"] == 0
+
     def test_truncated_entry_recomputed_by_engine(self, tmp_path):
         """A half-written entry (e.g. interrupted writer) is a miss, the
         engine recomputes, and the recompute repairs the entry."""
