@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from repro.automata.dfa import DFA
 from repro.automata.nfa import NFA
+from repro.backend import use_backend
 from repro.automata.packed import (
     PackedDFA,
     PackedNFA,
@@ -45,12 +46,14 @@ __all__ = [
 _POWER_MARGIN = 4
 
 
-def count_dfa_words_of_length(dfa: DFA, length: int) -> int:
+def count_dfa_words_of_length(dfa: DFA, length: int, backend: str | None = None) -> int:
     """The exact number of accepted words of the given length.
 
     ``O(length · |δ|)`` for short words, ``O(|Q|³ log length)`` via
     repeated matrix squaring for long ones; works on partial DFAs
-    (undefined transitions contribute nothing).
+    (undefined transitions contribute nothing).  ``backend`` optionally
+    pins the kernel backend for this call (every backend returns the
+    same exact count).
 
     >>> from repro.automata.ops import dfa_from_finite_language
     >>> from repro.words.alphabet import AB
@@ -58,23 +61,27 @@ def count_dfa_words_of_length(dfa: DFA, length: int) -> int:
     >>> count_dfa_words_of_length(d, 2), count_dfa_words_of_length(d, 1)
     (2, 1)
     """
-    packed = PackedDFA.from_dfa(dfa)
-    if length > _POWER_MARGIN * packed.n_states:
-        return count_words_by_power(packed, length)
-    return count_words_by_sweep(packed, length)
+    with use_backend(backend):
+        packed = PackedDFA.from_dfa(dfa)
+        if length > _POWER_MARGIN * packed.n_states:
+            return count_words_by_power(packed, length)
+        return count_words_by_sweep(packed, length)
 
 
-def count_dfa_words_up_to(dfa: DFA, max_length: int) -> dict[int, int]:
+def count_dfa_words_up_to(
+    dfa: DFA, max_length: int, backend: str | None = None
+) -> dict[int, int]:
     """``{length: #accepted words}`` for every length up to the bound.
 
     One incremental sweep: the length-``ℓ`` vector extends to ``ℓ+1``,
     so the whole table costs the same as the single longest length.
     """
-    packed = PackedDFA.from_dfa(dfa)
-    return count_words_table(packed, max_length)
+    with use_backend(backend):
+        packed = PackedDFA.from_dfa(dfa)
+        return count_words_table(packed, max_length)
 
 
-def count_nfa_runs_of_length(nfa: NFA, length: int) -> int:
+def count_nfa_runs_of_length(nfa: NFA, length: int, backend: str | None = None) -> int:
     """The number of accepting *runs* over all words of the given length.
 
     Equals the number of accepted words iff the NFA is unambiguous
@@ -82,7 +89,8 @@ def count_nfa_runs_of_length(nfa: NFA, length: int) -> int:
     general it over-counts by run multiplicity — the automaton analogue
     of parse-tree counting for ambiguous CFGs.
     """
-    packed = PackedNFA.from_nfa(nfa)
-    if length > _POWER_MARGIN * packed.n_states:
-        return count_runs_by_power(packed, length)
-    return count_runs_by_sweep(packed, length)
+    with use_backend(backend):
+        packed = PackedNFA.from_nfa(nfa)
+        if length > _POWER_MARGIN * packed.n_states:
+            return count_runs_by_power(packed, length)
+        return count_runs_by_sweep(packed, length)

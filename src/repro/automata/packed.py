@@ -42,6 +42,9 @@ from collections.abc import Iterable, Sequence
 
 from repro.automata.dfa import DFA
 from repro.automata.nfa import NFA, State
+from repro.backend import get_backend
+from repro.backend.reference import fold_rows
+from repro.backend.words import chunked_step_fn, chunked_step_tables, fold_chunked
 from repro.comm.packed import iter_bits, mask_of
 from repro.errors import AutomatonError
 from repro.words.alphabet import Alphabet
@@ -52,6 +55,9 @@ __all__ = [
     "as_packed_nfa",
     "as_packed_dfa",
     "fold_rows",
+    "chunked_step_tables",
+    "fold_chunked",
+    "chunked_step_fn",
     "packed_determinise",
     "packed_minimise",
     "packed_is_unambiguous",
@@ -63,24 +69,6 @@ __all__ = [
     "count_runs_by_power",
     "count_runs_by_sweep",
 ]
-
-
-def fold_rows(table: Sequence[int], mask: int) -> int:
-    """OR together ``table[i]`` for every set bit ``i`` of ``mask``.
-
-    The workhorse of every kernel: one macro-step of an NFA, one
-    preimage in Hopcroft refinement, one frontier expansion of a
-    reachability fixpoint — all are folds of mask rows over a mask.
-
-    >>> fold_rows([0b01, 0b10, 0b11], 0b101)
-    3
-    """
-    out = 0
-    while mask:
-        low = mask & -mask
-        out |= table[low.bit_length() - 1]
-        mask ^= low
-    return out
 
 
 def _canonical_state_order(states: Iterable[State]) -> list[State]:
@@ -405,71 +393,6 @@ def as_packed_dfa(dfa: "DFA | PackedDFA") -> PackedDFA:
 # Kernel 1: subset construction over int masks
 # ----------------------------------------------------------------------
 
-_CHUNK_BITS = 8
-_CHUNK_SIZE = 1 << _CHUNK_BITS
-
-
-def chunked_step_tables(table: Sequence[int], n_states: int) -> list[list[int]]:
-    """Per 8-bit chunk of a state mask, the OR of that chunk's rows.
-
-    ``out[c][v]`` is the OR of ``table[c·8 + b]`` over the set bits ``b``
-    of the byte ``v`` — so a macro-step folds a whole mask with one table
-    lookup per *byte* instead of one row OR per *bit*:
-
-    ``step(mask) = OR_c out[c][(mask >> 8c) & 255]``.
-
-    Each 256-entry table is built with one OR per entry (entry ``v``
-    extends entry ``v`` minus its lowest bit), so precomputation is
-    ``O(256 · ⌈n/8⌉)`` — paid once per automaton, repaid on every one of
-    the ``2^Θ(n)`` macro-states of a subset construction.
-    """
-    n_chunks = (n_states + _CHUNK_BITS - 1) // _CHUNK_BITS
-    chunks: list[list[int]] = []
-    for c in range(n_chunks):
-        base = c * _CHUNK_BITS
-        width = min(_CHUNK_BITS, n_states - base)
-        entries = [0] * (1 << width)
-        for value in range(1, 1 << width):
-            low = value & -value
-            entries[value] = entries[value ^ low] | table[base + low.bit_length() - 1]
-        chunks.append(entries)
-    return chunks
-
-
-def fold_chunked(chunks: list[list[int]], mask: int) -> int:
-    """OR-fold a mask through :func:`chunked_step_tables` output."""
-    out = 0
-    c = 0
-    while mask:
-        byte = mask & (_CHUNK_SIZE - 1)
-        if byte:
-            out |= chunks[c][byte]
-        mask >>= _CHUNK_BITS
-        c += 1
-    return out
-
-
-def chunked_step_fn(table: Sequence[int], n_states: int):
-    """A ``mask -> successor-mask`` closure over the chunked tables.
-
-    The fold is unrolled for up to three chunks (automata of ≤ 24
-    states, which covers every ``L_n`` NFA the benchmarks sweep): the
-    closure body is then a couple of index-and-OR operations with the
-    chunk tables pre-bound — this is the hot call of the subset
-    construction, executed once per (macro-state, symbol).
-    """
-    chunks = chunked_step_tables(table, n_states)
-    if len(chunks) == 1:
-        t0 = chunks[0]
-        return lambda mask: t0[mask]
-    if len(chunks) == 2:
-        t0, t1 = chunks
-        return lambda mask: t0[mask & 255] | t1[mask >> 8]
-    if len(chunks) == 3:
-        t0, t1, t2 = chunks
-        return lambda mask: t0[mask & 255] | t1[mask >> 8 & 255] | t2[mask >> 16]
-    return lambda mask: fold_chunked(chunks, mask)
-
 
 def packed_determinise(pnfa: PackedNFA) -> PackedDFA:
     """Subset construction with macro-states as big-int masks.
@@ -477,15 +400,16 @@ def packed_determinise(pnfa: PackedNFA) -> PackedDFA:
     Macro-states are discovered in the same breadth-first order as the
     frozenset-based construction this replaces (FIFO over discovery,
     symbols in alphabet order), so the resulting integer-labelled DFA is
-    *identical* to the legacy output — but one macro-step is a handful
-    of byte-table lookups (:func:`chunked_step_tables`) plus one dict
-    probe on an int key, instead of a frozenset union plus a frozenset
-    hash.
+    *identical* to the legacy output — but one macro-step is the active
+    backend's fold (under ``words``/``numpy``, a handful of byte-table
+    lookups via :func:`chunked_step_tables`) plus one dict probe on an
+    int key, instead of a frozenset union plus a frozenset hash.
     """
+    backend = get_backend()
     n_symbols = len(pnfa.alphabet)
     tables: list[list[int]] = [[] for _ in range(n_symbols)]
     steps = [
-        (chunked_step_fn(pnfa.tables[s], pnfa.n_states), tables[s].append)
+        (backend.make_step_fn(pnfa.tables[s], pnfa.n_states), tables[s].append)
         for s in range(n_symbols)
     ]
     index_of: dict[int, int] = {pnfa.initial_mask: 0}
@@ -583,6 +507,7 @@ def packed_minimise(pdfa: PackedDFA) -> PackedDFA:
     # splitter's preimage are touched (found by walking the preimage's
     # set bits), which is what keeps the loop out of the quadratic
     # all-blocks scan.
+    backend = get_backend()
     pre = [[0] * m for _ in range(n_symbols)]
     for s in range(n_symbols):
         rows = pre[s]
@@ -605,14 +530,11 @@ def packed_minimise(pdfa: PackedDFA) -> PackedDFA:
         pending.discard(splitter_id)
         splitter = blocks[splitter_id]
         for s in range(n_symbols):
-            preimage = fold_rows(pre[s], splitter)
+            preimage = backend.fold_rows(pre[s], splitter)
             if not preimage:
                 continue
             # Group the preimage by block, touching only affected blocks.
-            inside_of: dict[int, int] = {}
-            for q in iter_bits(preimage):
-                block_id = block_of[q]
-                inside_of[block_id] = inside_of.get(block_id, 0) | 1 << q
+            inside_of = backend.hopcroft_split(preimage, block_of)
             for block_id, inside in inside_of.items():
                 block = blocks[block_id]
                 if inside == block:
@@ -799,30 +721,11 @@ def nfa_transfer_counts(pnfa: PackedNFA) -> list[list[int]]:
 
 
 def _mat_mul(a: list[list[int]], b: list[list[int]]) -> list[list[int]]:
-    n = len(b[0])
-    out = []
-    for row in a:
-        acc = [0] * n
-        for k, value in enumerate(row):
-            if value:
-                b_row = b[k]
-                for j, other in enumerate(b_row):
-                    if other:
-                        acc[j] += value * other
-        out.append(acc)
-    return out
+    return get_backend().mat_mul(a, b)
 
 
 def _vec_mat(vector: list[int], matrix: list[list[int]]) -> list[int]:
-    n = len(matrix[0])
-    out = [0] * n
-    for i, value in enumerate(vector):
-        if value:
-            row = matrix[i]
-            for j, other in enumerate(row):
-                if other:
-                    out[j] += value * other
-    return out
+    return get_backend().vec_mat(vector, matrix)
 
 
 def _accepting_sum(vector: list[int], accepting_mask: int) -> int:
@@ -873,13 +776,14 @@ def _count_by_power(matrix: list[list[int]], vector: list[int], accepting_mask: 
     matrix, vector, accepting_mask = _useful_restriction(matrix, vector, accepting_mask)
     if not vector:
         return 0
+    backend = get_backend()
     remaining = length
     while remaining:
         if remaining & 1:
-            vector = _vec_mat(vector, matrix)
+            vector = backend.vec_mat(vector, matrix)
         remaining >>= 1
         if remaining:
-            matrix = _mat_mul(matrix, matrix)
+            matrix = backend.mat_mul(matrix, matrix)
     return _accepting_sum(vector, accepting_mask)
 
 
@@ -907,8 +811,9 @@ def count_words_by_sweep(pdfa: PackedDFA, length: int) -> int:
     vector = [0] * pdfa.n_states
     vector[pdfa.initial] = 1
     adjacency = _adjacency(transfer_counts(pdfa))
+    sweep = get_backend().make_sweep_fn(adjacency, pdfa.n_states)
     for _ in range(length):
-        vector = _sweep(vector, adjacency, pdfa.n_states)
+        vector = sweep(vector)
     return _accepting_sum(vector, pdfa.accepting_mask)
 
 
@@ -923,9 +828,10 @@ def count_words_table(pdfa: PackedDFA, max_length: int) -> dict[int, int]:
     vector = [0] * pdfa.n_states
     vector[pdfa.initial] = 1
     adjacency = _adjacency(transfer_counts(pdfa))
+    sweep = get_backend().make_sweep_fn(adjacency, pdfa.n_states)
     table = {0: _accepting_sum(vector, pdfa.accepting_mask)}
     for length in range(1, max_length + 1):
-        vector = _sweep(vector, adjacency, pdfa.n_states)
+        vector = sweep(vector)
         table[length] = _accepting_sum(vector, pdfa.accepting_mask)
     return table
 
@@ -942,8 +848,9 @@ def count_runs_by_sweep(pnfa: PackedNFA, length: int) -> int:
         raise ValueError(f"length must be non-negative, got {length}")
     vector = [1 if pnfa.initial_mask >> q & 1 else 0 for q in range(pnfa.n_states)]
     adjacency = _adjacency(nfa_transfer_counts(pnfa))
+    sweep = get_backend().make_sweep_fn(adjacency, pnfa.n_states)
     for _ in range(length):
-        vector = _sweep(vector, adjacency, pnfa.n_states)
+        vector = sweep(vector)
     return _accepting_sum(vector, pnfa.accepting_mask)
 
 
@@ -954,9 +861,4 @@ def _adjacency(matrix: list[list[int]]) -> list[list[tuple[int, int]]]:
 
 
 def _sweep(vector: list[int], adjacency: list[list[tuple[int, int]]], n: int) -> list[int]:
-    out = [0] * n
-    for i, value in enumerate(vector):
-        if value:
-            for j, count in adjacency[i]:
-                out[j] += value * count
-    return out
+    return get_backend().make_sweep_fn(adjacency, n)(vector)

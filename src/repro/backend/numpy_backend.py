@@ -1,0 +1,87 @@
+"""The ``numpy`` backend: vectorised kernels, auto-detected, never required.
+
+numpy is imported lazily and probed once; when it is missing the backend
+reports itself unavailable and the registry never instantiates it — no
+module in this repository hard-depends on numpy.
+
+Only kernels where vectorisation *measurably* beats both the reference
+big-int loops and the ``words`` variants are overridden.  That set is
+deliberately small: most of this repository's inner loops run on Python
+big-int masks whose C-level bitwise ops already process 30-bit digits
+per interpreter step, and round-tripping every call through uint64
+arrays costs more than it saves (the packed GF(2) elimination, for
+example, measured *slower* under numpy than the words xor basis at every
+size tried — so it is inherited, not vectorised).  What survives:
+
+* :meth:`NumpyBackend.max_bilinear` — the exact discrepancy
+  maximisation enumerates all ``2^dim`` row subsets; the subset→column
+  sums table is built by int64 doubling (``sums[S ∪ {i}] = sums[S] +
+  row_i``) and reduced with vectorised clamps, ~2–7x over the Gray-code
+  SWAR sweep within the guards below.  Inputs that could overflow int64
+  or blow the memory cap fall back to the inherited SWAR kernel, so
+  results stay bit-exact for every input.
+
+Everything else — chunked step tables, xor-basis GF(2), word-at-a-time
+scans, and the inherited reference kernels — comes from
+:class:`~repro.backend.words.WordsBackend`.
+"""
+
+from __future__ import annotations
+
+from repro.backend.words import WordsBackend
+
+__all__ = ["NumpyBackend", "numpy_version"]
+
+try:  # pragma: no cover - exercised implicitly by availability tests
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+def numpy_version() -> str | None:
+    """The detected numpy version, or ``None`` when numpy is absent."""
+    return None if _np is None else str(_np.__version__)
+
+
+#: Cap on the subset-sums table (cells); 2^22 int64 cells ≈ 32 MiB.
+_BILINEAR_CELL_CAP = 1 << 22
+
+
+class NumpyBackend(WordsBackend):
+    """Vectorised kernels where they win; words/reference elsewhere."""
+
+    name = "numpy"
+
+    @staticmethod
+    def available() -> bool:
+        return _np is not None
+
+    @staticmethod
+    def describe() -> str:
+        if _np is None:
+            return "unavailable (numpy not importable)"
+        return f"vectorised bilinear enumeration (numpy {_np.__version__})"
+
+    def max_bilinear(self, base: list[list[int]]) -> int:
+        dim = len(base)
+        width = len(base[0])
+        max_abs = max(abs(v) for row in base for v in row)
+        if max_abs == 0:
+            return 0
+        # Guards: the subset-sums table must fit the memory cap, and every
+        # intermediate (|s_j| ≤ dim·max_abs, Σ_j max(s_j, 0) ≤ width·dim·max_abs)
+        # must fit int64.  Outside the guards, the SWAR kernel is exact at
+        # any size — delegate.
+        if (1 << dim) * width > _BILINEAR_CELL_CAP or width * dim * max_abs >= 1 << 62:
+            return super().max_bilinear(base)
+        rows = _np.array(base, dtype=_np.int64)
+        sums = _np.empty((1 << dim, width), dtype=_np.int64)
+        sums[0] = 0
+        size = 1
+        for i in range(dim):
+            # sums[S ∪ {i}] = sums[S] + row_i for every subset S of rows < i.
+            _np.add(sums[:size], rows[i], out=sums[size : 2 * size])
+            size *= 2
+        positive = _np.where(sums > 0, sums, 0).sum(axis=1)
+        totals = sums.sum(axis=1)
+        return int(max(positive.max(), (positive - totals).max()))

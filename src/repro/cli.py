@@ -20,6 +20,12 @@ see docs/ENGINE.md)::
     python -m repro cache stats                           # inspect / clear
     python -m repro serve --port 8321                     # the job service
     python -m repro bench serve                           # its latency bench
+    python -m repro backends                              # kernel backends
+    python -m repro bench backends                        # their timings
+
+Every engine command takes ``--backend {auto,reference,words,numpy}`` to
+pin the kernel backend (see docs/BACKENDS.md); the default follows
+``REPRO_BACKEND`` and falls back to auto-detection.
 
 The table-producing commands (``sizes``, ``zoo``, ``sweep``) all route
 through the engine, so repeated invocations are served from the cache;
@@ -58,6 +64,7 @@ def _build_engine(args: argparse.Namespace):
         on_timeout=args.on_timeout,
         max_retries=args.max_retries,
         retry_backoff=args.retry_backoff,
+        backend=getattr(args, "backend", None),
         run_log=RunLog(path=log_path),
     )
 
@@ -87,19 +94,28 @@ def _report_engine(engine) -> None:
     )
 
 
-def _write_bench_artifact(out: str | None, kind: str, result: dict) -> None:
-    """Persist a ``BENCH_*.json`` artifact (shared by every bench command)."""
+def _write_bench_artifact(
+    out: str | None, kind: str, result: dict, backend: str | None = None
+) -> None:
+    """Persist a ``BENCH_*.json`` artifact (shared by every bench command).
+
+    ``backend`` is the run's ``--backend`` selection (``None`` = ambient);
+    the header records the backend the measured code actually ran on.
+    """
     if not out:
         return
     import platform
     import time
     from pathlib import Path
 
+    from repro.backend import backend_info
+
     artifact = {
         "kind": kind,
         "generated_at": time.time(),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "backend": backend_info(backend),
         **result,
     }
     path = Path(out)
@@ -169,6 +185,13 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=0.1,
         help="base of the exponential retry backoff in seconds (default 0.1)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "reference", "words", "numpy"),
+        default=None,
+        help="kernel backend for every job in this run (default: "
+        "REPRO_BACKEND or auto; see `python -m repro backends`)",
     )
 
 
@@ -370,7 +393,7 @@ def _cmd_bench_parsing(args: argparse.Namespace) -> int:
         {"max_n": args.max_n, "n_words": args.n_words, "seed": args.seed},
     )
     _bench_parsing_table(result["rows"]).print()
-    _write_bench_artifact(args.out, "parsing_bench", result)
+    _write_bench_artifact(args.out, "parsing_bench", result, args.backend)
     _report_engine(engine)
     return 0
 
@@ -428,7 +451,7 @@ def _cmd_bench_comm(args: argparse.Namespace) -> int:
                 f"{op['speedup_at_largest_common']:.1f}x at p={op['largest_common_p']}"
             )
         print(f"{name}: " + ", ".join(parts))
-    _write_bench_artifact(args.out, "comm_bench", result)
+    _write_bench_artifact(args.out, "comm_bench", result, args.backend)
     _report_engine(engine)
     return 0
 
@@ -500,7 +523,69 @@ def _cmd_bench_automata(args: argparse.Namespace) -> int:
                     f"{op['speedup_at_largest_common']:.1f}x at n={op['largest_common_n']}"
                 )
         print(f"{name}: " + ", ".join(parts))
-    _write_bench_artifact(args.out, "automata_bench", result)
+    _write_bench_artifact(args.out, "automata_bench", result, args.backend)
+    _report_engine(engine)
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from repro.backend import BACKEND_CLASSES, get_backend, numpy_version
+
+    active = get_backend().name
+    table = Table(
+        ["backend", "available", "active", "description"],
+        title="Kernel backends (select with --backend or REPRO_BACKEND)",
+    )
+    for name, cls in BACKEND_CLASSES.items():
+        table.add_row(
+            [
+                name,
+                "yes" if cls.available() else "no",
+                "*" if name == active else "",
+                cls.describe(),
+            ]
+        )
+    table.print()
+    version = numpy_version()
+    if version is not None:
+        print(f"numpy: {version}", file=sys.stderr)
+    return 0
+
+
+def _bench_backends_table(result: dict) -> Table:
+    names = result["backends"]
+    table = Table(
+        ["op"] + [f"{name} s" for name in names] + ["best speedup"],
+        title="Kernel backends: same seeded workload, bit-exact cross-check",
+    )
+    for row in result["rows"]:
+        cells: list[str] = [row["op"]]
+        best = None
+        for name in names:
+            cell = row["backends"][name]
+            text = f"{cell['seconds']:.4f}"
+            if cell["kernel"] != name:
+                text += f" (={cell['kernel']})"
+            cells.append(text)
+            if name != "reference" and cell["kernel"] == name:
+                speedup = cell["speedup"]
+                if best is None or speedup > best[0]:
+                    best = (speedup, name)
+        cells.append(f"{best[0]:.2f}x ({best[1]})" if best else "-")
+        table.add_row(cells)
+    return table
+
+
+def _cmd_bench_backends(args: argparse.Namespace) -> int:
+    # Benchmarks time code, so cached timings from an earlier run would be
+    # stale; always recompute.
+    args.no_cache = True
+    engine = _build_engine(args)
+    result = engine.run_one(
+        "backends.bench", {"repeats": args.repeats, "seed": args.seed}
+    )
+    _bench_backends_table(result).print()
+    _write_bench_artifact(args.out, "backends_bench", result, args.backend)
     _report_engine(engine)
     return 0
 
@@ -508,6 +593,12 @@ def _cmd_bench_automata(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ReproServer, ServeConfig
 
+    if args.backend is not None:
+        # The service executes engine runs on threads; pin the whole
+        # process rather than one run scope.
+        from repro.backend import set_backend
+
+        set_backend(args.backend)
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -647,6 +738,11 @@ def build_parser() -> argparse.ArgumentParser:
     member.add_argument("n", type=int)
     member.set_defaults(func=_cmd_member)
 
+    backends = sub.add_parser(
+        "backends", help="list the kernel backends and which one is active"
+    )
+    backends.set_defaults(func=_cmd_backends)
+
     run = sub.add_parser("run", help="run any declared engine job (see --list)")
     run.add_argument("job", nargs="?", help="job name, e.g. certificate or sizes.row")
     run.add_argument(
@@ -757,6 +853,19 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-op time budget defining the reachability frontier (default 5.0)",
                 ),
             ),
+        ),
+    )
+    _add_bench_subparser(
+        bench_sub,
+        "backends",
+        help="time every kernel backend on each primitive family, bit-exact",
+        func=_cmd_bench_backends,
+        arguments=(
+            (
+                ("--repeats",),
+                dict(type=int, default=5, help="timing runs per cell, min kept (default 5)"),
+            ),
+            (("--seed",), dict(type=int, default=0, help="workload seed")),
         ),
     )
     _add_bench_subparser(

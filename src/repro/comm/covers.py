@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.backend import get_backend
 from repro.comm.matrix import CommMatrix
 from repro.comm.packed import PackedMatrix, as_packed, cells_of_rect, iter_bits, mask_of
 from repro.errors import CoverBudgetExceeded
@@ -69,24 +70,15 @@ def _grow_masks(
     bit survives the AND of every member row, a row joins when it
     contains every member column.
     """
-    n_rows = len(allow)
+    backend = get_backend()
     seed_row = 1 << i0
     seed_col = 1 << j0
     if column_first:
         cols = allow[i0] | seed_col
-        rows = seed_row
-        for i in range(n_rows):
-            if i != i0 and allow[i] & cols == cols:
-                rows |= 1 << i
+        rows = seed_row | backend.superset_rows(allow, cols)
     else:
-        rows = seed_row
-        for i in range(n_rows):
-            if i != i0 and (allow[i] >> j0) & 1:
-                rows |= 1 << i
-        inter = -1
-        for i in iter_bits(rows):
-            inter &= allow[i]
-        cols = seed_col | inter
+        rows = seed_row | backend.superset_rows(allow, seed_col)
+        cols = seed_col | backend.and_reduce(allow, rows)
     return rows, cols
 
 
@@ -111,7 +103,7 @@ def _maximal_masks(allow: list[int], i0: int, j0: int) -> list[MaskRect]:
     within the seed row's allowed columns.  Exponential in the number of
     candidate columns, as the exact cover search requires.
     """
-    n_rows = len(allow)
+    backend = get_backend()
     candidates = list(iter_bits(allow[i0]))
     seed_col = 1 << j0
     seen: set[MaskRect] = set()
@@ -123,17 +115,11 @@ def _maximal_masks(allow: list[int], i0: int, j0: int) -> list[MaskRect]:
             low = bits & -bits
             cols |= 1 << candidates[low.bit_length() - 1]
             bits ^= low
-        rows = 0
-        for i in range(n_rows):
-            if allow[i] & cols == cols:
-                rows |= 1 << i
+        rows = backend.superset_rows(allow, cols)
         if not rows:
             continue
         # Close the columns against the rows for maximality.
-        closed = -1
-        for i in iter_bits(rows):
-            closed &= allow[i]
-        rect = (rows, closed)
+        rect = (rows, backend.and_reduce(allow, rows))
         if rect not in seen:
             seen.add(rect)
             results.append(rect)

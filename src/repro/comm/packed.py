@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Hashable, Iterable, Iterator, Sequence
 
+from repro.backend import get_backend
 from repro.comm.matrix import CommMatrix
 
 __all__ = [
@@ -122,12 +123,7 @@ class PackedMatrix:
 
     @staticmethod
     def _transpose_masks(row_masks: Sequence[int], n_rows: int, n_cols: int) -> list[int]:
-        cols = [0] * n_cols
-        for i, mask in enumerate(row_masks):
-            bit = 1 << i
-            for j in iter_bits(mask):
-                cols[j] |= bit
-        return cols
+        return get_backend().transpose_masks(row_masks, n_cols)
 
     # -- constructors --------------------------------------------------
 
@@ -206,7 +202,7 @@ class PackedMatrix:
         ]
 
     def count_ones(self) -> int:
-        return sum(mask.bit_count() for mask in self.row_masks)
+        return get_backend().popcount_rows(self.row_masks)
 
     def cells_mask(self) -> int:
         """All 1-entries as one row-major cell mask."""

@@ -24,6 +24,7 @@ import itertools
 import random
 from collections.abc import Iterable, Iterator
 
+from repro.backend import get_backend
 from repro.core.setview import OrderedPartition, SetRectangle, ZSet
 from repro.errors import PartitionError
 
@@ -289,13 +290,15 @@ def sign_matrix_for_partition(partition: OrderedPartition, m: int) -> tuple[
 
 
 def _packed_exact_max_bilinear(base: list[list[int]]) -> int:
-    """Exact ``max |x^T M y|`` over 0/1 vectors, SWAR over big-int words.
+    """Exact ``max |x^T M y|`` over 0/1 vectors, via the active backend.
 
-    All row subsets are enumerated in Gray-code order, but the per-step
-    state is a *single* Python int holding every column sum in its own
-    fixed-width field, so a step is one big-int add plus a constant
-    number of big-int bit operations — CPython processes 30-bit digits
-    per interpreter op instead of one Python object per column.
+    The ``reference`` kernel
+    (:meth:`repro.backend.reference.ReferenceBackend.max_bilinear`)
+    enumerates all row subsets in Gray-code order with the per-step state
+    a *single* Python int holding every column sum in its own fixed-width
+    field — one big-int add plus a constant number of big-int bit
+    operations per step, CPython processing 30-bit digits per interpreter
+    op instead of one Python object per column.
 
     Entries may be arbitrary integers (the projection matrices of
     non-neat partitions are not ±1), so each field stores the *biased*
@@ -311,61 +314,12 @@ def _packed_exact_max_bilinear(base: list[list[int]]) -> int:
     * the optimal column response is ``max(positive, -negative)`` with
       ``negative = S - positive`` for ``S = Σ_j s_j``, tracked as a plain
       running total — no second extraction needed.
-    """
-    dim = len(base)
-    width = len(base[0])
-    max_abs = max(abs(v) for row in base for v in row)
-    if max_abs == 0:
-        return 0
-    # Field width: the guard bit needs 2^{W-1} > dim·max_abs ≥ |s_j|, and
-    # the horizontal-sum multiply needs 2^W > width·dim·max_abs ≥ Σ max(s_j, 0).
-    field_bits = (2 * width * dim * max_abs).bit_length() + 2
-    selector = 0  # 1 in the lowest bit of every field
-    for j in range(width):
-        selector |= 1 << (j * field_bits)
-    guards = selector << (field_bits - 1)
-    field_mask = (1 << field_bits) - 1
-    top_shift = (width - 1) * field_bits
-    bias = max(0, -min(v for row in base for v in row))
-    bias_fields = bias * selector
-    packed_rows: list[int] = []
-    row_totals: list[int] = []
-    for row in base:
-        acc = 0
-        for j, v in enumerate(row):
-            acc |= (v + bias) << (j * field_bits)
-        packed_rows.append(acc)
-        row_totals.append(sum(row))
 
-    packed_sums = 0  # fields: s_j + k·bias (all non-negative)
-    excess = 0  # k·bias replicated into every field
-    total = 0  # S = Σ_j s_j for the current selection
-    in_set = [False] * dim
-    best = 0  # the empty selection
-    for step in range(1, 1 << dim):
-        # Gray code: flip the row at the lowest set bit of `step`.
-        flip = (step & -step).bit_length() - 1
-        if in_set[flip]:
-            in_set[flip] = False
-            packed_sums -= packed_rows[flip]
-            excess -= bias_fields
-            total -= row_totals[flip]
-        else:
-            in_set[flip] = True
-            packed_sums += packed_rows[flip]
-            excess += bias_fields
-            total += row_totals[flip]
-        biased = (packed_sums | guards) - excess  # fields: 2^{W-1} + s_j
-        sign_flags = biased & guards
-        # Per-field mask of all ones exactly where s_j ≥ 0.
-        keep = (sign_flags - (sign_flags >> (field_bits - 1))) | sign_flags
-        positive_fields = (biased ^ sign_flags) & keep  # fields: max(s_j, 0)
-        positive = ((positive_fields * selector) >> top_shift) & field_mask
-        if positive > best:
-            best = positive
-        if positive - total > best:  # -Σ_j min(s_j, 0)
-            best = positive - total
-    return best
+    The ``numpy`` backend instead tabulates every subset's column sums by
+    int64 doubling and reduces with vectorised clamps (guarded so results
+    stay bit-exact; oversize inputs fall back to the SWAR sweep).
+    """
+    return get_backend().max_bilinear(base)
 
 
 def max_bilinear_form(

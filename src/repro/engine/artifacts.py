@@ -23,7 +23,8 @@ Record schema (``kind: "job"``)::
       "started_at": 1754…,          # epoch seconds the execution *started*
       "pid": 1234,                  # recording process id
       "attempt": 1,                 # 1-based execution attempt of this job
-      "retries": 0                  # the engine's max_retries budget
+      "retries": 0,                 # the engine's max_retries budget
+      "backend": "words"            # the active kernel backend (repro.backend)
     }
 
 ``outcome: "timeout"`` marks a job killed at its deadline;
@@ -70,11 +71,14 @@ class RunRecord:
     attempt: int = 1
     retries: int = 0
     error: str | None = None
+    backend: str | None = None
 
     def to_json(self) -> dict[str, Any]:
         record = {"kind": "job", **asdict(self)}
         if record["error"] is None:
             del record["error"]
+        if record["backend"] is None:
+            del record["backend"]
         return record
 
 

@@ -735,6 +735,30 @@ def automata_bench(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# The kernel-backend benchmark (reference vs. words vs. numpy)
+# ----------------------------------------------------------------------
+
+
+@REGISTRY.job(
+    "backends.bench",
+    params=("repeats", "seed"),
+    defaults={"repeats": 5, "seed": 0},
+    source_modules=(
+        "repro.backend",
+        "repro.backend.reference",
+        "repro.backend.words",
+        "repro.backend.numpy_backend",
+        "repro.backend.bench",
+    ),
+    description="Time every available kernel backend on each primitive family",
+)
+def backends_bench(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.backend.bench import bench_backends
+
+    return bench_backends(repeats=params["repeats"], seed=params["seed"])
+
+
+# ----------------------------------------------------------------------
 # Membership
 # ----------------------------------------------------------------------
 

@@ -74,6 +74,7 @@ from itertools import count
 from queue import Empty
 from typing import Any
 
+from repro.backend import get_backend, resolve_backend, set_backend, use_backend
 from repro.engine.artifacts import RunLog, RunRecord
 from repro.engine.cache import DiskCache
 from repro.engine.jobs import default_registry
@@ -92,12 +93,22 @@ _IN_WORKER = False
 _TASK_EVENTS: Any = None
 
 
-def _init_worker(path_entries: list[str], task_events: Any = None) -> None:
-    """Make the parent's import path (and event queue) available in workers."""
+def _init_worker(
+    path_entries: list[str], task_events: Any = None, backend: str | None = None
+) -> None:
+    """Make the parent's import path (and event queue) available in workers.
+
+    ``backend`` pins the worker's kernel backend (:mod:`repro.backend`) to
+    the one the parent resolved, so a job computes with exactly the
+    backend its run record claims — even when the parent was selected via
+    a context override that a forked worker would not otherwise see.
+    """
     global _IN_WORKER, _TASK_EVENTS
     _IN_WORKER = True
     _TASK_EVENTS = task_events
     _reset_inherited_signals()
+    if backend is not None:
+        set_backend(backend)
     for entry in reversed(path_entries):
         if entry not in sys.path:
             sys.path.insert(0, entry)
@@ -211,6 +222,13 @@ class _InFlight:
 class Engine:
     """Executes job requests over a DAG, a process pool, and a disk cache.
 
+    ``backend`` optionally pins the kernel backend (:mod:`repro.backend`)
+    for every job the engine runs — serial jobs execute under a
+    ``use_backend`` scope and pool workers are initialised with the same
+    resolved backend; each run record carries the backend that actually
+    ran.  ``backend=None`` (the default) follows the ambient selection
+    (``REPRO_BACKEND`` or ``set_backend``).
+
     >>> engine = Engine(cache=None)
     >>> engine.run_one("debug.echo", {"value": 41})
     41
@@ -226,9 +244,15 @@ class Engine:
         on_timeout: str = "raise",
         max_retries: int = 0,
         retry_backoff: float = 0.1,
+        backend: str | None = None,
     ) -> None:
         if jobs < 1:
             raise EngineError(f"jobs must be >= 1, got {jobs}")
+        if backend is not None:
+            try:
+                resolve_backend(backend)
+            except ValueError as exc:
+                raise EngineError(str(exc)) from exc
         if on_timeout not in ("raise", "skip"):
             raise EngineError(
                 f"on_timeout must be 'raise' or 'skip', got {on_timeout!r}"
@@ -244,6 +268,7 @@ class Engine:
         self.on_timeout = on_timeout
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        self.backend = backend
         self.run_log = run_log if run_log is not None else RunLog(path=None)
         self.last_summary: dict[str, Any] | None = None
 
@@ -297,10 +322,11 @@ class Engine:
         started = time.monotonic()
         roots, order, dep_lists, jobs_by_request = self._expand(requests)
         results: dict[Request, Any] = {}
-        if self.jobs == 1 or not order:
-            self._run_serial(order, dep_lists, jobs_by_request, results, log)
-        else:
-            self._run_parallel(order, dep_lists, jobs_by_request, results, log)
+        with use_backend(self.backend):
+            if self.jobs == 1 or not order:
+                self._run_serial(order, dep_lists, jobs_by_request, results, log)
+            else:
+                self._run_parallel(order, dep_lists, jobs_by_request, results, log)
         wall_ms = (time.monotonic() - started) * 1000.0
         self.last_summary = log.summarize(wall_ms, self.jobs)
         return results
@@ -415,6 +441,7 @@ class Engine:
                 attempt=attempt,
                 retries=self.max_retries,
                 error=error,
+                backend=get_backend().name,
             )
         )
 
@@ -498,10 +525,12 @@ class Engine:
         return multiprocessing.get_context().Queue()
 
     def _new_pool(self, task_events: Any) -> ProcessPoolExecutor:
+        # Pin workers to the backend the parent resolved (env, engine
+        # parameter, or context override) so records match reality.
         return ProcessPoolExecutor(
             max_workers=self.jobs,
             initializer=_init_worker,
-            initargs=(list(sys.path), task_events),
+            initargs=(list(sys.path), task_events, get_backend().name),
         )
 
     def _run_parallel(

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from repro.backend import get_backend
 from repro.errors import NotInChomskyNormalFormError
 from repro.grammars.cfg import CFG, NonTerminal, Rule
 from repro.kernel.semiring import Semiring
@@ -164,6 +165,7 @@ def recognise_cnf(grammar: CFG, word: str, symbol: NonTerminal | None = None) ->
     all_lhs = 0
     for lhs_mask, _, _ in binary:
         all_lhs |= lhs_mask
+    binary_step = get_backend().make_binary_step(binary)
     cells: dict[tuple[int, int], int] = {}
     for i in range(n):
         cells[(i, i + 1)] = unary.get(word[i], 0)
@@ -179,9 +181,7 @@ def recognise_cnf(grammar: CFG, word: str, symbol: NonTerminal | None = None) ->
                 right = cells[(split, j)]
                 if not right:
                     continue
-                for lhs_mask, b_mask, c_mask in binary:
-                    if left & b_mask and right & c_mask:
-                        mask |= lhs_mask
+                mask |= binary_step(left, right)
                 if is_target and mask & target_bit:
                     return True  # early exit: the query is answered
                 if mask == all_lhs:

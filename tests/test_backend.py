@@ -1,0 +1,472 @@
+"""The backend tier: bit-exact differential tests and selection mechanics.
+
+Every backend must return *identical* integers to the reference backend
+on every primitive — the differential tests below throw seeded random
+inputs at each primitive family and compare.  The selection tests pin
+the documented resolution order (context > process > environment >
+auto) and the engine/adapters' ``backend=`` plumbing.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.backend import (
+    BACKEND_CLASSES,
+    available_backends,
+    backend_info,
+    backend_names,
+    delegates_to,
+    get_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from repro.backend.reference import ReferenceBackend
+from repro.backend.words import WordsBackend, from_words, to_words
+
+REFERENCE = ReferenceBackend()
+
+#: Every available non-reference backend, compared against reference.
+OTHERS = [name for name in available_backends() if name != "reference"]
+
+
+@pytest.fixture(params=OTHERS)
+def other(request):
+    """Each available backend that must match the reference bit-exactly."""
+    return get_backend(request.param)
+
+
+def _rng(salt: int = 0) -> random.Random:
+    return random.Random(0xBACE + salt)
+
+
+def _masks(rng: random.Random, count: int, bits: int) -> list[int]:
+    return [rng.getrandbits(bits) for _ in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Differential: every primitive, every backend, random inputs
+# ----------------------------------------------------------------------
+
+
+def test_popcounts_match(other):
+    rng = _rng(1)
+    for bits in (1, 7, 64, 200):
+        masks = _masks(rng, 20, bits)
+        for mask in masks:
+            assert other.popcount(mask) == REFERENCE.popcount(mask)
+        assert other.popcount_rows(masks) == REFERENCE.popcount_rows(masks)
+
+
+def test_transpose_and_fold_match(other):
+    rng = _rng(2)
+    for n_rows, n_cols in ((1, 1), (5, 9), (64, 64), (70, 33)):
+        rows = _masks(rng, n_rows, n_cols)
+        assert other.transpose_masks(rows, n_cols) == REFERENCE.transpose_masks(
+            rows, n_cols
+        )
+        for mask in _masks(rng, 10, n_rows):
+            assert other.fold_rows(rows, mask) == REFERENCE.fold_rows(rows, mask)
+
+
+def test_step_fn_matches(other):
+    rng = _rng(3)
+    for n_states in (1, 8, 24, 64, 130):
+        table = _masks(rng, n_states, n_states)
+        ours = other.make_step_fn(table, n_states)
+        theirs = REFERENCE.make_step_fn(table, n_states)
+        for mask in _masks(rng, 25, n_states) + [0, (1 << n_states) - 1]:
+            assert ours(mask) == theirs(mask)
+
+
+def test_superset_and_and_reduce_match(other):
+    rng = _rng(4)
+    for n in (1, 9, 40, 100):
+        # OR of two samples biases rows dense so supersets actually occur.
+        allow = [rng.getrandbits(n) | rng.getrandbits(n) for _ in range(n)]
+        for _ in range(20):
+            cols = 1 << rng.randrange(n)
+            assert other.superset_rows(allow, cols) == REFERENCE.superset_rows(
+                allow, cols
+            )
+        for mask in _masks(rng, 10, n) + [0]:
+            assert other.and_reduce(allow, mask) == REFERENCE.and_reduce(allow, mask)
+
+
+def test_hopcroft_split_matches(other):
+    rng = _rng(5)
+    for n in (1, 10, 63, 90):
+        block_of = [rng.randrange(4) for _ in range(n)]
+        for preimage in _masks(rng, 15, n) + [0, (1 << n) - 1]:
+            assert other.hopcroft_split(preimage, block_of) == REFERENCE.hopcroft_split(
+                preimage, block_of
+            )
+
+
+def test_bareiss_rank_matches(other):
+    rng = _rng(6)
+    for side in (1, 4, 9, 16):
+        matrix = [
+            [rng.randrange(-3, 4) for _ in range(side)] for _ in range(side)
+        ]
+        # bareiss_rank mutates its working copy; each backend gets its own.
+        ours = other.bareiss_rank([row[:] for row in matrix])
+        theirs = REFERENCE.bareiss_rank([row[:] for row in matrix])
+        assert ours == theirs
+
+
+def test_gf2_rank_matches(other):
+    rng = _rng(7)
+    for n_rows, n_cols in ((1, 1), (8, 8), (40, 25), (64, 100), (128, 128)):
+        bitrows = _masks(rng, n_rows, n_cols)
+        assert other.gf2_rank(bitrows, n_cols) == REFERENCE.gf2_rank(bitrows, n_cols)
+    # Linearly dependent rows must not inflate the rank.
+    rows = [0b101, 0b011, 0b110, 0b101]
+    assert other.gf2_rank(rows, 3) == REFERENCE.gf2_rank(rows, 3) == 2
+
+
+def test_matrix_products_match(other):
+    rng = _rng(8)
+    for side in (1, 3, 8):
+        a = [[rng.randrange(0, 5) for _ in range(side)] for _ in range(side)]
+        b = [[rng.randrange(0, 5) for _ in range(side)] for _ in range(side)]
+        vec = [rng.randrange(0, 5) for _ in range(side)]
+        assert other.mat_mul(a, b) == REFERENCE.mat_mul(a, b)
+        assert other.vec_mat(vec, a) == REFERENCE.vec_mat(vec, a)
+
+
+def test_sweep_fn_matches(other):
+    rng = _rng(9)
+    for n in (1, 12, 48):
+        adjacency = [
+            [
+                (rng.randrange(n), rng.randrange(1, 4))
+                for _ in range(rng.randrange(0, 3))
+            ]
+            for _ in range(n)
+        ]
+        ours = other.make_sweep_fn(adjacency, n)
+        theirs = REFERENCE.make_sweep_fn(adjacency, n)
+        vector = [1] * n
+        expected = list(vector)
+        for _ in range(30):
+            vector = ours(vector)
+            expected = theirs(expected)
+            assert vector == expected
+
+
+def test_max_bilinear_matches(other):
+    rng = _rng(10)
+    for dim, width in ((1, 1), (3, 5), (8, 16), (11, 40)):
+        base = [
+            [rng.randrange(-2, 3) for _ in range(width)] for _ in range(dim)
+        ]
+        assert other.max_bilinear(base) == REFERENCE.max_bilinear(base)
+
+
+def test_max_bilinear_huge_entries_match(other):
+    # Entries wide enough to trip the numpy int64-overflow guard: the
+    # backend must fall back to the exact SWAR path, bit-identically.
+    rng = _rng(11)
+    base = [[rng.randrange(-(1 << 60), 1 << 60) for _ in range(4)] for _ in range(4)]
+    assert other.max_bilinear(base) == REFERENCE.max_bilinear(base)
+
+
+def test_binary_step_matches(other):
+    rng = _rng(12)
+    for n_nts, n_rules in ((1, 1), (10, 20), (30, 80)):
+        binary = [
+            (
+                1 << rng.randrange(n_nts),
+                1 << rng.randrange(n_nts),
+                1 << rng.randrange(n_nts),
+            )
+            for _ in range(n_rules)
+        ]
+        ours = other.make_binary_step(binary)
+        theirs = REFERENCE.make_binary_step(binary)
+        for _ in range(25):
+            left, right = rng.getrandbits(n_nts), rng.getrandbits(n_nts)
+            assert ours(left, right) == theirs(left, right)
+
+
+# ----------------------------------------------------------------------
+# Word-array helpers
+# ----------------------------------------------------------------------
+
+
+def test_to_words_round_trip():
+    rng = _rng(13)
+    for bits in (1, 63, 64, 65, 200, 1000):
+        for mask in _masks(rng, 10, bits) + [0]:
+            assert from_words(to_words(mask, bits)) == mask
+
+
+# ----------------------------------------------------------------------
+# Selection mechanics
+# ----------------------------------------------------------------------
+
+
+def test_registry_names_and_availability():
+    assert backend_names() == ["reference", "words", "numpy"]
+    available = available_backends()
+    assert "reference" in available and "words" in available
+    assert set(available) <= set(backend_names())
+
+
+def test_resolve_rejects_unknown_names():
+    with pytest.raises(ValueError, match="unknown backend"):
+        resolve_backend("simd")
+    assert resolve_backend("auto") in ("numpy", "words")
+    assert resolve_backend(None) == resolve_backend("auto")
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "reference")
+    assert get_backend().name == "reference"
+    monkeypatch.setenv("REPRO_BACKEND", "words")
+    assert get_backend().name == "words"
+
+
+def test_set_backend_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "words")
+    set_backend("reference")
+    try:
+        assert get_backend().name == "reference"
+    finally:
+        set_backend(None)
+    assert get_backend().name == "words"
+
+
+def test_use_backend_overrides_everything(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "words")
+    set_backend("words")
+    try:
+        with use_backend("reference") as backend:
+            assert backend.name == "reference"
+            assert get_backend().name == "reference"
+        assert get_backend().name == "words"
+    finally:
+        set_backend(None)
+
+
+def test_use_backend_none_is_a_no_op_scope():
+    before = get_backend().name
+    with use_backend(None) as backend:
+        assert backend.name == before
+    assert get_backend().name == before
+
+
+def test_use_backend_is_thread_isolated():
+    seen: dict[str, str] = {}
+    barrier = threading.Barrier(2)
+
+    def pinned(name: str) -> None:
+        with use_backend(name):
+            barrier.wait(timeout=5)  # both threads inside their scopes
+            seen[name] = get_backend().name
+
+    threads = [
+        threading.Thread(target=pinned, args=(name,))
+        for name in ("reference", "words")
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert seen == {"reference": "reference", "words": "words"}
+
+
+def test_backend_instances_are_cached_singletons():
+    assert get_backend("words") is get_backend("words")
+    assert get_backend("reference") is get_backend("reference")
+
+
+def test_backend_info_shape():
+    info = backend_info("words")
+    assert info == {"name": "words", "numpy": None}
+    if "numpy" in available_backends():
+        info = backend_info("numpy")
+        assert info["name"] == "numpy"
+        assert isinstance(info["numpy"], str)
+
+
+# ----------------------------------------------------------------------
+# Delegation introspection
+# ----------------------------------------------------------------------
+
+
+def test_delegates_to_reports_the_defining_class():
+    words = WordsBackend()
+    # Overridden kernels are owned; everything else delegates to reference.
+    assert delegates_to(words, "gf2_rank") == "words"
+    assert delegates_to(words, "make_step_fn") == "words"
+    assert delegates_to(words, "bareiss_rank") == "reference"
+    assert delegates_to(words, "mat_mul") == "reference"
+    assert delegates_to(words, "max_bilinear") == "reference"
+    with pytest.raises(AttributeError):
+        delegates_to(words, "not_a_kernel")
+
+
+def test_inherited_kernels_are_the_same_function_object():
+    # The bit-exactness argument for un-overridden primitives: they are
+    # literally the same function, not a reimplementation.
+    assert WordsBackend.bareiss_rank is ReferenceBackend.bareiss_rank
+    assert WordsBackend.mat_mul is ReferenceBackend.mat_mul
+    if "numpy" in available_backends():
+        numpy_cls = BACKEND_CLASSES["numpy"]
+        assert numpy_cls.gf2_rank is WordsBackend.gf2_rank
+        assert numpy_cls.max_bilinear is not ReferenceBackend.max_bilinear
+
+
+# ----------------------------------------------------------------------
+# Plumbing: adapters, engine, run records
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", available_backends())
+def test_counting_adapters_take_backend_kwarg(name):
+    from repro.automata.counting import (
+        count_dfa_words_of_length,
+        count_dfa_words_up_to,
+        count_nfa_runs_of_length,
+    )
+    from repro.languages.dfa_ln import ln_unique_match_dfa
+    from repro.languages.nfa_ln import ln_match_nfa
+
+    dfa = ln_unique_match_dfa(3)
+    assert count_dfa_words_of_length(dfa, 6, backend=name) == count_dfa_words_of_length(
+        dfa, 6
+    )
+    assert count_dfa_words_up_to(dfa, 7, backend=name) == count_dfa_words_up_to(dfa, 7)
+    nfa = ln_match_nfa(3)
+    assert count_nfa_runs_of_length(nfa, 6, backend=name) == count_nfa_runs_of_length(
+        nfa, 6
+    )
+
+
+def test_engine_rejects_unknown_backend():
+    from repro.engine import Engine
+    from repro.errors import EngineError
+
+    with pytest.raises(EngineError, match="unknown backend"):
+        Engine(cache=None, backend="simd")
+
+
+@pytest.mark.parametrize("name", available_backends())
+def test_engine_stamps_backend_into_run_records(name):
+    from repro.engine import Engine
+
+    engine = Engine(cache=None, backend=name)
+    assert engine.run_one("debug.echo", {"value": 7}) == 7
+    records = engine.run_log.records
+    assert records and all(record.backend == name for record in records)
+    payload = records[-1].to_json()
+    assert payload["backend"] == name
+
+
+def test_engine_parallel_workers_use_the_pinned_backend():
+    from repro.engine import Engine
+    from repro.engine.registry import Request
+
+    engine = Engine(cache=None, jobs=2, backend="reference")
+    results = engine.run(
+        [Request.make("debug.echo", {"value": value}) for value in (1, 2, 3)]
+    )
+    assert sorted(results.values()) == [1, 2, 3]
+    assert all(record.backend == "reference" for record in engine.run_log.records)
+
+
+# ----------------------------------------------------------------------
+# Frozen oracles, per backend: the PR 2/3/5 pattern one level down
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", available_backends())
+def test_frozen_comm_oracles_under_each_backend(name):
+    from tests.legacy_comm import (
+        legacy_greedy_disjoint_cover,
+        legacy_max_bilinear_form_exact,
+        legacy_rank_over_gf2,
+        legacy_rank_over_q,
+    )
+
+    from repro.comm import (
+        greedy_disjoint_cover,
+        intersection_matrix,
+        rank_over_gf2,
+        rank_over_q,
+    )
+    from repro.core.discrepancy import _packed_exact_max_bilinear
+
+    matrix = intersection_matrix(4)
+    with use_backend(name):
+        assert rank_over_q(matrix) == legacy_rank_over_q(matrix)
+        assert rank_over_gf2(matrix) == legacy_rank_over_gf2(matrix)
+        packed_cover = greedy_disjoint_cover(matrix)
+        assert len(packed_cover) == len(legacy_greedy_disjoint_cover(matrix))
+        rng = _rng(14)
+        base = [[rng.choice((-1, 1)) for _ in range(9)] for _ in range(7)]
+        assert _packed_exact_max_bilinear(base) == legacy_max_bilinear_form_exact(base)
+
+
+@pytest.mark.parametrize("name", available_backends())
+def test_frozen_automata_oracles_under_each_backend(name):
+    from tests.legacy_automata import (
+        legacy_count_dfa_words_of_length,
+        legacy_determinise,
+        legacy_minimise,
+    )
+
+    from repro.automata.packed import PackedNFA, packed_determinise, packed_minimise
+    from repro.languages.dfa_ln import ln_unique_match_dfa
+    from repro.languages.nfa_ln import ln_match_nfa
+
+    nfa = ln_match_nfa(5)
+    with use_backend(name):
+        dfa = packed_determinise(PackedNFA.from_nfa(nfa))
+        minimal = packed_minimise(dfa)
+        assert dfa.n_states == legacy_determinise(nfa).n_states
+        assert minimal.n_states == legacy_minimise(legacy_determinise(nfa)).n_states
+        small = ln_unique_match_dfa(3)
+        from repro.automata.counting import count_dfa_words_of_length
+
+        for length in (0, 3, 6, 9):
+            assert count_dfa_words_of_length(
+                small, length
+            ) == legacy_count_dfa_words_of_length(small, length)
+
+
+# ----------------------------------------------------------------------
+# The backend micro-benchmark (smoke: structure + bit-exact cross-check)
+# ----------------------------------------------------------------------
+
+
+def test_bench_backends_smoke():
+    from repro.backend.bench import bench_backends
+
+    result = bench_backends(repeats=1, seed=1)
+    assert result["backends"] == available_backends()
+    assert [row["op"] for row in result["rows"]] == [
+        "rank",
+        "cover",
+        "determinise",
+        "count",
+        "discrepancy",
+    ]
+    for row in result["rows"]:
+        for name, cell in row["backends"].items():
+            assert cell["seconds"] >= 0
+            assert cell["kernel"] in available_backends()
+            assert cell["speedup"] is None or cell["speedup"] > 0
+
+
+def test_bench_backends_rejects_bad_repeats():
+    from repro.backend.bench import bench_backends
+
+    with pytest.raises(ValueError, match="repeats"):
+        bench_backends(repeats=0)
