@@ -4,10 +4,20 @@ Rows: the column-match CFG size as the selected column set ``S`` grows
 (linear), brute-force language verification at small scale, the ``L_n``
 reduction checked exhaustively, and the transferred uCFG lower bound
 (exponential in ``|S|``).
+
+Membership checks route through the streaming extraction pipeline's
+compiled packed scanner (docs/EXTRACT.md) when ``E11_EXTRACT_PIPELINE=1``
+is set; the legacy per-document ``is_column_match`` stays as the parity
+check either way, and ``test_e11_streaming_pipeline_parity`` asserts the
+chunked pipeline agrees with it on a randomized stream unconditionally.
 """
 
 from __future__ import annotations
 
+import os
+
+from repro.extract import StreamSpec, compile_scanner, scan_stream
+from repro.extract.spec import relation_pairs
 from repro.grammars.ambiguity import is_unambiguous
 from repro.grammars.language import language
 from repro.languages.ln import is_in_ln
@@ -21,6 +31,23 @@ from repro.util.tables import Table, format_int
 from repro.words.alphabet import AB
 from repro.words.ops import all_words
 
+USE_PIPELINE = os.environ.get("E11_EXTRACT_PIPELINE") == "1"
+
+
+def _match_checker(c: int, w: int, cols: list[int]):
+    """Membership in M(c, w, S): compiled scanner or legacy brute force."""
+    if USE_PIPELINE:
+        scanner = compile_scanner(c, w, cols, relation_pairs("match", w))
+
+        def check(word: str) -> bool:
+            member = scanner.accepts(word)
+            # Legacy parity: the brute-force path must agree word by word.
+            assert member == is_column_match(word, c, w, cols)
+            return member
+
+        return check
+    return lambda word: is_column_match(word, c, w, cols)
+
 
 def _size_sweep() -> Table:
     table = Table(
@@ -32,9 +59,8 @@ def _size_sweep() -> Table:
         table.add_row([64, s_count, 2, grammar.size, "-"])
     for c, w, cols in ((2, 1, [1, 2]), (3, 1, [1, 3]), (2, 2, [1, 2])):
         grammar = column_match_cfg(c, w, cols)
-        expected = {
-            word for word in all_words(AB, 2 * c * w) if is_column_match(word, c, w, cols)
-        }
+        check = _match_checker(c, w, cols)
+        expected = {word for word in all_words(AB, 2 * c * w) if check(word)}
         assert language(grammar) == expected
         table.add_row([c, len(cols), w, grammar.size, "exhaustive"])
     return table
@@ -76,9 +102,9 @@ def test_e11_reduction_table(benchmark, report):
             title="E11b: the L_n reduction and the transferred bound",
         )
         for n in (1, 2, 3):
+            check = _match_checker(n, 2, list(range(1, n + 1)))
             agree = all(
-                is_in_ln(w, n)
-                == is_column_match(encode_ln_word(w, n), n, 2, range(1, n + 1))
+                is_in_ln(w, n) == check(encode_ln_word(w, n))
                 for w in all_words(AB, 2 * n)
             )
             assert agree
@@ -99,3 +125,22 @@ def test_e11_reduction_table(benchmark, report):
 def test_e11_grammar_build_speed(benchmark):
     grammar = benchmark(column_match_cfg, 256, 2, list(range(1, 65)))
     assert grammar.size > 0
+
+
+def test_e11_streaming_pipeline_parity(benchmark):
+    """The chunked pipeline's match set equals the legacy per-doc check."""
+    spec = StreamSpec(
+        c=4, w=2, columns=(1, 2, 3), n_docs=400, seed=11, match_bias=0.3
+    )
+    result = benchmark.pedantic(
+        lambda: scan_stream(spec, chunk_chars=97, collect_ids=True),
+        rounds=1,
+        iterations=1,
+    )
+    legacy = [
+        index
+        for index, doc in enumerate(spec.iter_documents())
+        if is_column_match(doc, spec.c, spec.w, spec.columns)
+    ]
+    assert result["match_ids"] == legacy
+    assert result["matches"] == len(legacy)

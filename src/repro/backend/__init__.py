@@ -89,6 +89,7 @@ class Backend(Protocol):
     # mask primitives
     def popcount(self, mask: int) -> int: ...
     def popcount_rows(self, masks: Sequence[int]) -> int: ...
+    def bit_indices(self, mask: int) -> list[int]: ...
     def transpose_masks(self, row_masks: Sequence[int], n_cols: int) -> list[int]: ...
     def fold_rows(self, table: Sequence[int], mask: int) -> int: ...
     def make_step_fn(self, table: Sequence[int], n_states: int) -> Callable[[int], int]: ...

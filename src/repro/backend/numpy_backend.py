@@ -62,6 +62,19 @@ class NumpyBackend(WordsBackend):
             return "unavailable (numpy not importable)"
         return f"vectorised bilinear enumeration (numpy {_np.__version__})"
 
+    def bit_indices(self, mask: int) -> list[int]:
+        if not mask:
+            return []
+        data = mask.to_bytes((mask.bit_length() + 7) >> 3, "little")
+        if len(data) < 64:
+            # Vectorisation overhead beats the byte-table loop only on
+            # wide masks (many-document chunks); delegate below that.
+            return super().bit_indices(mask)
+        bits = _np.unpackbits(
+            _np.frombuffer(data, dtype=_np.uint8), bitorder="little"
+        )
+        return _np.flatnonzero(bits).tolist()
+
     def max_bilinear(self, base: list[list[int]]) -> int:
         dim = len(base)
         width = len(base[0])

@@ -86,6 +86,10 @@ class ReferenceBackend:
         """The total popcount over a sequence of masks."""
         return sum(mask.bit_count() for mask in masks)
 
+    def bit_indices(self, mask: int) -> list[int]:
+        """The positions of set bits, ascending — one shift per bit."""
+        return list(iter_bits(mask))
+
     def transpose_masks(self, row_masks: Sequence[int], n_cols: int) -> list[int]:
         """Column masks of a 0/1 matrix given as row masks."""
         cols = [0] * n_cols

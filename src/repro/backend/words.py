@@ -47,6 +47,11 @@ _CHUNK_SIZE = 1 << _CHUNK_BITS
 
 _WORD_BITS = 64
 
+# bit_indices lookup: positions of the set bits of each byte value.
+_BYTE_BITS = tuple(
+    tuple(b for b in range(8) if (value >> b) & 1) for value in range(256)
+)
+
 
 def to_words(mask: int, n_bits: int) -> array:
     """Split a mask into little-endian 64-bit words as an ``array('Q')``.
@@ -162,6 +167,21 @@ class WordsBackend(ReferenceBackend):
             inter &= table[low.bit_length() - 1]
             mask ^= low
         return inter
+
+    def bit_indices(self, mask: int) -> list[int]:
+        # Byte-at-a-time: one little-endian export, then a table lookup
+        # per non-zero byte instead of a shift per set bit.
+        if not mask:
+            return []
+        data = mask.to_bytes((mask.bit_length() + 7) >> 3, "little")
+        out: list[int] = []
+        extend = out.extend
+        table = _BYTE_BITS
+        for i, byte in enumerate(data):
+            if byte:
+                base = i << 3
+                extend(base + b for b in table[byte])
+        return out
 
     def hopcroft_split(self, preimage: int, block_of: Sequence[int]) -> dict[int, int]:
         inside_of: dict[int, int] = {}

@@ -318,7 +318,8 @@ def _cmd_zoo(args: argparse.Namespace) -> int:
 
 
 def _parse_param(item: str) -> tuple[str, object]:
-    """Parse one ``-p name=value`` item; values try int, float, bool, str."""
+    """Parse one ``-p name=value`` item; values try int, float, bool,
+    JSON list (``columns=[1,2]``), then fall back to str."""
     name, sep, raw = item.partition("=")
     if not sep or not name:
         raise ValueError(f"parameter {item!r} is not of the form name=value")
@@ -329,6 +330,11 @@ def _parse_param(item: str) -> tuple[str, object]:
             pass
     if raw.lower() in ("true", "false"):
         return name, raw.lower() == "true"
+    if raw.startswith("["):
+        try:
+            return name, json.loads(raw)
+        except json.JSONDecodeError:
+            pass
     return name, raw
 
 
@@ -669,6 +675,85 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_extract_tables(result: dict) -> tuple[Table, Table]:
+    backends = Table(
+        ["backend", "docs/s", "rows/s", "vs naive", "bit-exact"],
+        title=(
+            "extract: compiled packed scanner vs. the naive per-document "
+            "CFG recogniser (single process)"
+        ),
+    )
+    for row in result["backends"]:
+        backends.add_row(
+            [
+                row["backend"],
+                f"{row['docs_per_sec']:,.0f}",
+                f"{row['rows_per_sec']:,.0f}",
+                f"{row['speedup_vs_naive']:,.1f}x",
+                "yes" if row["bit_exact"] else "NO",
+            ]
+        )
+    scaling = Table(
+        ["workers", "wall s", "docs/s (wall)", "busy s", "docs/s per core"],
+        title="extract: scaling vs. engine workers "
+        f"({result['cores']} core(s) on this host)",
+    )
+    for row in result["scaling"]["rows"]:
+        scaling.add_row(
+            [
+                row["workers"],
+                f"{row['wall_s']:.3f}",
+                f"{row['docs_per_sec']:,.0f}",
+                f"{row['busy_s']:.3f}",
+                f"{row['docs_per_busy_sec']:,.0f}",
+            ]
+        )
+    return backends, scaling
+
+
+def _cmd_bench_extract(args: argparse.Namespace) -> int:
+    from repro.extract.bench import run_extract_bench
+
+    try:
+        workers = tuple(int(part) for part in args.workers.split(",") if part.strip())
+        columns = tuple(int(part) for part in args.columns.split(",") if part.strip())
+    except ValueError:
+        print("error: --workers and --columns need integer lists", file=sys.stderr)
+        return 2
+    if not workers or any(level < 1 for level in workers):
+        print("error: --workers needs positive integers", file=sys.stderr)
+        return 2
+    result = run_extract_bench(
+        c=args.c,
+        w=args.w,
+        columns=columns,
+        relation=args.relation,
+        docs=args.docs,
+        chunk_chars=args.chunk_chars,
+        seed=args.seed,
+        match_bias=args.match_bias,
+        workers=workers,
+        shards=args.shards,
+        naive_docs=args.naive_docs,
+        verify_docs=args.verify_docs,
+        backend=args.backend,
+    )
+    backends, scaling = _bench_extract_tables(result)
+    backends.print()
+    scaling.print()
+    criteria = result["criteria"]
+    print(
+        "criteria: "
+        + ", ".join(f"{name}={'ok' if ok else 'FAIL'}" for name, ok in criteria.items()),
+        file=sys.stderr,
+    )
+    _write_bench_artifact(args.out, "extract_bench", result, args.backend)
+    # Correctness criteria gate the exit code; perf criteria are recorded
+    # in the artifact but must not flake a smoke run on a noisy host.
+    correct = criteria["bit_exact_all_backends"] and criteria["checksums_agree"]
+    return 0 if correct else 1
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.engine import DiskCache
 
@@ -893,6 +978,88 @@ def build_parser() -> argparse.ArgumentParser:
                     type=float,
                     default=0.7,
                     help="fraction of requests hitting the hot key set (default 0.7)",
+                ),
+            ),
+        ),
+    )
+
+    _add_bench_subparser(
+        bench_sub,
+        "extract",
+        help="streaming spanner extraction: rows/sec per backend + worker scaling",
+        func=_cmd_bench_extract,
+        engine_opts=False,
+        arguments=(
+            (("--c",), dict(type=int, default=8, help="columns per row (default 8)")),
+            (("--w",), dict(type=int, default=2, help="column width (default 2)")),
+            (
+                ("--columns",),
+                dict(
+                    default="1,2,3,4",
+                    metavar="J,J,...",
+                    help="selected column set S (default 1,2,3,4)",
+                ),
+            ),
+            (
+                ("--relation",),
+                dict(
+                    choices=("match", "leq"),
+                    default="match",
+                    help="column relation (default match)",
+                ),
+            ),
+            (
+                ("--docs",),
+                dict(type=int, default=40_000, help="documents per stream (default 40000)"),
+            ),
+            (
+                ("--chunk-chars",),
+                dict(type=int, default=1 << 16, help="chunk size in chars (default 65536)"),
+            ),
+            (("--seed",), dict(type=int, default=0, help="stream seed")),
+            (
+                ("--match-bias",),
+                dict(
+                    type=float,
+                    default=0.25,
+                    help="probability of planting a related column (default 0.25)",
+                ),
+            ),
+            (
+                ("--workers",),
+                dict(
+                    default="1,2,4,8",
+                    metavar="N,N,...",
+                    help="engine worker counts for the scaling curve (default 1,2,4,8)",
+                ),
+            ),
+            (
+                ("--shards",),
+                dict(type=int, default=8, help="scan shards per scaling run (default 8)"),
+            ),
+            (
+                ("--naive-docs",),
+                dict(
+                    type=int,
+                    default=300,
+                    help="documents timed through the naive CFG baseline (default 300)",
+                ),
+            ),
+            (
+                ("--verify-docs",),
+                dict(
+                    type=int,
+                    default=1500,
+                    help="documents cross-checked against both oracles per backend "
+                    "(default 1500)",
+                ),
+            ),
+            (
+                ("--backend",),
+                dict(
+                    choices=("auto", "reference", "words", "numpy"),
+                    default=None,
+                    help="pin the kernel backend for the scaling runs",
                 ),
             ),
         ),

@@ -783,6 +783,231 @@ def member_job(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# Streaming spanner extraction (docs/EXTRACT.md)
+# ----------------------------------------------------------------------
+#
+# Stream specs are *generative*: a job parameter set names a seeded
+# synthetic stream plus a document shard ``[lo, hi)``, never raw
+# documents — so parameters stay small and plain-JSON, every worker can
+# regenerate its shard independently, and the content-addressed cache
+# keys results by construction.  ``hi = -1`` means "to the end of the
+# stream".
+
+_EXTRACT_MODULES = (
+    "repro.extract.spec",
+    "repro.extract.compile",
+    "repro.extract.scan",
+    "repro.spanners.csv_match",
+    "repro.automata.packed",
+    "repro.automata.nfa",
+    "repro.backend.reference",
+    "repro.backend.words",
+)
+
+_STREAM_PARAMS = ("c", "w", "columns", "relation", "n_docs", "seed", "match_bias")
+
+_STREAM_DEFAULTS: dict[str, Any] = {
+    "relation": "match",
+    "n_docs": 1000,
+    "seed": 0,
+    "match_bias": 0.25,
+}
+
+
+def _stream_params(params: dict[str, Any]) -> dict[str, Any]:
+    """The spec-defining subset of a job's parameters."""
+    return {name: params[name] for name in _STREAM_PARAMS}
+
+
+@REGISTRY.job(
+    "extract.stream",
+    params=_STREAM_PARAMS + ("lo", "hi", "chunk_chars"),
+    defaults={**_STREAM_DEFAULTS, "lo": 0, "hi": -1, "chunk_chars": 1 << 16},
+    source_modules=("repro.extract.spec",),
+    description="Generate one shard of a seeded document stream; return its digest",
+)
+def extract_stream(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    """Materialise a shard chunk-by-chunk and fingerprint it (sha256).
+
+    Proves shard-independent generation: any two decompositions of the
+    same range hash identically without the stream ever being held in
+    memory at once.
+    """
+    import hashlib
+
+    from repro.extract.spec import StreamSpec
+
+    spec = StreamSpec.from_params(_stream_params(params))
+    lo, hi = spec.resolve_range(params["lo"], params["hi"])
+    digest = hashlib.sha256()
+    chars = 0
+    for chunk in spec.iter_chunks(params["chunk_chars"], lo, hi):
+        digest.update(chunk.encode("ascii"))
+        chars += len(chunk)
+    return {"lo": lo, "hi": hi, "docs": hi - lo, "chars": chars, "sha256": digest.hexdigest()}
+
+
+@REGISTRY.job(
+    "extract.scan",
+    params=_STREAM_PARAMS + ("lo", "hi", "chunk_chars", "collect_ids", "timing"),
+    defaults={
+        **_STREAM_DEFAULTS,
+        "lo": 0,
+        "hi": -1,
+        "chunk_chars": 1 << 16,
+        "collect_ids": False,
+        "timing": False,
+    },
+    source_modules=_EXTRACT_MODULES,
+    description="Scan one stream shard with the compiled packed scanner",
+)
+def extract_scan(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    """Compile (memoised per worker) and scan a shard in constant memory.
+
+    The result — counts, an order-sensitive checksum of the match set,
+    optionally the shard-relative match ids — is deterministic, so it
+    caches and coalesces safely.  ``timing=True`` adds in-worker
+    ``compile_s``/``scan_s`` *CPU* seconds (``time.process_time``, so
+    workers contending for cores do not inflate each other's figures)
+    for the benchmark's per-core throughput accounting; like
+    ``debug.storm``, timed runs belong under ``--no-cache``.
+    """
+    from time import process_time
+
+    from repro.extract.compile import scanner_for_spec
+    from repro.extract.scan import StreamScanner, scan_stream
+    from repro.extract.spec import StreamSpec
+
+    spec = StreamSpec.from_params(_stream_params(params))
+    start = process_time()
+    scanner = StreamScanner(scanner_for_spec(spec), collect_ids=params["collect_ids"])
+    compile_s = process_time() - start
+    start = process_time()
+    result = scan_stream(
+        spec,
+        chunk_chars=params["chunk_chars"],
+        lo=params["lo"],
+        hi=params["hi"],
+        scanner=scanner,
+    )
+    if params["timing"]:
+        result["compile_s"] = round(compile_s, 6)
+        result["scan_s"] = round(process_time() - start, 6)
+    return result
+
+
+@REGISTRY.job(
+    "extract.verify",
+    params=_STREAM_PARAMS + ("lo", "hi", "chunk_chars"),
+    defaults={**_STREAM_DEFAULTS, "lo": 0, "hi": -1, "chunk_chars": 1 << 16},
+    source_modules=_EXTRACT_MODULES + _KERNEL_MODULES + ("repro.grammars.cnf",),
+    description="Cross-check the packed scanner against both oracles on a shard",
+)
+def extract_verify(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    """Scanner vs. the semantic brute force vs. the batched CFG recogniser.
+
+    All three must produce the identical match-id set or the job fails —
+    this is the grammar-side verification path (BatchedRecognizer prefix
+    sharing) wired into the fan-out, not just the test suite.
+    """
+    from repro.extract.scan import batched_oracle_scan, scan_stream, semantic_scan
+    from repro.extract.spec import StreamSpec
+
+    spec = StreamSpec.from_params(_stream_params(params))
+    lo, hi = params["lo"], params["hi"]
+    scanned = scan_stream(
+        spec, chunk_chars=params["chunk_chars"], lo=lo, hi=hi, collect_ids=True
+    )
+    for oracle_name, oracle in (
+        ("semantic", semantic_scan),
+        ("cfg_batched", batched_oracle_scan),
+    ):
+        expected = oracle(spec, lo, hi)
+        if scanned["match_ids"] != expected["match_ids"]:
+            raise ValueError(
+                f"extract.verify: scanner disagrees with {oracle_name} oracle on "
+                f"shard [{lo}, {hi}): {len(scanned['match_ids'])} vs "
+                f"{len(expected['match_ids'])} matches"
+            )
+    return {
+        "lo": scanned["lo"],
+        "hi": scanned["hi"],
+        "docs": scanned["docs"],
+        "matches": scanned["matches"],
+        "checksum": scanned["checksum"],
+        "oracles": ["semantic", "cfg_batched"],
+        "agree": True,
+    }
+
+
+def _extract_aggregate_deps(params: dict[str, Any]) -> list[Request]:
+    from repro.extract.spec import StreamSpec
+
+    spec = StreamSpec.from_params(_stream_params(params))
+    stream = _stream_params(params)
+    requests = []
+    verify_docs = min(params["verify_docs"], spec.n_docs)
+    if verify_docs:
+        requests.append(
+            Request.make(
+                "extract.verify",
+                {**stream, "lo": 0, "hi": verify_docs, "chunk_chars": params["chunk_chars"]},
+            )
+        )
+    for lo, hi in spec.shard_ranges(params["shards"]):
+        requests.append(
+            Request.make(
+                "extract.scan",
+                {**stream, "lo": lo, "hi": hi, "chunk_chars": params["chunk_chars"]},
+            )
+        )
+    return requests
+
+
+@REGISTRY.job(
+    "extract.aggregate",
+    params=_STREAM_PARAMS + ("shards", "chunk_chars", "verify_docs"),
+    defaults={**_STREAM_DEFAULTS, "shards": 4, "chunk_chars": 1 << 16, "verify_docs": 0},
+    deps=_extract_aggregate_deps,
+    source_modules=_EXTRACT_MODULES,
+    description="Fan a stream out as scan shards (plus optional verify) and combine",
+)
+def extract_aggregate(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    """Combine shard results into stream totals.
+
+    Shard checksums certify shard-relative match sets; the stream-level
+    checksum folds ``(lo, checksum)`` pairs in shard order, so any two
+    runs over the same stream — whatever the worker count — agree.
+    """
+    verify_rows = [row for row in deps if row and "agree" in row]
+    scan_rows = sorted(
+        (row for row in deps if row and "agree" not in row), key=lambda row: row["lo"]
+    )
+    docs = sum(row["docs"] for row in scan_rows)
+    matches = sum(row["matches"] for row in scan_rows)
+    checksum = 0
+    for row in scan_rows:
+        checksum = (checksum * 1000003 + row["lo"] + 1) & ((1 << 64) - 1)
+        checksum = (checksum * 1000003 + row["checksum"] + 1) & ((1 << 64) - 1)
+    return {
+        "docs": docs,
+        "matches": matches,
+        "density": round(matches / docs, 6) if docs else 0.0,
+        "checksum": checksum,
+        "verified": bool(verify_rows) and all(row["agree"] for row in verify_rows),
+        "shards": [
+            {
+                "lo": row["lo"],
+                "hi": row["hi"],
+                "matches": row["matches"],
+                "checksum": row["checksum"],
+            }
+            for row in scan_rows
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
 # Debug and fault-injection jobs (engine smoke tests; the chaos suite)
 # ----------------------------------------------------------------------
 #

@@ -27,16 +27,31 @@ from repro.util.canonical import canonical_encode
 __all__ = ["canonical_params", "code_fingerprint", "cache_key"]
 
 
+def _hashable(value: Any) -> Any:
+    """Recursively turn lists into tuples so parameter values hash.
+
+    Sequence-valued parameters (e.g. the ``columns`` of an
+    ``extract.*`` stream spec) arrive as JSON lists; a
+    :class:`~repro.engine.registry.Request` must be hashable, and list
+    vs. tuple is a spurious distinction for a cache key.
+    """
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable(item) for item in value)
+    return value
+
+
 def canonical_params(params: Mapping[str, Any]) -> tuple[tuple[str, Any], ...]:
     """Normalise a parameter mapping to a sorted, hashable tuple of pairs.
 
     >>> canonical_params({"b": 1, "a": 2})
     (('a', 2), ('b', 1))
+    >>> canonical_params({"columns": [1, 3]})
+    (('columns', (1, 3)),)
     """
     for name in params:
         if not isinstance(name, str):
             raise TypeError(f"parameter names must be str, got {name!r}")
-    return tuple(sorted(params.items()))
+    return tuple(sorted((name, _hashable(value)) for name, value in params.items()))
 
 
 @lru_cache(maxsize=None)

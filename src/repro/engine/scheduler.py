@@ -331,6 +331,27 @@ class Engine:
         self.last_summary = log.summarize(wall_ms, self.jobs)
         return results
 
+    def map(
+        self,
+        job: str,
+        param_sets: Iterable[Mapping[str, Any] | None],
+        *,
+        run_log: RunLog | None = None,
+    ) -> list[Any]:
+        """Run one job over many parameter sets; results in input order.
+
+        The stream-chunk fan-out primitive: ``extract`` (and any other
+        shard-parallel workload) hands the scheduler a flat batch of
+        same-job requests and gets results aligned with its inputs.
+        Requests that were skipped under ``on_timeout="skip"`` come back
+        as ``None``; duplicate parameter sets coalesce into one
+        execution and share the result.
+        """
+        requests = [Request.make(job, params) for params in param_sets]
+        canonical = [self._canonical(request)[0] for request in requests]
+        results = self.run(requests, run_log=run_log)
+        return [results.get(request) for request in canonical]
+
     # ------------------------------------------------------------------
     # DAG expansion
     # ------------------------------------------------------------------

@@ -1,0 +1,45 @@
+"""Streaming spanner extraction at document scale.
+
+The paper's motivating scenario (CSV information extraction via
+spanner-style CFGs) is executed here as a throughput workload: the
+match/relation constraint from :mod:`repro.spanners` is compiled once
+into a minimal packed DFA (:mod:`repro.extract.compile`), then streamed
+over arbitrarily large synthetic document streams in constant memory
+(:mod:`repro.extract.scan`) with chunked, bit-parallel scanning.  The
+inner mask/popcount loops route through the active :mod:`repro.backend`
+tier, and shards fan out across the engine pool via the ``extract.*``
+job family.  See ``docs/EXTRACT.md``.
+"""
+
+from repro.extract.compile import (
+    CompiledScanner,
+    column_relation_nfa,
+    compile_scanner,
+    scanner_for_spec,
+)
+from repro.extract.scan import (
+    ScanState,
+    StreamScanner,
+    batched_oracle_scan,
+    fold_checksum,
+    naive_cfg_scan,
+    scan_stream,
+    semantic_scan,
+)
+from repro.extract.spec import StreamSpec, relation_pairs
+
+__all__ = [
+    "StreamSpec",
+    "relation_pairs",
+    "CompiledScanner",
+    "column_relation_nfa",
+    "compile_scanner",
+    "scanner_for_spec",
+    "ScanState",
+    "StreamScanner",
+    "scan_stream",
+    "fold_checksum",
+    "naive_cfg_scan",
+    "batched_oracle_scan",
+    "semantic_scan",
+]

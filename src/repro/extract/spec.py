@@ -1,0 +1,203 @@
+"""Seeded stream specifications for the extraction pipeline.
+
+A :class:`StreamSpec` describes a synthetic document stream *by
+construction*, never by content: a scenario shape ``(c, w)``, a column
+set, a relation, a document count, a seed, and a bias knob.  Documents
+are derived from the seed with a per-document mixer, so any shard
+``[lo, hi)`` can be regenerated independently by any worker process —
+that is what makes specs safe to put in engine job parameters and
+content-addressed cache keys (`to_params()` is plain JSON, no raw
+documents ever cross a process boundary or land in the cache).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.words.alphabet import AB
+from repro.words.ops import all_words
+
+__all__ = ["StreamSpec", "relation_pairs"]
+
+_RELATIONS = ("match", "leq")
+
+# Odd 64-bit multiplier (splitmix64's golden-ratio constant): the map
+# ``i -> (seed + 1) * _MIX + i  (mod 2^64)`` is injective per stream, so
+# every document gets a distinct, shard-independent RNG seed.
+_MIX = 0x9E3779B97F4A7C15
+_U64 = (1 << 64) - 1
+
+
+def relation_pairs(relation: str, w: int) -> tuple[tuple[str, str], ...]:
+    """The pair set defining a named relation over width-``w`` values.
+
+    >>> relation_pairs("match", 1)
+    (('a', 'a'), ('b', 'b'))
+    >>> len(relation_pairs("leq", 1))
+    3
+    """
+    if relation == "match":
+        return tuple((x, x) for x in all_words(AB, w))
+    if relation == "leq":
+        words = list(all_words(AB, w))
+        return tuple((x, y) for x in words for y in words if x <= y)
+    raise ReproError(f"unknown relation {relation!r}; expected one of {_RELATIONS}")
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """A reproducible synthetic document stream.
+
+    >>> spec = StreamSpec(c=2, w=1, columns=(1, 2), n_docs=3, seed=7)
+    >>> spec.doc_len
+    4
+    >>> spec.document(1) == spec.document(1)
+    True
+    >>> "".join(spec.iter_chunks(5)) == spec.text()
+    True
+    """
+
+    c: int
+    w: int
+    columns: tuple[int, ...]
+    relation: str = "match"
+    n_docs: int = 1000
+    seed: int = 0
+    match_bias: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.c < 1 or self.w < 1:
+            raise ReproError("c and w must be positive")
+        cols = tuple(sorted(set(int(j) for j in self.columns)))
+        if not cols:
+            raise ReproError("columns must be non-empty")
+        if cols[0] < 1 or cols[-1] > self.c:
+            raise ReproError(f"columns must lie in [1, {self.c}], got {cols}")
+        object.__setattr__(self, "columns", cols)
+        if self.relation not in _RELATIONS:
+            raise ReproError(
+                f"unknown relation {self.relation!r}; expected one of {_RELATIONS}"
+            )
+        if self.n_docs < 0:
+            raise ReproError("n_docs must be >= 0")
+        if not 0.0 <= self.match_bias <= 1.0:
+            raise ReproError("match_bias must lie in [0, 1]")
+
+    @property
+    def doc_len(self) -> int:
+        return 2 * self.c * self.w
+
+    @property
+    def total_chars(self) -> int:
+        return self.n_docs * self.doc_len
+
+    def pairs(self) -> tuple[tuple[str, str], ...]:
+        return relation_pairs(self.relation, self.w)
+
+    def document(self, index: int) -> str:
+        """The ``index``-th document, independent of any other index."""
+        if not 0 <= index < self.n_docs:
+            raise ReproError(f"document index {index} out of range [0, {self.n_docs})")
+        rng = random.Random(((self.seed + 1) * _MIX + index) & _U64)
+        c, w = self.c, self.w
+        row1 = [rng.choice("ab") for _ in range(c * w)]
+        row2 = [rng.choice("ab") for _ in range(c * w)]
+        if rng.random() < self.match_bias:
+            # Plant a related column so streams are not all-negative at
+            # large w (a random pair rarely lands in the relation).
+            j = rng.choice(self.columns)
+            x, y = rng.choice(self.pairs())
+            lo = (j - 1) * w
+            row1[lo : lo + w] = x
+            row2[lo : lo + w] = y
+        return "".join(row1) + "".join(row2)
+
+    def resolve_range(self, lo: int = 0, hi: int | None = None) -> tuple[int, int]:
+        """Clamp-and-validate a document shard ``[lo, hi)``."""
+        if hi is None or hi < 0:
+            hi = self.n_docs
+        if not (0 <= lo <= hi <= self.n_docs):
+            raise ReproError(f"bad shard [{lo}, {hi}) for n_docs={self.n_docs}")
+        return lo, hi
+
+    def iter_documents(self, lo: int = 0, hi: int | None = None) -> Iterator[str]:
+        lo, hi = self.resolve_range(lo, hi)
+        for index in range(lo, hi):
+            yield self.document(index)
+
+    def text(self, lo: int = 0, hi: int | None = None) -> str:
+        """The shard's documents concatenated (tests / small shards only)."""
+        return "".join(self.iter_documents(lo, hi))
+
+    def iter_chunks(
+        self, chunk_chars: int, lo: int = 0, hi: int | None = None
+    ) -> Iterator[str]:
+        """Stream the shard as chunks of ``chunk_chars`` characters.
+
+        Memory stays bounded by ``chunk_chars + doc_len`` regardless of
+        the shard size; chunk boundaries fall at arbitrary offsets, so
+        documents routinely straddle them.
+        """
+        if chunk_chars < 1:
+            raise ReproError("chunk_chars must be positive")
+        lo, hi = self.resolve_range(lo, hi)
+        buffer: list[str] = []
+        buffered = 0
+        for index in range(lo, hi):
+            buffer.append(self.document(index))
+            buffered += self.doc_len
+            while buffered >= chunk_chars:
+                whole = "".join(buffer)
+                yield whole[:chunk_chars]
+                rest = whole[chunk_chars:]
+                buffer = [rest] if rest else []
+                buffered = len(rest)
+        if buffered:
+            yield "".join(buffer)
+
+    def to_params(self) -> dict[str, object]:
+        """Plain-JSON parameters for the ``extract.*`` job family."""
+        return {
+            "c": self.c,
+            "w": self.w,
+            "columns": list(self.columns),
+            "relation": self.relation,
+            "n_docs": self.n_docs,
+            "seed": self.seed,
+            "match_bias": self.match_bias,
+        }
+
+    @classmethod
+    def from_params(cls, params: dict[str, object]) -> StreamSpec:
+        return cls(
+            c=int(params["c"]),  # type: ignore[arg-type]
+            w=int(params["w"]),  # type: ignore[arg-type]
+            columns=tuple(params["columns"]),  # type: ignore[arg-type]
+            relation=str(params.get("relation", "match")),
+            n_docs=int(params.get("n_docs", 1000)),  # type: ignore[arg-type]
+            seed=int(params.get("seed", 0)),  # type: ignore[arg-type]
+            match_bias=float(params.get("match_bias", 0.25)),  # type: ignore[arg-type]
+        )
+
+    def to_key(self) -> tuple:
+        return (
+            "stream",
+            self.c,
+            self.w,
+            self.columns,
+            self.relation,
+            self.n_docs,
+            self.seed,
+            self.match_bias,
+        )
+
+    def shard_ranges(self, shards: int) -> list[tuple[int, int]]:
+        """Split ``[0, n_docs)`` into ``shards`` near-equal ranges."""
+        if shards < 1:
+            raise ReproError("shards must be positive")
+        shards = min(shards, max(self.n_docs, 1))
+        bounds = [round(i * self.n_docs / shards) for i in range(shards + 1)]
+        return [(bounds[i], bounds[i + 1]) for i in range(shards)]

@@ -3,7 +3,9 @@
 The storm drives a live server with a seeded mixture modelled on real
 engine usage: repeat lookups that should be served from the hot LRU,
 cold lookups that execute, sweep-style compute (``sizes.row``),
-identical concurrent requests that must coalesce, and the PR 4 fault
+stream-shard scans through the packed extraction scanner
+(``extract.scan``), identical concurrent requests that must coalesce,
+and the PR 4 fault
 injectors (``debug.flaky`` retried to success, ``debug.hang`` timed out
 under the server's ``on_timeout`` policy, ``debug.fail`` surfacing as
 ``500``).  With no target host it boots an embedded server, drains it at
@@ -31,6 +33,7 @@ STORM_MIX: list[tuple[str, int]] = [
     ("echo_cold", 15),  # unique keys: real executions
     ("sizes", 15),  # sweep-shaped compute, cached after first touch
     ("coalesce", 20),  # identical slow requests issued concurrently
+    ("extract", 8),  # stream-shard scans through the packed scanner
     ("flaky", 10),  # fails once, succeeds on retry (max_retries >= 1)
     ("hang", 5),  # hangs forever; the per-job timeout must kill it
     ("fail", 5),  # raises; surfaces as HTTP 500
@@ -55,6 +58,20 @@ def _make_request(kind: str, rng: random.Random, seq: int) -> tuple[str, dict[st
         return "sizes.row", {"n": rng.choice((4, 8, 16))}
     if kind == "coalesce":
         return "debug.sleep", {"seconds": 0.05}
+    if kind == "extract":
+        # A tiny stream: the scanner compiles in milliseconds on first
+        # touch, so shard scans finish well inside the embedded server's
+        # 0.75 s fault-mode timeout.  Few distinct seeds → a mix of real
+        # executions and cache/coalescing traffic.
+        return "extract.scan", {
+            "c": 2,
+            "w": 1,
+            "columns": [1, 2],
+            "n_docs": 64,
+            "seed": seq % 5,
+            "match_bias": 0.3,
+            "chunk_chars": 64,
+        }
     if kind == "flaky":
         return "debug.flaky", {"fails": 1, "value": f"storm-{seq % 3}"}
     if kind == "hang":
@@ -82,6 +99,7 @@ _EXPECTED_STATUS = {
     "echo_cold": {200},
     "sizes": {200},
     "coalesce": {200},
+    "extract": {200},
     "flaky": {200},
     "hang": {504},
     "fail": {500},

@@ -20,6 +20,7 @@ while the reduction :func:`encode_ln_word` embeds ``L_n`` into
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from functools import lru_cache
 
 from repro.core.lower_bound import ucfg_cnf_size_lower_bound
 from repro.errors import ReproError
@@ -106,9 +107,18 @@ def column_relation_cfg(
     values; equality (:func:`column_match_cfg`) and lexicographic order
     (:func:`column_leq_cfg`) are the packaged instances.  Size
     ``O(|S| · |pairs| + log(cw))``.
+
+    Construction is memoised per process after argument normalisation
+    (the constructor-caching pattern): repeated calls with the same
+    scenario — including through :func:`column_match_cfg` and
+    :func:`column_leq_cfg` — return the *same* immutable CFG object.
+
+    >>> column_relation_cfg(2, 1, [1, 2], [("a", "a")]) is column_relation_cfg(
+    ...     2, 1, (2, 1), (("a", "a"), ("a", "a")))
+    True
     """
     _check_scenario(c, w)
-    pair_list = sorted(set(pairs))
+    pair_list = tuple(sorted(set(pairs)))
     for x, y in pair_list:
         for value in (x, y):
             if len(value) != w or any(ch not in AB for ch in value):
@@ -117,13 +127,22 @@ def column_relation_cfg(
                 )
     if not pair_list:
         raise ReproError("the column relation must be nonempty")
-    column_set = sorted(set(columns))
+    column_set = tuple(sorted(set(columns)))
     if not column_set:
         raise ReproError("the column set S must be nonempty")
     for j in column_set:
         if not 1 <= j <= c:
             raise ReproError(f"column {j} out of range [1, {c}]")
+    return _column_relation_cfg_cached(c, w, column_set, pair_list)
 
+
+@lru_cache(maxsize=256)
+def _column_relation_cfg_cached(
+    c: int,
+    w: int,
+    column_set: tuple[int, ...],
+    pair_list: tuple[tuple[str, str], ...],
+) -> CFG:
     rules: list[Rule] = []
     nts: list[NonTerminal] = []
 

@@ -62,6 +62,29 @@ def test_popcounts_match(other):
         assert other.popcount_rows(masks) == REFERENCE.popcount_rows(masks)
 
 
+def test_bit_indices_match(other):
+    rng = _rng(11)
+    cases = [0, 1, 2, 1 << 63, (1 << 64) - 1, (1 << 100) + 1]
+    for bits in (1, 7, 64, 200, 1000, 5000):
+        cases.extend(_masks(rng, 10, bits))
+        # Sparse masks exercise the zero-byte skipping paths.
+        cases.append(sum(1 << rng.randrange(bits) for _ in range(3)))
+    for mask in cases:
+        expected = REFERENCE.bit_indices(mask)
+        got = other.bit_indices(mask)
+        assert got == expected
+        assert got == sorted(got)
+        assert all(isinstance(index, int) for index in got)
+        assert len(got) == REFERENCE.popcount(mask)
+
+
+def test_bit_indices_frozen_oracle():
+    # The reference semantics, pinned: ascending positions of set bits.
+    assert REFERENCE.bit_indices(0) == []
+    assert REFERENCE.bit_indices(0b1011) == [0, 1, 3]
+    assert REFERENCE.bit_indices(1 << 977) == [977]
+
+
 def test_transpose_and_fold_match(other):
     rng = _rng(2)
     for n_rows, n_cols in ((1, 1), (5, 9), (64, 64), (70, 33)):
@@ -305,6 +328,7 @@ def test_delegates_to_reports_the_defining_class():
     # Overridden kernels are owned; everything else delegates to reference.
     assert delegates_to(words, "gf2_rank") == "words"
     assert delegates_to(words, "make_step_fn") == "words"
+    assert delegates_to(words, "bit_indices") == "words"
     assert delegates_to(words, "bareiss_rank") == "reference"
     assert delegates_to(words, "mat_mul") == "reference"
     assert delegates_to(words, "max_bilinear") == "reference"
