@@ -95,6 +95,7 @@ class Backend(Protocol):
     def make_step_fn(self, table: Sequence[int], n_states: int) -> Callable[[int], int]: ...
     def superset_rows(self, allow: Sequence[int], cols: int) -> int: ...
     def and_reduce(self, table: Sequence[int], mask: int) -> int: ...
+    def cells_of_rect(self, rows_mask: int, cols_mask: int, n_cols: int) -> int: ...
     def hopcroft_split(self, preimage: int, block_of: Sequence[int]) -> dict[int, int]: ...
 
     # exact linear algebra

@@ -129,6 +129,18 @@ class ReferenceBackend:
             inter &= table[i]
         return inter
 
+    def cells_of_rect(self, rows_mask: int, cols_mask: int, n_cols: int) -> int:
+        """The row-major cell mask of the rectangle ``rows × cols``.
+
+        Bit ``i * n_cols + j`` is set iff ``i`` is a set bit of
+        ``rows_mask`` and ``j`` a set bit of ``cols_mask`` — one shifted
+        OR of the column pattern per member row.
+        """
+        cells = 0
+        for i in iter_bits(rows_mask):
+            cells |= cols_mask << (i * n_cols)
+        return cells
+
     def hopcroft_split(self, preimage: int, block_of: Sequence[int]) -> dict[int, int]:
         """Group the set bits of ``preimage`` by their block id.
 

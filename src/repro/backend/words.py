@@ -183,6 +183,25 @@ class WordsBackend(ReferenceBackend):
                 extend(base + b for b in table[byte])
         return out
 
+    def cells_of_rect(self, rows_mask: int, cols_mask: int, n_cols: int) -> int:
+        # Runs of consecutive member rows are filled by doubling: a run of
+        # length r costs O(log r) big-int shifts instead of r, and cover
+        # search states are dominated by exactly such contiguous row runs.
+        cells = 0
+        while rows_mask:
+            start = (rows_mask & -rows_mask).bit_length() - 1
+            tail = rows_mask >> start
+            run = ((tail + 1) & -(tail + 1)).bit_length() - 1  # trailing ones
+            block = cols_mask
+            length = 1
+            while length < run:
+                step = min(length, run - length)
+                block |= block << (step * n_cols)
+                length += step
+            cells |= block << (start * n_cols)
+            rows_mask &= rows_mask + (1 << start)  # clear the run
+        return cells
+
     def hopcroft_split(self, preimage: int, block_of: Sequence[int]) -> dict[int, int]:
         inside_of: dict[int, int] = {}
         get = inside_of.get

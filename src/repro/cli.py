@@ -425,6 +425,41 @@ def _bench_comm_table(rows: list[dict]) -> Table:
     return table
 
 
+def _bench_cover_table(rows: list[dict]) -> Table:
+    table = Table(
+        ["p", "side", "min cover", "certified", "nodes", "frozen B&B"],
+        title="Exact cover: branch-and-price solver vs. the frozen branch-and-bound",
+    )
+    for row in rows:
+        cell = row["solver"]["disjoint"]
+        if cell["value"] is None:
+            solved = "budget out"
+            certified = "-"
+        else:
+            solved = f"{cell['value']} in {cell['seconds']:.4f}s"
+            certified = "root" if cell["nodes"] == 0 else "search"
+            if not cell["optimal"]:
+                certified = "no"
+        oracle = row["oracle"]
+        if oracle.get("skipped"):
+            baseline = "- (past the wall)"
+        elif oracle["value"] is None:
+            baseline = "budget out"
+        else:
+            baseline = f"{oracle['value']} in {oracle['seconds']:.4f}s"
+        table.add_row(
+            [
+                str(row["p"]),
+                str(row["matrix_side"]),
+                solved,
+                certified,
+                str(cell["nodes"]),
+                baseline,
+            ]
+        )
+    return table
+
+
 def _cmd_bench_comm(args: argparse.Namespace) -> int:
     # Benchmarks time code, so cached timings from an earlier run would be
     # stale; always recompute.
@@ -434,12 +469,20 @@ def _cmd_bench_comm(args: argparse.Namespace) -> int:
         "comm.bench",
         {
             "max_p": args.max_p,
+            "max_cover_p": args.max_cover_p,
             "max_m": args.max_m,
             "node_budget": args.node_budget,
             "budget_s": args.budget_s,
         },
     )
     _bench_comm_table(result["rows"]).print()
+    _bench_cover_table(result["cover_rows"]).print()
+    cover_summary = result["cover_summary"]
+    print(
+        f"cover solver frontier: certified p={cover_summary['largest_certified_p']} "
+        f"(frozen B&B wall: p={cover_summary['largest_oracle_p']}), "
+        f"root-certified at p={cover_summary['root_certified_ps']}"
+    )
     for row in result["disc_rows"]:
         print(
             f"discrepancy (split sign matrix, m={row['m']}, "
@@ -885,6 +928,14 @@ def build_parser() -> argparse.ArgumentParser:
             (
                 ("--max-p",),
                 dict(type=int, default=6, help="largest p in the sweep (default 6)"),
+            ),
+            (
+                ("--max-cover-p",),
+                dict(
+                    type=int,
+                    default=6,
+                    help="largest p for the exact cover-solver rows (default 6)",
+                ),
             ),
             (
                 ("--max-m",),

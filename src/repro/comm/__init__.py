@@ -7,6 +7,14 @@ paper actually needs (per-rectangle partitions) lives in
 :mod:`repro.core`; this package is the baseline it generalises.
 """
 
+from repro.comm.cover import (
+    CoverResult,
+    all_maximal_rectangles,
+    fractional_cover_bound,
+    matrix_from_spec,
+    maximum_fooling_bound,
+    solve_cover,
+)
 from repro.comm.covers import (
     Rect,
     greedy_disjoint_cover,
@@ -27,6 +35,7 @@ from repro.comm.packed import PackedMatrix, as_packed
 from repro.comm.nondeterministic import (
     element_cover_for_intersection,
     greedy_overlapping_cover,
+    minimum_overlapping_cover,
     nondeterministic_cc,
     verify_overlapping_cover,
 )
@@ -63,6 +72,12 @@ __all__ = [
     "greedy_disjoint_cover",
     "minimum_disjoint_cover",
     "verify_disjoint_cover",
+    "CoverResult",
+    "solve_cover",
+    "matrix_from_spec",
+    "fractional_cover_bound",
+    "maximum_fooling_bound",
+    "all_maximal_rectangles",
     "Protocol",
     "Node",
     "Leaf",
@@ -70,6 +85,7 @@ __all__ = [
     "balanced_partition_protocol",
     "element_cover_for_intersection",
     "greedy_overlapping_cover",
+    "minimum_overlapping_cover",
     "verify_overlapping_cover",
     "nondeterministic_cc",
 ]

@@ -24,13 +24,16 @@ from repro.comm.packed import PackedMatrix
 __all__ = [
     "OPS",
     "bench_comm_row",
+    "bench_cover_row",
     "bench_disc_row",
     "summarise_rows",
+    "summarise_cover_rows",
     "legacy_rank_over_q",
     "legacy_greedy_disjoint_cover",
     "legacy_minimum_disjoint_cover",
     "legacy_greedy_fooling_set",
     "legacy_max_bilinear_form_exact",
+    "frozen_packed_minimum_cover",
 ]
 
 _Rect = tuple[frozenset[int], frozenset[int]]
@@ -222,6 +225,156 @@ def legacy_max_bilinear_form_exact(matrix: list[list[int]]) -> int:
 
 
 # ----------------------------------------------------------------------
+# Frozen packed branch-and-bound (the pre-solver exact cover, verbatim)
+# ----------------------------------------------------------------------
+
+
+def _frozen_cells_of_rect(rows_mask: int, cols_mask: int, n_cols: int) -> int:
+    cells = 0
+    scan = rows_mask
+    while scan:
+        low = scan & -scan
+        cells |= cols_mask << ((low.bit_length() - 1) * n_cols)
+        scan ^= low
+    return cells
+
+
+def _frozen_superset_rows(allow: list[int], cols: int) -> int:
+    rows = 0
+    for i, mask in enumerate(allow):
+        if mask & cols == cols:
+            rows |= 1 << i
+    return rows
+
+
+def _frozen_and_reduce(allow: list[int], rows: int) -> int:
+    inter = -1
+    scan = rows
+    while scan:
+        low = scan & -scan
+        inter &= allow[low.bit_length() - 1]
+        scan ^= low
+    return inter
+
+
+def _frozen_maximal_masks(allow: list[int], i0: int, j0: int) -> list[tuple[int, int]]:
+    candidates = []
+    scan = allow[i0]
+    while scan:
+        low = scan & -scan
+        candidates.append(low.bit_length() - 1)
+        scan ^= low
+    seed_col = 1 << j0
+    seen: set[tuple[int, int]] = set()
+    results: list[tuple[int, int]] = []
+    for subset in range(1 << len(candidates)):
+        cols = seed_col
+        bits = subset
+        while bits:
+            low = bits & -bits
+            cols |= 1 << candidates[low.bit_length() - 1]
+            bits ^= low
+        rows = _frozen_superset_rows(allow, cols)
+        if not rows:
+            continue
+        rect = (rows, _frozen_and_reduce(allow, rows))
+        if rect not in seen:
+            seen.add(rect)
+            results.append(rect)
+    return results
+
+
+def _frozen_grow(allow: list[int], i0: int, j0: int, column_first: bool) -> tuple[int, int]:
+    seed_row, seed_col = 1 << i0, 1 << j0
+    if column_first:
+        cols = allow[i0] | seed_col
+        rows = seed_row | _frozen_superset_rows(allow, cols)
+    else:
+        rows = seed_row | _frozen_superset_rows(allow, seed_col)
+        cols = seed_col | _frozen_and_reduce(allow, rows)
+    return rows, cols
+
+
+def _frozen_greedy_masks(pm: PackedMatrix) -> list[tuple[int, int]]:
+    allow = list(pm.row_masks)
+    cover: list[tuple[int, int]] = []
+    while True:
+        i0 = next((i for i in range(pm.n_rows) if allow[i]), None)
+        if i0 is None:
+            break
+        j0 = (allow[i0] & -allow[i0]).bit_length() - 1
+        best = _frozen_grow(allow, i0, j0, False)
+        other = _frozen_grow(allow, i0, j0, True)
+        if other[0].bit_count() * other[1].bit_count() > best[0].bit_count() * best[1].bit_count():
+            best = other
+        cover.append(best)
+        not_cols = ~best[1]
+        scan = best[0]
+        while scan:
+            low = scan & -scan
+            allow[low.bit_length() - 1] &= not_cols
+            scan ^= low
+    return cover
+
+
+def frozen_packed_minimum_cover(
+    packed: PackedMatrix, node_budget: int = 2_000_000
+) -> list[tuple[int, int]]:
+    """The pre-solver packed branch-and-bound, frozen as a baseline.
+
+    This is the exact algorithm :func:`repro.comm.covers.minimum_disjoint_cover`
+    ran before it was swapped onto the branch-and-price core: greedy
+    incumbent, area-only lower bound, smallest-uncovered-cell branching,
+    visited-state memoization — reproduced self-contained (no backend
+    calls) so the cover-solver bench rows measure the new core against
+    precisely what it replaced, and the oracle stays immutable.  Raises
+    ``RuntimeError`` on budget exhaustion.
+    """
+    n_rows, n_cols = packed.shape
+    full_cols = (1 << n_cols) - 1
+    ones_cells = 0
+    for i, mask in enumerate(packed.row_masks):
+        ones_cells |= mask << (i * n_cols)
+    if not ones_cells:
+        return []
+    best = _frozen_greedy_masks(packed)
+    max_row = max((m.bit_count() for m in packed.row_masks), default=0)
+    max_col = max((m.bit_count() for m in packed.col_masks), default=0)
+    area_cap = max(1, max_row * max_col)
+    nodes = 0
+    visited: dict[int, int] = {}
+
+    def search(uncovered: int, chosen: list[tuple[int, int]]) -> None:
+        nonlocal best, nodes
+        nodes += 1
+        if nodes > node_budget:
+            raise RuntimeError("frozen_packed_minimum_cover: node budget exhausted")
+        if not uncovered:
+            if len(chosen) < len(best):
+                best = list(chosen)
+            return
+        depth = len(chosen)
+        previous = visited.get(uncovered)
+        if previous is not None and previous <= depth:
+            return
+        visited[uncovered] = depth
+        needed = -(-uncovered.bit_count() // area_cap)
+        if depth + max(1, needed) >= len(best):
+            return
+        low_bit = (uncovered & -uncovered).bit_length() - 1
+        i0, j0 = divmod(low_bit, n_cols)
+        allow = [(uncovered >> (i * n_cols)) & full_cols for i in range(n_rows)]
+        for rows, cols in _frozen_maximal_masks(allow, i0, j0):
+            cells = _frozen_cells_of_rect(rows, cols, n_cols)
+            chosen.append((rows, cols))
+            search(uncovered & ~cells, chosen)
+            chosen.pop()
+
+    search(ones_cells, [])
+    return best
+
+
+# ----------------------------------------------------------------------
 # The timed operations
 # ----------------------------------------------------------------------
 
@@ -367,6 +520,120 @@ def bench_disc_row(m: int) -> dict[str, Any]:
     if packed_s > 0:
         result["speedup"] = round(legacy_s / packed_s, 2)
     return result
+
+
+#: Largest ``p`` at which the frozen branch-and-bound oracle is still
+#: feasible — the old "exact-cover wall" the solver rows measure against.
+ORACLE_MAX_P = 4
+
+
+def bench_cover_row(
+    p: int, node_budget: int = 2_000_000, oracle_max_p: int = ORACLE_MAX_P
+) -> dict[str, Any]:
+    """Time the branch-and-price solver on ``INTERSECT_p``, both modes.
+
+    The ``disjoint`` leg is cross-checked against the frozen pre-solver
+    branch-and-bound wherever that oracle still terminates
+    (``p ≤ oracle_max_p``); beyond the wall the solver's own certificate
+    (``optimal`` — a matching exact lower bound) is the correctness
+    witness recorded in the row.
+    """
+    from repro.comm.cover import solve_cover
+    from repro.errors import CoverBudgetExceeded
+
+    matrix = intersection_matrix(p)
+    packed = PackedMatrix.from_comm(matrix)
+    solver: dict[str, Any] = {}
+    for mode in ("disjoint", "cover"):
+        start = perf_counter()
+        try:
+            result = solve_cover(packed, mode=mode, node_budget=node_budget)
+            cell = {
+                "seconds": round(perf_counter() - start, 6),
+                "value": result.size,
+                "optimal": result.optimal,
+                "lower_bound": result.lower_bound,
+                "nodes": result.nodes_expanded,
+                "bounds": result.bounds,
+            }
+        except CoverBudgetExceeded as err:
+            cell = {
+                "seconds": round(perf_counter() - start, 6),
+                "value": None,
+                "optimal": False,
+                "best_found": len(err.best_cover),
+                "nodes": err.nodes_expanded,
+            }
+        solver[mode] = cell
+    row: dict[str, Any] = {
+        "p": p,
+        "matrix_side": 2**p,
+        "node_budget": node_budget,
+        "solver": solver,
+    }
+    if p <= oracle_max_p:
+        start = perf_counter()
+        try:
+            oracle_value: int | None = len(frozen_packed_minimum_cover(packed, node_budget))
+        except RuntimeError:
+            oracle_value = None
+        oracle_s = round(perf_counter() - start, 6)
+        agree = (
+            oracle_value is None
+            or solver["disjoint"]["value"] is None
+            or oracle_value == solver["disjoint"]["value"]
+        )
+        if not agree:
+            raise ValueError(
+                f"cover bench: solver and frozen oracle disagree at p={p} "
+                f"({solver['disjoint']['value']} vs {oracle_value})"
+            )
+        row["oracle"] = {"seconds": oracle_s, "value": oracle_value, "agree": True}
+        if (
+            solver["disjoint"]["seconds"] > 0
+            and oracle_value is not None
+            and solver["disjoint"]["value"] is not None
+        ):
+            row["speedup"] = round(oracle_s / solver["disjoint"]["seconds"], 2)
+    else:
+        row["oracle"] = {"skipped": True}
+    return row
+
+
+def summarise_cover_rows(rows: list[dict], budget_s: float) -> dict[str, Any]:
+    """The exact-cover frontier: how far past the wall the solver reaches.
+
+    ``largest_certified_p`` is the largest ``p`` whose *disjoint*
+    optimum the solver certified within ``budget_s`` seconds;
+    ``largest_oracle_p`` the frozen branch-and-bound's frontier under
+    the same budget.  Their difference is the headline of this bench.
+    """
+
+    def certified(row: dict) -> bool:
+        cell = row["solver"]["disjoint"]
+        return cell["value"] is not None and cell["optimal"] and cell["seconds"] <= budget_s
+
+    def oracle_done(row: dict) -> bool:
+        cell = row["oracle"]
+        return (
+            not cell.get("skipped")
+            and cell["value"] is not None
+            and cell["seconds"] <= budget_s
+        )
+
+    certified_ps = [row["p"] for row in rows if certified(row)]
+    oracle_ps = [row["p"] for row in rows if oracle_done(row)]
+    root_certified = [
+        row["p"]
+        for row in rows
+        if certified(row) and row["solver"]["disjoint"]["nodes"] == 0
+    ]
+    return {
+        "budget_s": budget_s,
+        "largest_certified_p": max(certified_ps, default=None),
+        "largest_oracle_p": max(oracle_ps, default=None),
+        "root_certified_ps": root_certified,
+    }
 
 
 def _completed(op_result: dict, side: str) -> bool:

@@ -3,8 +3,9 @@
 The *partition number* (minimum number of pairwise disjoint all-ones
 rectangles covering all 1-entries) is the fixed-partition analogue of the
 quantity Proposition 16 bounds for ``L_n``.  Exact computation is
-NP-hard, so :func:`minimum_disjoint_cover` is a branch-and-bound search;
-the greedy variant scales further and upper-bounds the truth.
+NP-hard: :func:`minimum_disjoint_cover` delegates to the bound-certified
+branch-and-price core of :mod:`repro.comm.cover`; the greedy variant
+scales further and upper-bounds the truth.
 
 All algorithms here run on the bit-parallel representation of
 :mod:`repro.comm.packed`: the uncovered 1-entries are one row-major cell
@@ -23,7 +24,6 @@ from collections.abc import Iterable
 from repro.backend import get_backend
 from repro.comm.matrix import CommMatrix
 from repro.comm.packed import PackedMatrix, as_packed, cells_of_rect, iter_bits, mask_of
-from repro.errors import CoverBudgetExceeded
 
 __all__ = [
     "Rect",
@@ -52,12 +52,22 @@ def _rect_from_masks(rows_mask: int, cols_mask: int) -> Rect:
 
 
 def _allow_rows(matrix: PackedMatrix, allowed: Iterable[tuple[int, int]]) -> list[int]:
-    """Per-row masks of cells that are both 1-entries and in ``allowed``."""
-    by_row = [0] * matrix.n_rows
+    """Per-row masks of cells that are both 1-entries and in ``allowed``.
+
+    Every ``allowed`` cell must lie inside the matrix: out-of-range
+    indices raise a ``ValueError`` naming the offending cell instead of
+    being silently dropped (rows) or corrupting the mask arithmetic
+    (negative columns).
+    """
+    n_rows, n_cols = matrix.shape
+    by_row = [0] * n_rows
     for i, j in allowed:
-        if 0 <= i < matrix.n_rows:
-            by_row[i] |= 1 << j
-    return [by_row[i] & matrix.row_masks[i] for i in range(matrix.n_rows)]
+        if not (0 <= i < n_rows and 0 <= j < n_cols):
+            raise ValueError(
+                f"allowed cell ({i}, {j}) outside the {n_rows}x{n_cols} matrix"
+            )
+        by_row[i] |= 1 << j
+    return [by_row[i] & matrix.row_masks[i] for i in range(n_rows)]
 
 
 def _grow_masks(
@@ -180,67 +190,26 @@ def minimum_disjoint_cover(
 ) -> list[Rect]:
     """Exact minimum disjoint rectangle cover of the 1-entries.
 
-    Branch and bound on bitmask state: branch on the smallest uncovered
-    1-entry over all maximal rectangles containing it (restricted to
-    uncovered cells — disjointness makes this restriction sound), pruned
-    by the greedy upper bound, a popcount lower bound (uncovered cells
-    divided by the largest possible rectangle area) and memoization of
-    visited uncovered-states.  ``node_budget`` caps the search; on
-    exhaustion :class:`~repro.errors.CoverBudgetExceeded` is raised
-    carrying the best valid cover found so far instead of discarding the
-    progress.
+    A thin facade over :func:`repro.comm.cover.solve_cover` in
+    ``disjoint`` mode — the branch-and-price core that seeds with the
+    greedy cover, certifies against exact fooling-set / rank /
+    fractional-LP lower bounds (often at the root, with zero search
+    nodes), and otherwise branches on the least-flexible uncovered cell.
+    ``node_budget`` caps the search; on exhaustion
+    :class:`~repro.errors.CoverBudgetExceeded` is raised carrying the
+    best valid cover found so far (verified, with explicit partial-
+    coverage accounting) instead of discarding the progress.  The
+    pre-solver branch-and-bound survives as the frozen oracle in
+    ``tests/legacy_comm.py``.
 
     >>> from repro.comm.matrix import intersection_matrix
     >>> len(minimum_disjoint_cover(intersection_matrix(2)))
     3
     """
-    pm = as_packed(matrix)
-    n_rows, n_cols = pm.shape
-    full_cols = (1 << n_cols) - 1
-    ones_cells = pm.cells_mask()
-    if not ones_cells:
-        return []
-    best = _greedy_masks(pm)
-    # Any all-ones rectangle fits under (densest row) x (densest column).
-    max_row = max((m.bit_count() for m in pm.row_masks), default=0)
-    max_col = max((m.bit_count() for m in pm.col_masks), default=0)
-    area_cap = max(1, max_row * max_col)
-    nodes = 0
-    visited: dict[int, int] = {}
+    from repro.comm.cover import solve_cover
 
-    def search(uncovered: int, chosen: list[MaskRect]) -> None:
-        nonlocal best, nodes
-        nodes += 1
-        if nodes > node_budget:
-            raise CoverBudgetExceeded(
-                f"minimum_disjoint_cover: node budget {node_budget} exhausted "
-                f"(best cover so far: {len(best)} rectangles)",
-                best_cover=[_rect_from_masks(r, c) for r, c in best],
-                nodes_expanded=nodes - 1,
-            )
-        if not uncovered:
-            if len(chosen) < len(best):
-                best = list(chosen)
-            return
-        depth = len(chosen)
-        previous = visited.get(uncovered)
-        if previous is not None and previous <= depth:
-            return
-        visited[uncovered] = depth
-        needed = -(-uncovered.bit_count() // area_cap)
-        if depth + max(1, needed) >= len(best):
-            return
-        low_bit = (uncovered & -uncovered).bit_length() - 1
-        i0, j0 = divmod(low_bit, n_cols)
-        allow = [(uncovered >> (i * n_cols)) & full_cols for i in range(n_rows)]
-        for rows, cols in _maximal_masks(allow, i0, j0):
-            cells = cells_of_rect(rows, cols, n_cols)
-            chosen.append((rows, cols))
-            search(uncovered & ~cells, chosen)
-            chosen.pop()
-
-    search(ones_cells, [])
-    return [_rect_from_masks(r, c) for r, c in best]
+    result = solve_cover(matrix, mode="disjoint", node_budget=node_budget)
+    return list(result.cover)
 
 
 def verify_disjoint_cover(

@@ -22,6 +22,7 @@ __all__ = [
     "element_cover_for_intersection",
     "verify_overlapping_cover",
     "greedy_overlapping_cover",
+    "minimum_overlapping_cover",
     "nondeterministic_cc",
 ]
 
@@ -100,6 +101,28 @@ def greedy_overlapping_cover(matrix: "CommMatrix | PackedMatrix") -> list[Rect]:
         cover.append(_rect_from_masks(rows, cols))
         uncovered &= ~cells_of_rect(rows, cols, n_cols)
     return cover
+
+
+def minimum_overlapping_cover(
+    matrix: "CommMatrix | PackedMatrix", node_budget: int = 2_000_000
+) -> list[Rect]:
+    """Exact minimum (possibly overlapping) 1-cover of the matrix.
+
+    The nondeterministic analogue of
+    :func:`repro.comm.covers.minimum_disjoint_cover`: rectangles may
+    overlap, so the rank bounds do not apply — the solver certifies
+    against fooling sets and the fractional cover LP instead.  Its
+    ``log2`` is the exact nondeterministic communication complexity the
+    cover witnesses.
+
+    >>> from repro.comm.matrix import intersection_matrix
+    >>> len(minimum_overlapping_cover(intersection_matrix(3)))
+    3
+    """
+    from repro.comm.cover import solve_cover
+
+    result = solve_cover(matrix, mode="cover", node_budget=node_budget)
+    return list(result.cover)
 
 
 def nondeterministic_cc(cover_size: int) -> float:

@@ -69,10 +69,7 @@ def cells_of_rect(rows_mask: int, cols_mask: int, n_cols: int) -> int:
     >>> bin(cells_of_rect(0b11, 0b10, 2))  # cells (0,1) and (1,1)
     '0b1010'
     """
-    cells = 0
-    for i in iter_bits(rows_mask):
-        cells |= cols_mask << (i * n_cols)
-    return cells
+    return get_backend().cells_of_rect(rows_mask, cols_mask, n_cols)
 
 
 class PackedMatrix:

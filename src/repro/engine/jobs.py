@@ -311,6 +311,36 @@ def rank_job(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# The exact cover solver (branch-and-price, arbitrary 0/1 matrices)
+# ----------------------------------------------------------------------
+
+
+@REGISTRY.job(
+    "comm.cover.solve",
+    params=("matrix", "mode", "node_budget"),
+    defaults={"mode": "disjoint", "node_budget": 2_000_000},
+    source_modules=(
+        "repro.comm.cover",
+        "repro.comm.covers",
+        "repro.comm.matrix",
+        "repro.comm.packed",
+        "repro.comm.rank",
+    ),
+    description="Certified minimum rectangle cover of an arbitrary 0/1 matrix",
+)
+def comm_cover_solve(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.comm.cover import solve_cover
+
+    # ``matrix`` is either a named family ("intersection:P") or a 0/1
+    # entry grid — the engine canonicalises list params to nested tuples,
+    # which matrix_from_spec accepts directly.
+    result = solve_cover(
+        params["matrix"], mode=params["mode"], node_budget=params["node_budget"]
+    )
+    return result.to_json()
+
+
+# ----------------------------------------------------------------------
 # Example 3 (E4 core)
 # ----------------------------------------------------------------------
 
@@ -556,38 +586,65 @@ def comm_bench_disc(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
     return bench_disc_row(params["m"])
 
 
+@REGISTRY.job(
+    "comm.bench.cover",
+    params=("p", "node_budget"),
+    defaults={"node_budget": 2_000_000},
+    source_modules=_COMM_BENCH_MODULES + ("repro.comm.cover",),
+    description="Time the branch-and-price cover solver vs the frozen B&B on INTERSECT_p",
+)
+def comm_bench_cover(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
+    from repro.comm.bench import bench_cover_row
+
+    return bench_cover_row(params["p"], node_budget=params["node_budget"])
+
+
 def _comm_bench_deps(params: dict[str, Any]) -> list[Request]:
     rows = [
         Request.make("comm.bench.row", {"p": p, "node_budget": params["node_budget"]})
         for p in range(2, params["max_p"] + 1)
     ]
+    covers = [
+        Request.make("comm.bench.cover", {"p": p, "node_budget": params["node_budget"]})
+        for p in range(2, params["max_cover_p"] + 1)
+    ]
     discs = [
         Request.make("comm.bench.disc", {"m": m})
         for m in range(1, min(params["max_m"], 2) + 1)
     ]
-    return rows + discs
+    return rows + covers + discs
 
 
 @REGISTRY.job(
     "comm.bench",
-    params=("max_p", "max_m", "node_budget", "budget_s"),
-    defaults={"max_p": 6, "max_m": 2, "node_budget": 2_000_000, "budget_s": 5.0},
+    params=("max_p", "max_cover_p", "max_m", "node_budget", "budget_s"),
+    defaults={
+        "max_p": 6,
+        "max_cover_p": 6,
+        "max_m": 2,
+        "node_budget": 2_000_000,
+        "budget_s": 5.0,
+    },
     deps=_comm_bench_deps,
-    source_modules=_COMM_BENCH_MODULES + ("repro.core.discrepancy",),
+    source_modules=_COMM_BENCH_MODULES + ("repro.comm.cover", "repro.core.discrepancy"),
     description="The communication benchmark sweep (fans out one row per p / m)",
 )
 def comm_bench(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
-    from repro.comm.bench import summarise_rows
+    from repro.comm.bench import summarise_cover_rows, summarise_rows
 
-    rows = [row for row in deps if "p" in row]
+    rows = [row for row in deps if "ops" in row]
+    cover_rows = [row for row in deps if "solver" in row]
     disc_rows = [row for row in deps if "m" in row]
     return {
         "max_p": params["max_p"],
+        "max_cover_p": params["max_cover_p"],
         "max_m": params["max_m"],
         "node_budget": params["node_budget"],
         "rows": rows,
+        "cover_rows": cover_rows,
         "disc_rows": disc_rows,
         "summary": summarise_rows(rows, params["budget_s"]),
+        "cover_summary": summarise_cover_rows(cover_rows, params["budget_s"]),
     }
 
 

@@ -93,11 +93,19 @@ class CoverBudgetExceeded(RectangleError):
     """An exact cover search ran out of its node budget.
 
     Unlike a bare failure, the search progress survives: ``best_cover``
-    is the best *valid* disjoint cover found before exhaustion (at worst
-    the greedy cover the search started from — never ``None``) and
+    is the best *valid* cover found before exhaustion (at worst the
+    greedy cover the search started from — never ``None``) and
     ``nodes_expanded`` the number of search nodes visited.  Callers may
     use ``best_cover`` as a verified upper bound even though minimality
     was not established.
+
+    ``verified`` reports whether the raiser re-checked ``best_cover``
+    against the matrix before attaching it (covers raised by
+    :func:`repro.comm.cover.solve_cover` always are), and
+    ``uncovered_cells`` makes any partial coverage explicit: the number
+    of 1-entries ``best_cover`` misses, ``0`` for a complete cover.
+    Both default to the pessimistic values for raisers that predate the
+    verification contract.
     """
 
     def __init__(
@@ -106,10 +114,14 @@ class CoverBudgetExceeded(RectangleError):
         *,
         best_cover: list,
         nodes_expanded: int,
+        verified: bool = False,
+        uncovered_cells: int | None = None,
     ) -> None:
         super().__init__(message)
         self.best_cover = best_cover
         self.nodes_expanded = nodes_expanded
+        self.verified = verified
+        self.uncovered_cells = uncovered_cells
 
 
 class PartitionError(ReproError):

@@ -269,3 +269,172 @@ def legacy_max_bilinear_form_exact(matrix: list[list[int]]) -> int:
             column_sums[j] += sign * row[j]
         best = max(best, _legacy_best_column_response(column_sums))
     return best
+
+
+# ----------------------------------------------------------------------
+# The pre-solver *packed* branch-and-bound, frozen when the exact cover
+# moved onto the branch-and-price core of repro.comm.cover.  Mask-level
+# but backend-free: do not route these loops through repro.backend,
+# that would make the cross-check circular.
+# ----------------------------------------------------------------------
+
+
+def _pk_superset_rows(allow: list[int], cols: int) -> int:
+    rows = 0
+    for i, mask in enumerate(allow):
+        if mask & cols == cols:
+            rows |= 1 << i
+    return rows
+
+
+def _pk_and_reduce(allow: list[int], rows: int) -> int:
+    inter = -1
+    while rows:
+        low = rows & -rows
+        inter &= allow[low.bit_length() - 1]
+        rows ^= low
+    return inter
+
+
+def _pk_cells(rows_mask: int, cols_mask: int, n_cols: int) -> int:
+    cells = 0
+    while rows_mask:
+        low = rows_mask & -rows_mask
+        cells |= cols_mask << ((low.bit_length() - 1) * n_cols)
+        rows_mask ^= low
+    return cells
+
+
+def _pk_maximal_masks(allow: list[int], i0: int, j0: int) -> list[tuple[int, int]]:
+    candidates = []
+    scan = allow[i0]
+    while scan:
+        low = scan & -scan
+        candidates.append(low.bit_length() - 1)
+        scan ^= low
+    seen: set[tuple[int, int]] = set()
+    results: list[tuple[int, int]] = []
+    for subset in range(1 << len(candidates)):
+        cols = 1 << j0
+        bits = subset
+        while bits:
+            low = bits & -bits
+            cols |= 1 << candidates[low.bit_length() - 1]
+            bits ^= low
+        rows = _pk_superset_rows(allow, cols)
+        if not rows:
+            continue
+        rect = (rows, _pk_and_reduce(allow, rows))
+        if rect not in seen:
+            seen.add(rect)
+            results.append(rect)
+    return results
+
+
+def _pk_grow(allow: list[int], i0: int, j0: int, column_first: bool) -> tuple[int, int]:
+    seed_row, seed_col = 1 << i0, 1 << j0
+    if column_first:
+        cols = allow[i0] | seed_col
+        rows = seed_row | _pk_superset_rows(allow, cols)
+    else:
+        rows = seed_row | _pk_superset_rows(allow, seed_col)
+        cols = seed_col | _pk_and_reduce(allow, rows)
+    return rows, cols
+
+
+def _pk_greedy(row_masks: list[int]) -> list[tuple[int, int]]:
+    allow = list(row_masks)
+    cover: list[tuple[int, int]] = []
+    while True:
+        i0 = next((i for i in range(len(allow)) if allow[i]), None)
+        if i0 is None:
+            break
+        j0 = (allow[i0] & -allow[i0]).bit_length() - 1
+        best = _pk_grow(allow, i0, j0, False)
+        other = _pk_grow(allow, i0, j0, True)
+        if other[0].bit_count() * other[1].bit_count() > best[0].bit_count() * best[1].bit_count():
+            best = other
+        cover.append(best)
+        not_cols = ~best[1]
+        scan = best[0]
+        while scan:
+            low = scan & -scan
+            allow[low.bit_length() - 1] &= not_cols
+            scan ^= low
+    return cover
+
+
+def frozen_packed_minimum_cover(matrix, node_budget: int = 2_000_000) -> list[Rect]:
+    """The exact branch-and-bound `minimum_disjoint_cover` ran before the
+    branch-and-price swap: greedy incumbent, area-only bound, smallest-
+    uncovered-cell branching, visited-state memoization.  Accepts a
+    CommMatrix or PackedMatrix; raises RuntimeError on budget exhaustion.
+    """
+    if isinstance(matrix, CommMatrix):
+        row_masks = []
+        for row in matrix.entries:
+            mask = 0
+            for j, v in enumerate(row):
+                if v:
+                    mask |= 1 << j
+            row_masks.append(mask)
+        n_rows, n_cols = matrix.shape
+    else:
+        row_masks = list(matrix.row_masks)
+        n_rows, n_cols = matrix.shape
+    full_cols = (1 << n_cols) - 1
+    ones_cells = 0
+    for i, mask in enumerate(row_masks):
+        ones_cells |= mask << (i * n_cols)
+    if not ones_cells:
+        return []
+    best = _pk_greedy(row_masks)
+    col_pops = [0] * n_cols
+    for mask in row_masks:
+        scan = mask
+        while scan:
+            low = scan & -scan
+            col_pops[low.bit_length() - 1] += 1
+            scan ^= low
+    max_row = max((m.bit_count() for m in row_masks), default=0)
+    max_col = max(col_pops, default=0)
+    area_cap = max(1, max_row * max_col)
+    nodes = 0
+    visited: dict[int, int] = {}
+
+    def search(uncovered: int, chosen: list[tuple[int, int]]) -> None:
+        nonlocal best, nodes
+        nodes += 1
+        if nodes > node_budget:
+            raise RuntimeError("frozen_packed_minimum_cover: node budget exhausted")
+        if not uncovered:
+            if len(chosen) < len(best):
+                best = list(chosen)
+            return
+        depth = len(chosen)
+        previous = visited.get(uncovered)
+        if previous is not None and previous <= depth:
+            return
+        visited[uncovered] = depth
+        needed = -(-uncovered.bit_count() // area_cap)
+        if depth + max(1, needed) >= len(best):
+            return
+        low_bit = (uncovered & -uncovered).bit_length() - 1
+        i0, j0 = divmod(low_bit, n_cols)
+        allow = [(uncovered >> (i * n_cols)) & full_cols for i in range(n_rows)]
+        for rows, cols in _pk_maximal_masks(allow, i0, j0):
+            chosen.append((rows, cols))
+            search(uncovered & ~_pk_cells(rows, cols, n_cols), chosen)
+            chosen.pop()
+
+    search(ones_cells, [])
+
+    def bits(mask: int) -> frozenset[int]:
+        out = set()
+        while mask:
+            low = mask & -mask
+            out.add(low.bit_length() - 1)
+            mask ^= low
+        return frozenset(out)
+
+    return [(bits(rows), bits(cols)) for rows, cols in best]

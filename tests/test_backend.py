@@ -120,6 +120,26 @@ def test_superset_and_and_reduce_match(other):
             assert other.and_reduce(allow, mask) == REFERENCE.and_reduce(allow, mask)
 
 
+def test_cells_of_rect_matches(other):
+    rng = _rng(15)
+    for n_rows, n_cols in ((1, 1), (6, 4), (17, 9), (64, 64), (70, 33)):
+        cases = _masks(rng, 12, n_rows) + [0, (1 << n_rows) - 1]
+        # Long contiguous runs exercise the run-doubling fill.
+        cases.append(((1 << (n_rows - n_rows // 3)) - 1) << (n_rows // 3))
+        for rows_mask in cases:
+            for cols_mask in _masks(rng, 4, n_cols) + [0, (1 << n_cols) - 1]:
+                assert other.cells_of_rect(
+                    rows_mask, cols_mask, n_cols
+                ) == REFERENCE.cells_of_rect(rows_mask, cols_mask, n_cols)
+
+
+def test_cells_of_rect_frozen_oracle():
+    # Bit i*n_cols + j set iff row i and column j are both members.
+    assert REFERENCE.cells_of_rect(0b11, 0b10, 2) == 0b1010
+    assert REFERENCE.cells_of_rect(0, 0b11, 4) == 0
+    assert REFERENCE.cells_of_rect(0b101, 0b1, 3) == (1 << 6) | 1
+
+
 def test_hopcroft_split_matches(other):
     rng = _rng(5)
     for n in (1, 10, 63, 90):
