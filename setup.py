@@ -1,9 +1,15 @@
 """Legacy setup shim: the execution environment is offline and lacks the
 `wheel` package, so PEP 660 editable installs fail; `setup.py develop`
 (which `pip install -e .` falls back to without a [build-system] table)
-works everywhere."""
+works everywhere.
 
-from setuptools import find_packages, setup
+The C extension below is *optional* (``optional=True``): on a machine
+without a compiler the build warns and continues, the pure-python wheel
+installs fine, and the ``cext`` backend tier simply reports itself
+unavailable (see ``docs/BACKENDS.md``).  Build it explicitly with
+``python setup.py build_ext --inplace``."""
+
+from setuptools import Extension, find_packages, setup
 
 setup(
     name="repro",
@@ -16,4 +22,11 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.11",
     entry_points={"console_scripts": ["repro = repro.cli:main"]},
+    ext_modules=[
+        Extension(
+            "repro._cext.kernels",
+            sources=["src/repro/_cext/kernels.c"],
+            optional=True,  # no compiler => warn and skip, never fail the install
+        )
+    ],
 )

@@ -1,0 +1,65 @@
+"""Probe/loader for the optional compiled kernels (``repro._cext.kernels``).
+
+The extension is an *optional artifact*: it exists only when someone ran
+``python setup.py build_ext --inplace`` (or ``pip install -e .``) on a
+machine with a C compiler.  Nothing in this repository hard-depends on
+it — :func:`load` returns ``None`` when the artifact is absent, and
+:func:`unavailable_reason` says why, which ``python -m repro backends``
+surfaces verbatim.
+
+The probe also enforces the limb ABI: a stale ``.so`` built against a
+different buffer contract (``ABI_VERSION``/``LIMB_BYTES`` mismatch) is
+treated as unavailable rather than half-used.
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+
+__all__ = ["EXPECTED_ABI_VERSION", "load", "unavailable_reason"]
+
+#: The buffer contract this Python tier speaks; must match the compiled
+#: module's ``ABI_VERSION`` (see the header comment of ``kernels.c``).
+EXPECTED_ABI_VERSION = 1
+
+_BUILD_HINT = (
+    "build it with `python setup.py build_ext --inplace` (or `pip install -e .`) "
+    "on a machine with a C compiler"
+)
+
+_kernels: ModuleType | None = None
+_reason: str | None = None
+_probed = False
+
+
+def _probe() -> None:
+    global _kernels, _reason, _probed
+    _probed = True
+    try:
+        from repro._cext import kernels
+    except ImportError as exc:
+        _reason = f"compiled artifact not importable ({exc}); {_BUILD_HINT}"
+        return
+    abi = getattr(kernels, "ABI_VERSION", None)
+    limb = getattr(kernels, "LIMB_BYTES", None)
+    if abi != EXPECTED_ABI_VERSION or limb != 8:
+        _reason = (
+            f"stale artifact: ABI_VERSION={abi!r} LIMB_BYTES={limb!r}, expected "
+            f"{EXPECTED_ABI_VERSION}/8; rebuild it ({_BUILD_HINT})"
+        )
+        return
+    _kernels = kernels
+
+
+def load() -> ModuleType | None:
+    """The compiled kernels module, or ``None`` (probe once, cache)."""
+    if not _probed:
+        _probe()
+    return _kernels
+
+
+def unavailable_reason() -> str | None:
+    """Why :func:`load` returns ``None`` (``None`` when it doesn't)."""
+    if not _probed:
+        _probe()
+    return _reason

@@ -19,6 +19,11 @@ implementations:
 ``numpy``
     Vectorised kernels where numpy measurably wins, auto-detected and
     never a hard dependency (:mod:`repro.backend.numpy_backend`).
+``cext``
+    Compiled u64-limb kernels (:mod:`repro.backend.cext` over
+    :mod:`repro._cext.kernels`), present only when the optional C
+    extension was built — ``python setup.py build_ext --inplace`` —
+    and never a hard dependency either.
 
 Every backend produces **bit-exact** results: same integers, same
 structures, for every input.  Backends subclass ``reference`` and
@@ -33,8 +38,8 @@ Selection order (first match wins):
    safe under the threaded ``repro.serve`` executor);
 2. a process-wide :func:`set_backend`;
 3. the ``REPRO_BACKEND`` environment variable;
-4. the default, ``auto`` — resolves to ``numpy`` when importable, else
-   ``words``.
+4. the default, ``auto`` — resolves to ``cext`` when the compiled
+   artifact is built, else ``numpy`` when importable, else ``words``.
 
 See ``docs/BACKENDS.md`` for the protocol reference and how to register
 a new backend (the seam the ROADMAP's optional C extension plugs into).
@@ -48,6 +53,7 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Protocol, runtime_checkable
 
+from repro.backend.cext import CextBackend
 from repro.backend.numpy_backend import NumpyBackend, numpy_version
 from repro.backend.reference import ReferenceBackend
 from repro.backend.words import WordsBackend
@@ -57,6 +63,7 @@ __all__ = [
     "ReferenceBackend",
     "WordsBackend",
     "NumpyBackend",
+    "CextBackend",
     "BACKEND_CLASSES",
     "backend_names",
     "available_backends",
@@ -123,6 +130,7 @@ BACKEND_CLASSES: dict[str, type[ReferenceBackend]] = {
     ReferenceBackend.name: ReferenceBackend,
     WordsBackend.name: WordsBackend,
     NumpyBackend.name: NumpyBackend,
+    CextBackend.name: CextBackend,
 }
 
 _instances: dict[str, ReferenceBackend] = {}
@@ -147,11 +155,14 @@ def available_backends() -> list[str]:
 def resolve_backend(name: str | None) -> str:
     """Normalise a requested name to a concrete, available backend name.
 
-    ``None`` and ``"auto"`` resolve to ``numpy`` when importable, else
-    ``words``.  Unknown or unavailable names raise ``ValueError`` (the
-    CLI surfaces this as a friendly error).
+    ``None`` and ``"auto"`` resolve to the fastest available tier:
+    ``cext`` when the compiled artifact is built, else ``numpy`` when
+    importable, else ``words``.  Unknown or unavailable names raise
+    ``ValueError`` (the CLI surfaces this as a friendly error).
     """
     if name is None or name == AUTO:
+        if CextBackend.available():
+            return CextBackend.name
         return NumpyBackend.name if NumpyBackend.available() else WordsBackend.name
     cls = BACKEND_CLASSES.get(name)
     if cls is None:
@@ -186,6 +197,20 @@ def set_backend(name: str | None) -> None:
     """Install a process-wide backend (``None`` restores env/auto selection)."""
     global _process_backend
     _process_backend = None if name is None else resolve_backend(name)
+
+
+def _clear_context_backend() -> None:
+    """Drop an inherited :func:`use_backend` override in *this* context.
+
+    For pool-worker initializers: the ``fork`` start method copies the
+    parent's context, so a worker forked inside a ``use_backend`` scope
+    inherits the parent's pin at the highest-priority selection level.
+    A worker that had to downgrade an unavailable pin must clear that
+    override or every subsequent :func:`get_backend` would re-resolve
+    the unavailable name and fail.  Not for application code — inside a
+    process, exiting the ``with`` block is the way out of a scope.
+    """
+    _context_backend.set(None)
 
 
 @contextmanager

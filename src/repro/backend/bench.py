@@ -1,10 +1,11 @@
 """Differential micro-benchmark of the kernel backends.
 
 Times the same seeded workload on every *available* backend — one row
-per primitive family (rank, cover, determinise, count, discrepancy) —
-and cross-checks that all backends return bit-identical results before
-any timing is trusted.  ``python -m repro bench backends`` drives this
-module and writes ``BENCH_backends.json``.
+per primitive family (rank, cover, determinise, count, discrepancy,
+indices, transpose, rect, split) — and cross-checks that all backends
+return bit-identical results before any timing is trusted.  ``python -m
+repro bench backends`` drives this module and writes
+``BENCH_backends.json``.
 
 Honesty rules:
 
@@ -132,12 +133,76 @@ def _op_discrepancy(rng: random.Random):
     return "max_bilinear", f"exact max |x^T M y| on a {dim}x{width} sign matrix", run
 
 
+def _op_indices(rng: random.Random):
+    """Set-bit enumeration on wide masks (extraction accept masks)."""
+    bits = 5000
+    masks = _random_masks(rng, 24, bits)
+
+    def run(backend: Backend) -> int:
+        acc = 0
+        for mask in masks:
+            acc += sum(backend.bit_indices(mask))
+        return acc
+
+    return "bit_indices", f"{len(masks)} set-bit expansions of {bits}-bit masks", run
+
+
+def _op_transpose(rng: random.Random):
+    """Row masks -> column masks of a dense rectangular 0/1 matrix."""
+    n_rows, n_cols = 160, 200
+    rows = _random_masks(rng, n_rows, n_cols)
+
+    def run(backend: Backend) -> int:
+        acc = 0
+        for col in backend.transpose_masks(rows, n_cols):
+            acc ^= col
+        return acc
+
+    return "transpose_masks", f"transpose of a {n_rows}x{n_cols} matrix", run
+
+
+def _op_rect(rng: random.Random):
+    """Rectangle cell masks (the cover-solver bounding primitive)."""
+    n_rows, n_cols = 96, 64
+    pairs = [
+        (rng.getrandbits(n_rows), rng.getrandbits(n_cols)) for _ in range(96)
+    ]
+
+    def run(backend: Backend) -> int:
+        acc = 0
+        for rows_mask, cols_mask in pairs:
+            acc ^= backend.cells_of_rect(rows_mask, cols_mask, n_cols)
+        return acc
+
+    return "cells_of_rect", f"{len(pairs)} cell masks on a {n_rows}x{n_cols} grid", run
+
+
+def _op_split(rng: random.Random):
+    """Hopcroft preimage splits over a partitioned state set."""
+    n = 400
+    block_of = [rng.randrange(6) for _ in range(n)]
+    preimages = _random_masks(rng, 32, n)
+
+    def run(backend: Backend) -> int:
+        acc = 0
+        for preimage in preimages:
+            for block_id, inside in backend.hopcroft_split(preimage, block_of).items():
+                acc ^= inside + block_id
+        return acc
+
+    return "hopcroft_split", f"{len(preimages)} preimage splits over {n} states", run
+
+
 _OPS = (
     ("rank", _op_rank),
     ("cover", _op_cover),
     ("determinise", _op_determinise),
     ("count", _op_count),
     ("discrepancy", _op_discrepancy),
+    ("indices", _op_indices),
+    ("transpose", _op_transpose),
+    ("rect", _op_rect),
+    ("split", _op_split),
 )
 
 

@@ -1,0 +1,102 @@
+"""Shared limb conversions: masks <-> little-endian u64-limb byte buffers.
+
+Every backend that leaves pure big-int arithmetic — the ``words``
+``array('Q')`` views, the numpy ``uint8``/``uint64`` views, and the C
+extension — crosses the boundary through the same interchange format:
+``int.to_bytes(width, "little")`` buffers whose width is negotiated as a
+whole number of 64-bit limbs.  This module is that negotiation, in one
+place, so the round-trips are written (and tested) once instead of being
+hand-rolled at every call site.
+
+The ABI, such as it is:
+
+* a mask of ``n_bits`` bits travels as ``limbs_for_bits(n_bits)`` little
+  endian 64-bit limbs (``limb_width_bytes(n_bits)`` bytes) — always at
+  least one limb, so the zero mask is representable;
+* a *batch* of masks travels as the concatenation of equal-width rows
+  (:func:`masks_to_limbs`), which is exactly the layout the C kernels
+  index as ``row * n_limbs + limb``;
+* masks whose exact width is irrelevant (popcounts, bit enumeration)
+  travel at their minimal byte width (:func:`mask_to_bytes`).
+
+``repro._cext.kernels`` pins the limb side of this contract with its
+``LIMB_BYTES`` constant; :func:`repro.backend.cext.CextBackend` checks it
+at probe time so a stale artifact can never be half-compatible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "LIMB_BITS",
+    "LIMB_BYTES",
+    "limbs_for_bits",
+    "limb_width_bytes",
+    "mask_to_bytes",
+    "mask_to_limbs",
+    "limbs_to_mask",
+    "masks_to_limbs",
+]
+
+#: One limb = one 64-bit little-endian word.
+LIMB_BITS = 64
+LIMB_BYTES = LIMB_BITS // 8
+
+
+def limbs_for_bits(n_bits: int) -> int:
+    """How many 64-bit limbs hold ``n_bits`` bits (at least one).
+
+    >>> [limbs_for_bits(b) for b in (0, 1, 64, 65, 128)]
+    [1, 1, 1, 2, 2]
+    """
+    return max(1, (n_bits + LIMB_BITS - 1) // LIMB_BITS)
+
+
+def limb_width_bytes(n_bits: int) -> int:
+    """The byte width of a limb-aligned buffer holding ``n_bits`` bits."""
+    return limbs_for_bits(n_bits) * LIMB_BYTES
+
+
+def mask_to_bytes(mask: int) -> bytes:
+    """A mask at its minimal little-endian byte width (b"" for zero).
+
+    For kernels that only enumerate set bits the exact width is
+    irrelevant; shipping the minimal buffer skips the width negotiation.
+
+    >>> mask_to_bytes(0), mask_to_bytes(0x1FF)
+    (b'', b'\\xff\\x01')
+    """
+    return mask.to_bytes((mask.bit_length() + 7) >> 3, "little")
+
+
+def mask_to_limbs(mask: int, n_bits: int) -> bytes:
+    """A mask as ``limbs_for_bits(n_bits)`` little-endian u64 limbs.
+
+    Raises ``OverflowError`` when ``mask`` does not fit the negotiated
+    width — a caller passing stray bits past ``n_bits`` (beyond the limb
+    round-up) is a contract violation, not data to truncate silently.
+
+    >>> mask_to_limbs(5, 3)
+    b'\\x05\\x00\\x00\\x00\\x00\\x00\\x00\\x00'
+    """
+    return mask.to_bytes(limb_width_bytes(n_bits), "little")
+
+
+def limbs_to_mask(buf: bytes | bytearray | memoryview) -> int:
+    """Rebuild a mask from its little-endian limb buffer.
+
+    >>> limbs_to_mask(mask_to_limbs(12345, 14))
+    12345
+    """
+    return int.from_bytes(buf, "little")
+
+
+def masks_to_limbs(masks: Iterable[int] | Sequence[int], n_bits: int) -> bytes:
+    """Concatenate equal-width limb buffers — the batch/matrix layout.
+
+    Row ``i`` of the result is ``mask_to_limbs(masks[i], n_bits)``; the C
+    kernels index the joined buffer as ``row * limbs_for_bits(n_bits)``.
+    """
+    width = limb_width_bytes(n_bits)
+    return b"".join(mask.to_bytes(width, "little") for mask in masks)

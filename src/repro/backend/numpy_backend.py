@@ -28,6 +28,7 @@ scans, and the inherited reference kernels — comes from
 
 from __future__ import annotations
 
+from repro.backend.limbs import mask_to_bytes
 from repro.backend.words import WordsBackend
 
 __all__ = ["NumpyBackend", "numpy_version"]
@@ -62,10 +63,16 @@ class NumpyBackend(WordsBackend):
             return "unavailable (numpy not importable)"
         return f"vectorised bilinear enumeration (numpy {_np.__version__})"
 
+    @staticmethod
+    def unavailable_reason() -> str | None:
+        if _np is not None:
+            return None
+        return "numpy is not importable in this environment (pip install numpy)"
+
     def bit_indices(self, mask: int) -> list[int]:
         if not mask:
             return []
-        data = mask.to_bytes((mask.bit_length() + 7) >> 3, "little")
+        data = mask_to_bytes(mask)
         if len(data) < 64:
             # Vectorisation overhead beats the byte-table loop only on
             # wide masks (many-document chunks); delegate below that.

@@ -76,6 +76,16 @@ class ReferenceBackend:
     def describe() -> str:
         return "pure-python big-int loops (always available)"
 
+    @staticmethod
+    def unavailable_reason() -> str | None:
+        """Why this backend is unavailable; ``None`` when it is available.
+
+        Always-available tiers inherit this; optional tiers (numpy, cext)
+        override it with the concrete failure — ``python -m repro
+        backends`` prints the reason instead of a bare "no".
+        """
+        return None
+
     # -- mask primitives ----------------------------------------------
 
     def popcount(self, mask: int) -> int:

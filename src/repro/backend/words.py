@@ -15,8 +15,9 @@ restructured around machine-word-sized pieces:
   multiplicity-1 part (pure adds — no ``value * 1`` big-int multiply)
   and the rest (~1.5x on counting sweeps);
 * :func:`to_words` / :func:`from_words` round-trip masks through
-  ``array('Q')`` 64-bit chunks — the interchange format the numpy
-  backend builds its uint64 views from.
+  ``array('Q')`` 64-bit chunks — views over the shared limb buffers of
+  :mod:`repro.backend.limbs`, the interchange format the numpy and C
+  backends build their uint64 views from.
 
 Kernels with no measured word-level win (Bareiss elimination, the
 repeated-squaring matrix products, the Gray-code SWAR bilinear sweep —
@@ -31,6 +32,7 @@ from __future__ import annotations
 from array import array
 from collections.abc import Callable, Sequence
 
+from repro.backend.limbs import limbs_for_bits, limbs_to_mask, mask_to_bytes, mask_to_limbs
 from repro.backend.reference import ReferenceBackend
 
 __all__ = [
@@ -45,8 +47,6 @@ __all__ = [
 _CHUNK_BITS = 8
 _CHUNK_SIZE = 1 << _CHUNK_BITS
 
-_WORD_BITS = 64
-
 # bit_indices lookup: positions of the set bits of each byte value.
 _BYTE_BITS = tuple(
     tuple(b for b in range(8) if (value >> b) & 1) for value in range(256)
@@ -56,11 +56,13 @@ _BYTE_BITS = tuple(
 def to_words(mask: int, n_bits: int) -> array:
     """Split a mask into little-endian 64-bit words as an ``array('Q')``.
 
+    A typed view over the shared limb-buffer format of
+    :mod:`repro.backend.limbs` (same width negotiation, same layout).
+
     >>> list(to_words((1 << 64) | 5, 65))
     [5, 1]
     """
-    n_words = max(1, (n_bits + _WORD_BITS - 1) // _WORD_BITS)
-    return array("Q", mask.to_bytes(n_words * 8, "little"))
+    return array("Q", mask_to_limbs(mask, n_bits))
 
 
 def from_words(words: array | Sequence[int]) -> int:
@@ -70,7 +72,7 @@ def from_words(words: array | Sequence[int]) -> int:
     12345
     """
     chunks = array("Q", words)
-    return int.from_bytes(chunks.tobytes(), "little")
+    return limbs_to_mask(chunks.tobytes())
 
 
 def chunked_step_tables(table: Sequence[int], n_states: int) -> list[list[int]]:
@@ -173,7 +175,7 @@ class WordsBackend(ReferenceBackend):
         # per non-zero byte instead of a shift per set bit.
         if not mask:
             return []
-        data = mask.to_bytes((mask.bit_length() + 7) >> 3, "little")
+        data = mask_to_bytes(mask)
         out: list[int] = []
         extend = out.extend
         table = _BYTE_BITS

@@ -23,8 +23,8 @@ see docs/ENGINE.md)::
     python -m repro backends                              # kernel backends
     python -m repro bench backends                        # their timings
 
-Every engine command takes ``--backend {auto,reference,words,numpy}`` to
-pin the kernel backend (see docs/BACKENDS.md); the default follows
+Every engine command takes ``--backend {auto,reference,words,numpy,cext}``
+to pin the kernel backend (see docs/BACKENDS.md); the default follows
 ``REPRO_BACKEND`` and falls back to auto-detection.
 
 The table-producing commands (``sizes``, ``zoo``, ``sweep``) all route
@@ -154,6 +154,18 @@ def _add_bench_subparser(
     return parser
 
 
+def _backend_choices() -> tuple[str, ...]:
+    """``auto`` plus every *registered* backend name.
+
+    Derived from the registry (not hardcoded) so a new tier — like the
+    optional ``cext`` build — is selectable the moment it registers;
+    an unavailable choice still fails with the backend's own reason.
+    """
+    from repro.backend import backend_names
+
+    return ("auto", *backend_names())
+
+
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, help="worker processes (1 = serial, default)"
@@ -188,7 +200,7 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--backend",
-        choices=("auto", "reference", "words", "numpy"),
+        choices=_backend_choices(),
         default=None,
         help="kernel backend for every job in this run (default: "
         "REPRO_BACKEND or auto; see `python -m repro backends`)",
@@ -585,16 +597,23 @@ def _cmd_backends(args: argparse.Namespace) -> int:
         ["backend", "available", "active", "description"],
         title="Kernel backends (select with --backend or REPRO_BACKEND)",
     )
+    reasons: list[tuple[str, str]] = []
     for name, cls in BACKEND_CLASSES.items():
+        available = cls.available()
         table.add_row(
             [
                 name,
-                "yes" if cls.available() else "no",
+                "yes" if available else "no",
                 "*" if name == active else "",
                 cls.describe(),
             ]
         )
+        if not available:
+            reason = cls.unavailable_reason()
+            reasons.append((name, reason or "availability probe failed"))
     table.print()
+    for name, reason in reasons:
+        print(f"{name}: unavailable — {reason}", file=sys.stderr)
     version = numpy_version()
     if version is not None:
         print(f"numpy: {version}", file=sys.stderr)
@@ -1108,7 +1127,7 @@ def build_parser() -> argparse.ArgumentParser:
             (
                 ("--backend",),
                 dict(
-                    choices=("auto", "reference", "words", "numpy"),
+                    choices=_backend_choices(),
                     default=None,
                     help="pin the kernel backend for the scaling runs",
                 ),

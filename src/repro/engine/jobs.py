@@ -792,7 +792,7 @@ def automata_bench(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
-# The kernel-backend benchmark (reference vs. words vs. numpy)
+# The kernel-backend benchmark (reference vs. words vs. numpy vs. cext)
 # ----------------------------------------------------------------------
 
 
@@ -802,9 +802,11 @@ def automata_bench(params: dict[str, Any], deps: list[Any]) -> dict[str, Any]:
     defaults={"repeats": 5, "seed": 0},
     source_modules=(
         "repro.backend",
+        "repro.backend.limbs",
         "repro.backend.reference",
         "repro.backend.words",
         "repro.backend.numpy_backend",
+        "repro.backend.cext",
         "repro.backend.bench",
     ),
     description="Time every available kernel backend on each primitive family",
@@ -857,6 +859,7 @@ _EXTRACT_MODULES = (
     "repro.spanners.csv_match",
     "repro.automata.packed",
     "repro.automata.nfa",
+    "repro.backend.limbs",
     "repro.backend.reference",
     "repro.backend.words",
 )

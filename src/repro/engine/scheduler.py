@@ -74,7 +74,13 @@ from itertools import count
 from queue import Empty
 from typing import Any
 
-from repro.backend import get_backend, resolve_backend, set_backend, use_backend
+from repro.backend import (
+    _clear_context_backend,
+    get_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
 from repro.engine.artifacts import RunLog, RunRecord
 from repro.engine.cache import DiskCache
 from repro.engine.jobs import default_registry
@@ -102,13 +108,30 @@ def _init_worker(
     the one the parent resolved, so a job computes with exactly the
     backend its run record claims — even when the parent was selected via
     a context override that a forked worker would not otherwise see.
+
+    The pin *re-probes* availability in the worker: a build-dependent
+    tier (the ``cext`` compiled artifact, an importable numpy) can exist
+    in the parent but not in a worker's environment — e.g. a spawn
+    context importing from a tree whose extension was never built.  A
+    worker that cannot honour the pin downgrades to the best available
+    tier instead of dying in its initializer (which would brick the
+    whole pool); the run records of everything it executes carry the
+    backend that *actually* ran, not the one the parent asked for.
     """
     global _IN_WORKER, _TASK_EVENTS
     _IN_WORKER = True
     _TASK_EVENTS = task_events
     _reset_inherited_signals()
     if backend is not None:
-        set_backend(backend)
+        try:
+            set_backend(backend)
+        except ValueError:
+            # Pin to a concrete available tier (not None: the inherited
+            # REPRO_BACKEND could name the same unavailable backend), and
+            # drop the fork-inherited use_backend context, which outranks
+            # the process pin and still names the unavailable backend.
+            set_backend(resolve_backend(None))
+            _clear_context_backend()
     for entry in reversed(path_entries):
         if entry not in sys.path:
             sys.path.insert(0, entry)
@@ -148,18 +171,30 @@ def _normalize(result: Any) -> Any:
     return json.loads(json.dumps(result, sort_keys=True))
 
 
+#: First element of the ``(stamp, backend_name, result)`` triple
+#: :func:`_call_job` returns.  ``_normalize`` forces every job result
+#: through a JSON round-trip, so a genuine result can never be a tuple —
+#: the wrapper is unambiguous without touching the job protocol.
+_BACKEND_STAMP = "__repro_backend_stamp__"
+
+
 def _call_job(
     fn,
     params: dict[str, Any],
     deps: list[Any],
     attempt: int = 1,
     task_id: int | None = None,
-) -> Any:
+) -> tuple[str, str, Any]:
     """Worker-side entry point: announce the pid, run the job, normalise.
 
     The ``(pid, task_id)`` event lets the parent terminate exactly the
     worker running an overdue job; the reserved ``_attempt`` parameter
     lets attempt-aware jobs observe which retry they are.
+
+    Returns ``(_BACKEND_STAMP, backend_name, result)``: the name of the
+    backend that *actually* computed the result travels back with it, so
+    the parent's run record stays truthful even when a worker's
+    initializer downgraded an unavailable pinned backend.
     """
     if task_id is not None and _TASK_EVENTS is not None:
         try:
@@ -168,7 +203,23 @@ def _call_job(
             pass  # pid attribution is best effort, never a job failure
     call_params = dict(params)
     call_params["_attempt"] = attempt
-    return _normalize(fn(call_params, deps))
+    return _BACKEND_STAMP, get_backend().name, _normalize(fn(call_params, deps))
+
+
+def _unstamp(wrapped: Any) -> tuple[Any, str | None]:
+    """Split a :func:`_call_job` triple into ``(result, backend_name)``.
+
+    Tolerates a bare result (``backend_name = None``) so a pool worker
+    running an older ``_call_job`` — e.g. across an in-place upgrade —
+    degrades to the parent-side stamp rather than corrupting results.
+    """
+    if (
+        isinstance(wrapped, tuple)
+        and len(wrapped) == 3
+        and wrapped[0] == _BACKEND_STAMP
+    ):
+        return wrapped[2], wrapped[1]
+    return wrapped, None
 
 
 def _abort_pool(pool: ProcessPoolExecutor) -> None:
@@ -445,7 +496,12 @@ class Engine:
         started_epoch: float | None = None,
         attempt: int = 1,
         log: RunLog | None = None,
+        backend: str | None = None,
     ) -> None:
+        # ``backend`` is the worker-stamped name when the job ran in a
+        # pool (the worker may have downgraded an unavailable pin); the
+        # parent's active backend otherwise (cache hits, serial runs,
+        # errors raised before a stamp could travel back).
         log = log if log is not None else self.run_log
         log.record(
             RunRecord(
@@ -462,7 +518,7 @@ class Engine:
                 attempt=attempt,
                 retries=self.max_retries,
                 error=error,
-                backend=get_backend().name,
+                backend=backend if backend is not None else get_backend().name,
             )
         )
 
@@ -495,7 +551,9 @@ class Engine:
                 started = time.monotonic()
                 started_epoch = time.time()
                 try:
-                    result = _call_job(job.fn, request.params_dict(), deps, attempt)
+                    result, ran_backend = _unstamp(
+                        _call_job(job.fn, request.params_dict(), deps, attempt)
+                    )
                 except Exception as exc:
                     wall_ms = (time.monotonic() - started) * 1000.0
                     self._record(
@@ -529,6 +587,7 @@ class Engine:
                     started_epoch=started_epoch,
                     attempt=attempt,
                     log=log,
+                    backend=ran_backend,
                 )
                 break
 
@@ -679,7 +738,7 @@ class Engine:
             job = jobs_by_request[info.request]
             wall_ms = (time.monotonic() - info.started_monotonic) * 1000.0
             try:
-                result = future.result()
+                result, ran_backend = _unstamp(future.result())
             except BrokenProcessPool as exc:
                 self._record(
                     info.request,
@@ -747,6 +806,7 @@ class Engine:
                     started_epoch=info.started_epoch,
                     attempt=info.attempt,
                     log=log,
+                    backend=ran_backend,
                 )
                 mark_done(info.request)
 

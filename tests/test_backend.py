@@ -249,13 +249,47 @@ def test_to_words_round_trip():
             assert from_words(to_words(mask, bits)) == mask
 
 
+def test_limb_helpers_round_trip():
+    from repro.backend.limbs import (
+        LIMB_BYTES,
+        limb_width_bytes,
+        limbs_for_bits,
+        limbs_to_mask,
+        mask_to_bytes,
+        mask_to_limbs,
+        masks_to_limbs,
+    )
+
+    # Limb counts round up to whole u64 words; zero bits still get one.
+    assert [limbs_for_bits(bits) for bits in (0, 1, 64, 65, 128, 129)] == [
+        1, 1, 1, 2, 2, 3,
+    ]
+    rng = _rng(16)
+    for bits in (1, 63, 64, 65, 200, 1000):
+        width = limb_width_bytes(bits)
+        assert width == limbs_for_bits(bits) * LIMB_BYTES
+        masks = _masks(rng, 8, bits) + [0, (1 << bits) - 1]
+        for mask in masks:
+            buf = mask_to_limbs(mask, bits)
+            assert len(buf) == width
+            assert limbs_to_mask(buf) == mask
+            # Minimal-width buffers drop trailing zero bytes but keep
+            # the value (the width-independent kernel path).
+            assert limbs_to_mask(mask_to_bytes(mask)) == mask
+        joined = masks_to_limbs(masks, bits)
+        assert len(joined) == width * len(masks)
+        for index, mask in enumerate(masks):
+            row = joined[index * width : (index + 1) * width]
+            assert limbs_to_mask(row) == mask
+
+
 # ----------------------------------------------------------------------
 # Selection mechanics
 # ----------------------------------------------------------------------
 
 
 def test_registry_names_and_availability():
-    assert backend_names() == ["reference", "words", "numpy"]
+    assert backend_names() == ["reference", "words", "numpy", "cext"]
     available = available_backends()
     assert "reference" in available and "words" in available
     assert set(available) <= set(backend_names())
@@ -264,8 +298,29 @@ def test_registry_names_and_availability():
 def test_resolve_rejects_unknown_names():
     with pytest.raises(ValueError, match="unknown backend"):
         resolve_backend("simd")
-    assert resolve_backend("auto") in ("numpy", "words")
+    assert resolve_backend("auto") in ("cext", "numpy", "words")
     assert resolve_backend(None) == resolve_backend("auto")
+
+
+def test_auto_prefers_the_fastest_available_tier():
+    # cext > numpy > words, skipping whatever is not built/importable.
+    expected = "words"
+    if "numpy" in available_backends():
+        expected = "numpy"
+    if "cext" in available_backends():
+        expected = "cext"
+    assert resolve_backend("auto") == expected
+
+
+def test_unavailable_reason_contract():
+    # Available tiers have nothing to explain; unavailable tiers must
+    # say why (this is what `python -m repro backends` prints).
+    for name, cls in BACKEND_CLASSES.items():
+        reason = cls.unavailable_reason()
+        if cls.available():
+            assert reason is None, name
+        else:
+            assert isinstance(reason, str) and reason, name
 
 
 def test_env_var_selects_backend(monkeypatch):
@@ -324,6 +379,27 @@ def test_use_backend_is_thread_isolated():
     assert seen == {"reference": "reference", "words": "words"}
 
 
+def test_use_backend_thread_isolation_covers_every_available_tier():
+    # Same contextvar-isolation property, across the full tier ladder —
+    # the threaded ``repro.serve`` executor relies on this holding for
+    # cext/numpy too, not just the always-available pair.
+    names = available_backends()
+    seen: dict[str, str] = {}
+    barrier = threading.Barrier(len(names))
+
+    def pinned(name: str) -> None:
+        with use_backend(name):
+            barrier.wait(timeout=10)
+            seen[name] = get_backend().name
+
+    threads = [threading.Thread(target=pinned, args=(name,)) for name in names]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert seen == {name: name for name in names}
+
+
 def test_backend_instances_are_cached_singletons():
     assert get_backend("words") is get_backend("words")
     assert get_backend("reference") is get_backend("reference")
@@ -365,6 +441,74 @@ def test_inherited_kernels_are_the_same_function_object():
         numpy_cls = BACKEND_CLASSES["numpy"]
         assert numpy_cls.gf2_rank is WordsBackend.gf2_rank
         assert numpy_cls.max_bilinear is not ReferenceBackend.max_bilinear
+
+
+def test_cext_delegation_rules():
+    # The compiled tier overrides only mask-kernel primitives where C
+    # measurably wins; scan loops stay words, exact-integer kernels stay
+    # reference — so their results are definitionally bit-exact.
+    from repro.backend.cext import CextBackend
+
+    for method in (
+        "popcount_rows",
+        "bit_indices",
+        "transpose_masks",
+        "fold_rows",
+        "make_step_fn",
+        "cells_of_rect",
+        "hopcroft_split",
+        "gf2_rank",
+    ):
+        assert method in vars(CextBackend)  # overridden on the class itself
+    # popcount is int.bit_count under the hood — C cannot beat it.
+    assert CextBackend.popcount is ReferenceBackend.popcount
+    # Word-at-a-time scans without a limb-buffer win stay delegated.
+    assert CextBackend.superset_rows is WordsBackend.superset_rows
+    assert CextBackend.and_reduce is WordsBackend.and_reduce
+    assert CextBackend.make_sweep_fn is WordsBackend.make_sweep_fn
+    # Exact-integer kernels never cross the u64-limb boundary.
+    assert CextBackend.bareiss_rank is ReferenceBackend.bareiss_rank
+    assert CextBackend.mat_mul is ReferenceBackend.mat_mul
+    assert CextBackend.max_bilinear is ReferenceBackend.max_bilinear
+    assert CextBackend.make_binary_step is ReferenceBackend.make_binary_step
+
+
+@pytest.mark.skipif("cext" not in available_backends(), reason="cext not built")
+def test_cext_module_pins_the_limb_abi():
+    from repro import _cext
+    from repro.backend.limbs import LIMB_BYTES
+
+    kernels = _cext.load()
+    assert kernels is not None
+    assert kernels.ABI_VERSION == _cext.EXPECTED_ABI_VERSION == 1
+    assert kernels.LIMB_BYTES == LIMB_BYTES == 8
+
+
+@pytest.mark.skipif("cext" not in available_backends(), reason="cext not built")
+def test_cext_step_fn_delegates_below_threshold():
+    # Tiny alphabets stay on the words closure (C call overhead loses);
+    # at/above the threshold the compiled StepTable takes over.  Both
+    # paths were differentially tested above; this pins the switch.
+    from repro._cext import load
+    from repro.backend.cext import _STEP_C_MIN_STATES, CextBackend
+
+    backend = CextBackend()
+    rng = _rng(17)
+    small_n = _STEP_C_MIN_STATES - 1
+    small = backend.make_step_fn(_masks(rng, small_n, small_n), small_n)
+    big_n = _STEP_C_MIN_STATES
+    big = backend.make_step_fn(_masks(rng, big_n, big_n), big_n)
+    step_table_type = load().StepTable
+
+    def carries_step_table(fn) -> bool:
+        cells = [cell.cell_contents for cell in (fn.__closure__ or [])]
+        return any(
+            isinstance(value, step_table_type)
+            for value in [*cells, *(fn.__defaults__ or [])]
+        )
+
+    assert not carries_step_table(small)
+    assert carries_step_table(big)
 
 
 # ----------------------------------------------------------------------
@@ -423,6 +567,44 @@ def test_engine_parallel_workers_use_the_pinned_backend():
     )
     assert sorted(results.values()) == [1, 2, 3]
     assert all(record.backend == "reference" for record in engine.run_log.records)
+
+
+def test_engine_workers_downgrade_an_unavailable_pin():
+    # A build-dependent tier (the cext artifact) can exist in the parent
+    # but not in a worker's environment.  Workers must fall back to the
+    # best available tier — and the run records must stamp the backend
+    # that actually ran, not the parent's pin.
+    import os
+
+    from repro.backend import _instances
+    from repro.engine import Engine
+    from repro.engine.registry import Request
+
+    parent_pid = os.getpid()
+
+    class ParentOnlyBackend(WordsBackend):
+        """Probes available in this process only — forked workers see no."""
+
+        name = "parent-only"
+
+        @staticmethod
+        def available() -> bool:
+            return os.getpid() == parent_pid
+
+    BACKEND_CLASSES[ParentOnlyBackend.name] = ParentOnlyBackend
+    try:
+        engine = Engine(cache=None, jobs=2, backend=ParentOnlyBackend.name)
+        results = engine.run(
+            [Request.make("debug.echo", {"value": value}) for value in (1, 2, 3)]
+        )
+        assert sorted(results.values()) == [1, 2, 3]
+        downgraded = resolve_backend(None)
+        stamped = {record.backend for record in engine.run_log.records}
+        assert stamped == {downgraded}
+        assert ParentOnlyBackend.name not in stamped
+    finally:
+        del BACKEND_CLASSES[ParentOnlyBackend.name]
+        _instances.pop(ParentOnlyBackend.name, None)
 
 
 # ----------------------------------------------------------------------
@@ -501,6 +683,10 @@ def test_bench_backends_smoke():
         "determinise",
         "count",
         "discrepancy",
+        "indices",
+        "transpose",
+        "rect",
+        "split",
     ]
     for row in result["rows"]:
         for name, cell in row["backends"].items():
